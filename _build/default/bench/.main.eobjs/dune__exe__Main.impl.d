@@ -1,0 +1,1 @@
+bench/main.ml: Array List Paper_tables Printf Sweeps Sys Timings

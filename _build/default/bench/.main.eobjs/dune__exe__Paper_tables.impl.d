@@ -1,0 +1,1 @@
+bench/paper_tables.ml: Baselines Entity_id Ilfd List Printf Prototype Relational Rules Workload

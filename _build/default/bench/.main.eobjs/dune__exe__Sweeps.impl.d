@@ -1,0 +1,1 @@
+bench/sweeps.ml: Baselines Entity_id Float Fun Ilfd List Printf Proplogic Relational String Sys Workload

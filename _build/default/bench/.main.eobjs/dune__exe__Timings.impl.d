@@ -1,0 +1,1 @@
+bench/timings.ml: Analyze Bechamel Benchmark Entity_id Float Hashtbl Ilfd Instance List Measure Printf Proplogic Prototype Relational Staged String Test Time Toolkit Workload

@@ -1,0 +1,1 @@
+bin/entity_ident.ml: Arg Cmd Cmdliner Entity_id Format Fun Ilfd In_channel List Printf Prototype Relational String Term

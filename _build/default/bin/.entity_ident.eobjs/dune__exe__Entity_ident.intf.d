@@ -1,0 +1,1 @@
+bin/entity_ident.mli:

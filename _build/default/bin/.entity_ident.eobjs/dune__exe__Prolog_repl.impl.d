@@ -1,0 +1,1 @@
+bin/prolog_repl.ml: Array In_channel List Printf Prolog String Sys

@@ -1,0 +1,1 @@
+bin/prolog_repl.mli:

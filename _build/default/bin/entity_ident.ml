@@ -1,0 +1,302 @@
+(* entity_ident — command-line front end.
+
+   Subcommands:
+     identify   run the ILFD/extended-key pipeline on two CSV relations
+     closure    print the condition closure X+ under a rule file
+     cover      print a minimal cover of a rule file
+     mine       mine candidate ILFDs from a relation instance
+     fuse       identify + resolve attribute-value conflicts -> one CSV
+     session    replay the paper's Section 6 Prolog session on given data
+
+   A rules file holds one ILFD per line in the concrete syntax
+   "attr = value & attr = value -> attr = value"; blank lines and lines
+   starting with # are ignored. *)
+
+open Cmdliner
+
+let read_rules path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      In_channel.input_lines ic
+      |> List.filteri (fun _ line ->
+             let t = String.trim line in
+             t <> "" && not (String.length t > 0 && t.[0] = '#'))
+      |> List.map Ilfd.parse)
+
+let parse_key_list s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun a -> a <> "")
+
+let load_relation path key =
+  Relational.Csv_io.load ~keys:[ parse_key_list key ] path
+
+(* ---- common args ---- *)
+
+let r_file =
+  Arg.(required & opt (some file) None & info [ "left" ] ~docv:"CSV"
+         ~doc:"Left relation (CSV with header row).")
+
+let s_file =
+  Arg.(required & opt (some file) None & info [ "right" ] ~docv:"CSV"
+         ~doc:"Right relation (CSV with header row).")
+
+let r_key_arg =
+  Arg.(required & opt (some string) None & info [ "r-key" ] ~docv:"ATTRS"
+         ~doc:"Comma-separated candidate key of the left relation.")
+
+let s_key_arg =
+  Arg.(required & opt (some string) None & info [ "s-key" ] ~docv:"ATTRS"
+         ~doc:"Comma-separated candidate key of the right relation.")
+
+let rules_file =
+  Arg.(value & opt (some file) None & info [ "rules" ] ~docv:"FILE"
+         ~doc:"ILFD rules file (one rule per line).")
+
+let extkey_arg =
+  Arg.(required & opt (some string) None & info [ "key" ] ~docv:"ATTRS"
+         ~doc:"Comma-separated extended key.")
+
+let setup r s rk sk rules_path =
+  let r = load_relation r rk and s = load_relation s sk in
+  let ilfds = match rules_path with None -> [] | Some p -> read_rules p in
+  (r, s, ilfds)
+
+(* ---- identify ---- *)
+
+let identify_cmd =
+  let show =
+    Arg.(value & opt (enum [ ("mt", `Mt); ("integrated", `Integrated);
+                             ("extended", `Extended); ("all", `All) ])
+           `All
+         & info [ "show" ] ~doc:"What to print: mt, integrated, extended, all.")
+  in
+  let negative =
+    Arg.(value & flag & info [ "negative" ]
+           ~doc:"Also print the negative matching table (Proposition 1).")
+  in
+  let check_conflicts =
+    Arg.(value & flag & info [ "check-conflicts" ]
+           ~doc:"Fail when two ILFDs disagree on a derived value.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Print, for each match, the ILFD derivations behind it.")
+  in
+  let run r s rk sk rules key show negative check_conflicts explain =
+    let r, s, ilfds = setup r s rk sk rules in
+    let key = Entity_id.Extended_key.make (parse_key_list key) in
+    let mode =
+      if check_conflicts then Ilfd.Apply.Check_conflicts
+      else Ilfd.Apply.First_rule
+    in
+    let o = Entity_id.Identify.run ~mode ~r ~s ~key ilfds in
+    let print_extended () =
+      print_string (Relational.Pretty.render ~title:"R'" o.r_extended);
+      print_newline ();
+      print_string (Relational.Pretty.render ~title:"S'" o.s_extended);
+      print_newline ()
+    in
+    let print_mt () =
+      print_string
+        (Relational.Pretty.render ~title:"matching table"
+           (Entity_id.Matching_table.to_relation o.matching_table));
+      print_newline ()
+    in
+    let print_integrated () =
+      print_string
+        (Relational.Pretty.render ~title:"integrated table"
+           (Entity_id.Integrate.integrated_table ~key o));
+      print_newline ()
+    in
+    (match show with
+    | `Mt -> print_mt ()
+    | `Integrated -> print_integrated ()
+    | `Extended -> print_extended ()
+    | `All ->
+        print_extended ();
+        print_mt ();
+        print_integrated ());
+    if negative then begin
+      let nmt =
+        Entity_id.Negative.of_ilfds ~r:o.r_extended ~s:o.s_extended ilfds
+      in
+      print_string
+        (Relational.Pretty.render ~title:"negative matching table"
+           (Entity_id.Matching_table.to_relation nmt));
+      print_newline ()
+    end;
+    if explain then begin
+      print_endline "explanations:";
+      print_string
+        (Entity_id.Explain.render
+           (Entity_id.Explain.matches ~r ~s ~key ilfds))
+    end;
+    let report = Entity_id.Verify.check o.matching_table in
+    Format.printf "%a@." Entity_id.Verify.pp_report report;
+    if not (Entity_id.Verify.is_sound_wrt_constraints report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "identify" ~doc:"Run extended-key + ILFD entity identification.")
+    Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
+          $ extkey_arg $ show $ negative $ check_conflicts $ explain)
+
+(* ---- closure ---- *)
+
+let closure_cmd =
+  let given =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CONDITIONS"
+           ~doc:"Conditions, e.g. \"speciality = Hunan & name = X\".")
+  in
+  let run rules given =
+    let ilfds = match rules with None -> [] | Some p -> read_rules p in
+    let conds =
+      String.split_on_char '&' given
+      |> List.map (fun c ->
+             match Ilfd.parse (c ^ " -> __x = __x") with
+             | i -> List.hd (Ilfd.antecedent i)
+             | exception Ilfd.Ill_formed m -> failwith m)
+    in
+    List.iter
+      (fun (c : Ilfd.condition) ->
+        Printf.printf "%s = %s\n" c.attribute
+          (Relational.Value.to_string c.value))
+      (Ilfd.Theory.closure ilfds conds)
+  in
+  Cmd.v
+    (Cmd.info "closure"
+       ~doc:"Print the closure X+ of conditions under the rule file.")
+    Term.(const run $ rules_file $ given)
+
+(* ---- cover ---- *)
+
+let cover_cmd =
+  let run rules =
+    let ilfds = match rules with None -> [] | Some p -> read_rules p in
+    List.iter
+      (fun i -> print_endline (Ilfd.to_string i))
+      (Ilfd.Theory.minimal_cover ilfds)
+  in
+  Cmd.v
+    (Cmd.info "cover" ~doc:"Print a minimal cover of the rule file.")
+    Term.(const run $ rules_file)
+
+(* ---- mine ---- *)
+
+let mine_cmd =
+  let input =
+    Arg.(required & opt (some file) None & info [ "from" ] ~docv:"CSV"
+           ~doc:"Relation to mine (e.g. an audited sample of the \
+                 integrated world).")
+  in
+  let lhs =
+    Arg.(required & opt (some string) None & info [ "lhs" ] ~docv:"ATTRS"
+           ~doc:"Comma-separated antecedent attributes.")
+  in
+  let rhs =
+    Arg.(required & opt (some string) None & info [ "rhs" ] ~docv:"ATTR"
+           ~doc:"Consequent attribute.")
+  in
+  let min_support =
+    Arg.(value & opt int 2 & info [ "min-support" ] ~docv:"N"
+           ~doc:"Minimum antecedent support (default 2).")
+  in
+  let min_confidence =
+    Arg.(value & opt float 1.0 & info [ "min-confidence" ] ~docv:"C"
+           ~doc:"Minimum confidence (default 1.0 = exact ILFDs only).")
+  in
+  let run input lhs rhs min_support min_confidence =
+    let r = Relational.Csv_io.load input in
+    let candidates =
+      Ilfd.Mine.mine ~min_support ~min_confidence r
+        ~lhs:(parse_key_list lhs) ~rhs
+    in
+    List.iter
+      (fun c -> Format.printf "%a@." Ilfd.Mine.pp_candidate c)
+      candidates;
+    Format.printf "%d candidate(s)@." (List.length candidates)
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:"Mine candidate ILFDs from a relation (knowledge acquisition).")
+    Term.(const run $ input $ lhs $ rhs $ min_support $ min_confidence)
+
+(* ---- fuse ---- *)
+
+let fuse_cmd =
+  let policy_arg =
+    Arg.(value
+         & opt (enum [ ("non-null", `Non_null); ("left", `Left);
+                       ("right", `Right) ])
+             `Non_null
+         & info [ "policy" ]
+             ~doc:"Conflict policy: non-null (fail on true conflicts), \
+                   left, right.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"CSV"
+           ~doc:"Write the fused relation to a CSV file (default: print).")
+  in
+  let run r s rk sk rules key policy output =
+    let r, s, ilfds = setup r s rk sk rules in
+    let key = Entity_id.Extended_key.make (parse_key_list key) in
+    let o = Entity_id.Identify.run ~r ~s ~key ilfds in
+    let conflicts = Entity_id.Fusion.conflicts o in
+    List.iter
+      (fun (attr, l, rt, k) ->
+        Format.eprintf "conflict on %s: %s vs %s for %a@." attr
+          (Relational.Value.to_string l)
+          (Relational.Value.to_string rt)
+          Relational.Tuple.pp k)
+      conflicts;
+    let default =
+      match policy with
+      | `Non_null -> Entity_id.Fusion.Prefer_non_null
+      | `Left -> Entity_id.Fusion.Prefer_left
+      | `Right -> Entity_id.Fusion.Prefer_right
+    in
+    match Entity_id.Fusion.fuse ~default o with
+    | fused -> (
+        match output with
+        | Some path -> Relational.Csv_io.save fused path
+        | None -> print_string (Relational.Pretty.render fused))
+    | exception Entity_id.Fusion.Inconsistent { attribute; _ } ->
+        Format.eprintf
+          "fusion failed: unresolved conflict on %s (try --policy)@."
+          attribute;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuse"
+       ~doc:"Identify entities, resolve attribute-value conflicts, and \
+             emit the actually-integrated relation.")
+    Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
+          $ extkey_arg $ policy_arg $ output)
+
+(* ---- session ---- *)
+
+let session_cmd =
+  let run r s rk sk rules key =
+    let r, s, ilfds = setup r s rk sk rules in
+    let key = Entity_id.Extended_key.make (parse_key_list key) in
+    print_string (Prototype.Session.setup_extkey_transcript ~r ~s ~key ilfds);
+    print_newline ();
+    print_string (Prototype.Session.matchtable_session ~r ~s ~key ilfds);
+    print_newline ();
+    print_string (Prototype.Session.integrated_session ~r ~s ~key ilfds)
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Replay the paper's Prolog-session output on the given data.")
+    Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
+          $ extkey_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "entity_ident" ~version:"1.0.0"
+       ~doc:"Entity identification in database integration (Lim et al., \
+             ICDE 1993).")
+    [ identify_cmd; closure_cmd; cover_cmd; mine_cmd; fuse_cmd; session_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,128 @@
+(* A tiny interactive toplevel for the mini-Prolog engine — handy for
+   poking at generated entity-identification programs the way the paper's
+   authors drove SB-Prolog.
+
+     dune exec bin/prolog_repl.exe [-- file.pl ...]
+
+   Input forms:
+     ?- goal, goal.        run a query, print all solutions
+     head :- body.         assert a clause (facts too: head.)
+     :load path            consult a file
+     :list                 show predicate indicators in the database
+     halt.                 exit *)
+
+let print_solutions engine goals =
+  match Prolog.Solve.query engine goals with
+  | [] -> print_endline "no"
+  | solutions ->
+      List.iter
+        (fun bindings ->
+          let interesting =
+            List.filter
+              (fun (name, _) -> String.length name > 0 && name.[0] <> '_')
+              bindings
+          in
+          if interesting = [] then print_endline "yes"
+          else
+            print_endline
+              (String.concat ", "
+                 (List.map
+                    (fun (name, t) ->
+                      Printf.sprintf "%s = %s" name (Prolog.Term.to_string t))
+                    interesting)))
+        solutions;
+      Printf.printf "(%d solution%s)\n" (List.length solutions)
+        (if List.length solutions = 1 then "" else "s")
+
+let load_file engine path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source -> (
+      match Prolog.Parser.program source with
+      | clauses ->
+          List.iter
+            (fun clause ->
+              ignore
+                (Prolog.Solve.query engine
+                   [ Prolog.Term.compound "assertz"
+                       [ (match clause.Prolog.Database.body with
+                         | [] -> clause.head
+                         | body ->
+                             Prolog.Term.compound ":-"
+                               [ clause.head;
+                                 List.fold_right
+                                   (fun g acc ->
+                                     Prolog.Term.compound "," [ g; acc ])
+                                   (List.filteri
+                                      (fun i _ ->
+                                        i < List.length body - 1)
+                                      body)
+                                   (List.nth body (List.length body - 1)) ])
+                       ] ]))
+            clauses;
+          Printf.printf "loaded %d clause(s) from %s\n" (List.length clauses)
+            path
+      | exception Prolog.Parser.Syntax_error { line; message } ->
+          Printf.printf "syntax error in %s, line %d: %s\n" path line message)
+  | exception Sys_error e -> print_endline e
+
+let () =
+  let engine = Prolog.Solve.make (Prolog.Prelude.load Prolog.Database.empty) in
+  Array.iteri (fun i arg -> if i > 0 then load_file engine arg) Sys.argv;
+  print_endline "mini-Prolog; ?- goal. to query, :load file, halt. to exit";
+  let rec loop () =
+    print_string "| ";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line -> (
+        let line = String.trim line in
+        if line = "" then loop ()
+        else if line = "halt." || line = "halt" then ()
+        else if String.length line > 5 && String.sub line 0 5 = ":load" then begin
+          load_file engine (String.trim (String.sub line 5 (String.length line - 5)));
+          loop ()
+        end
+        else if line = ":list" then begin
+          List.iter
+            (fun (name, arity) -> Printf.printf "%s/%d\n" name arity)
+            (Prolog.Database.predicates (Prolog.Solve.database engine));
+          loop ()
+        end
+        else
+          let handle input =
+            match Prolog.Parser.goals input with
+            | goals -> print_solutions engine goals
+            | exception Prolog.Parser.Syntax_error { line; message } ->
+                Printf.printf "syntax error (line %d): %s\n" line message
+            | exception Prolog.Solve.Prolog_error message ->
+                print_endline ("error: " ^ message)
+          in
+          (if String.length line > 2 && String.sub line 0 2 = "?-" then
+             handle (String.sub line 2 (String.length line - 2))
+           else
+             (* A clause: assert it. *)
+             match Prolog.Parser.program line with
+             | clauses ->
+                 List.iter
+                   (fun c ->
+                     ignore
+                       (Prolog.Solve.solve engine
+                          [ Prolog.Term.compound "assertz"
+                              [ (match c.Prolog.Database.body with
+                                | [] -> c.head
+                                | [ g ] ->
+                                    Prolog.Term.compound ":-" [ c.head; g ]
+                                | g :: gs ->
+                                    Prolog.Term.compound ":-"
+                                      [ c.head;
+                                        List.fold_left
+                                          (fun acc x ->
+                                            Prolog.Term.compound ","
+                                              [ acc; x ])
+                                          g gs ]) ] ]))
+                   clauses;
+                 print_endline "asserted"
+             | exception Prolog.Parser.Syntax_error { line; message } ->
+                 Printf.printf "syntax error (line %d): %s\n" line message);
+          loop ())
+  in
+  loop ()

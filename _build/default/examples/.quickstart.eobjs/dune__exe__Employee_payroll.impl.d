@@ -1,0 +1,1 @@
+examples/employee_payroll.ml: Baselines Entity_id Format Ilfd List Printf Relational String

@@ -1,0 +1,1 @@
+examples/federated_updates.ml: Entity_id Ilfd List Printf Relational Workload

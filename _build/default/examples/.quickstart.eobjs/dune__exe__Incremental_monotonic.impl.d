@@ -1,0 +1,1 @@
+examples/incremental_monotonic.ml: Entity_id Ilfd List Printf Workload

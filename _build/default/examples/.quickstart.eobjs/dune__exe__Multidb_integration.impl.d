@@ -1,0 +1,1 @@
+examples/multidb_integration.ml: Entity_id Format Ilfd List Printf Relational

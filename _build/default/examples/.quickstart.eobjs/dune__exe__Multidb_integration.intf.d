@@ -1,0 +1,1 @@
+examples/multidb_integration.mli:

@@ -1,0 +1,1 @@
+examples/prolog_session.ml: Entity_id List Printf Prototype Workload

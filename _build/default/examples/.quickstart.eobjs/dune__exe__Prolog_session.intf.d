@@ -1,0 +1,1 @@
+examples/prolog_session.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Entity_id Format Ilfd Relational

@@ -1,0 +1,1 @@
+examples/restaurant_integration.ml: Entity_id Format Ilfd List Printf Proplogic Relational Workload

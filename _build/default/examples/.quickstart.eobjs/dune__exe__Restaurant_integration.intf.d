@@ -1,0 +1,1 @@
+examples/restaurant_integration.mli:

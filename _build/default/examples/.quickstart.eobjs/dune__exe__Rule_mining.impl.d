@@ -1,0 +1,1 @@
+examples/rule_mining.ml: Entity_id Format Ilfd List Printf Relational Workload

@@ -1,0 +1,40 @@
+(* Monotonicity in action (Section 3.3, Figure 3): feed the Example 3
+   ILFDs to the engine one at a time and watch the matching and
+   non-matching pair sets grow while the undetermined set shrinks — and
+   verify each step is monotone (determined pairs never flip).
+
+   Run with:  dune exec examples/incremental_monotonic.exe *)
+
+let () =
+  let r = Workload.Paper_data.table5_r in
+  let s = Workload.Paper_data.table5_s in
+  let key = Workload.Paper_data.example3_key in
+  let state = Entity_id.Monotonic.create ~r ~s ~key () in
+  Printf.printf "%-50s  %8s %12s %12s  %s\n" "knowledge added" "matching"
+    "not-matching" "undetermined" "monotone?";
+  let initial = Entity_id.Monotonic.snapshot state in
+  Printf.printf "%-50s  %8d %12d %12d  %s\n" "(none)"
+    (Entity_id.Matching_table.cardinality initial.matched)
+    (Entity_id.Matching_table.cardinality initial.not_matched)
+    initial.undetermined_count "-";
+  let _, _ =
+    List.fold_left
+      (fun (state, previous) ilfd ->
+        let state = Entity_id.Monotonic.add_ilfd state ilfd in
+        let current = Entity_id.Monotonic.snapshot state in
+        let ok = Entity_id.Monotonic.monotone_step previous current in
+        Printf.printf "%-50s  %8d %12d %12d  %b\n" (Ilfd.to_string ilfd)
+          (Entity_id.Matching_table.cardinality current.matched)
+          (Entity_id.Matching_table.cardinality current.not_matched)
+          current.undetermined_count ok;
+        (state, current))
+      (state, initial) (Workload.Paper_data.ilfds_i1_i8)
+  in
+  print_newline ();
+  print_endline
+    "Completeness would be reached when the undetermined column hits 0;";
+  print_endline
+    "the paper notes complete knowledge is rarely attainable — the engine";
+  print_endline
+    "lets the DBA keep supplying rules, and monotonicity guarantees that";
+  print_endline "already-determined pairs never change."

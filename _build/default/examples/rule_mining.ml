@@ -1,0 +1,77 @@
+(* Knowledge acquisition: the paper's conclusion suggests that semantic
+   rules "can be supplied either by database administrators during schema
+   integration or through some knowledge acquisition tools". This example
+   mines candidate ILFDs from an audited sample of the integrated world,
+   keeps the exact (confidence-1.0) ones, and uses them to identify
+   entities in the full databases — recovering the hidden
+   speciality→cuisine and street→county maps without any hand-written
+   rule.
+
+   Run with:  dune exec examples/rule_mining.exe *)
+
+module R = Relational
+module E = Entity_id
+module W = Workload
+
+let () =
+  let inst =
+    W.Restaurant.generate
+      { W.Restaurant.default with n_entities = 150; seed = 314 }
+  in
+  (* An audited sample of the integrated world (say, 60 entities a DBA
+     has verified by hand). *)
+  let sample_rows =
+    List.filteri (fun i _ -> i < 60) (R.Relation.tuples inst.world)
+  in
+  let sample =
+    R.Relation.of_tuples (R.Relation.schema inst.world) sample_rows
+  in
+
+  print_endline "mining speciality -> cuisine from the audited sample:";
+  let spec_rules =
+    Ilfd.Mine.mine ~min_support:1 sample ~lhs:[ "speciality" ] ~rhs:"cuisine"
+  in
+  List.iter
+    (fun c -> Format.printf "  %a@." Ilfd.Mine.pp_candidate c)
+    (List.filteri (fun i _ -> i < 6) spec_rules);
+  Printf.printf "  ... %d exact rules in total\n\n" (List.length spec_rules);
+
+  let street_rules =
+    Ilfd.Mine.mine ~min_support:1 sample ~lhs:[ "street" ] ~rhs:"county"
+  in
+  let entity_rules =
+    Ilfd.Mine.mine ~min_support:1 sample ~lhs:[ "name"; "street" ]
+      ~rhs:"speciality"
+  in
+  Printf.printf "mined %d street->county and %d (name,street)->speciality rules\n"
+    (List.length street_rules)
+    (List.length entity_rules);
+
+  let mined =
+    Ilfd.Mine.exact (spec_rules @ street_rules @ entity_rules)
+  in
+  Printf.printf "running identification with the %d mined rules only:\n"
+    (List.length mined);
+  let o = E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key mined in
+  let m = W.Metrics.evaluate ~truth:inst.truth o.matching_table in
+  Format.printf "  %a@." W.Metrics.pp m;
+  Printf.printf
+    "  precision is %.3f: mined rules are true of the sample, and exact\n\
+    \  mining never invents a rule the sample contradicts. Recall %.3f is\n\
+    \  bounded by the sample's coverage of the value domain.\n"
+    m.precision m.recall;
+
+  (* Low-confidence candidates are heuristic-rule material. *)
+  let noisy =
+    Ilfd.Mine.mine ~min_support:3 ~min_confidence:0.2 inst.world
+      ~lhs:[ "cuisine" ] ~rhs:"county"
+  in
+  Printf.printf
+    "\nfor contrast, cuisine -> county candidates at confidence >= 0.2: %d\n"
+    (List.length noisy);
+  List.iter
+    (fun c -> Format.printf "  %a@." Ilfd.Mine.pp_candidate c)
+    (List.filteri (fun i _ -> i < 4) noisy);
+  print_endline
+    "(coincidences of the instance — Wang-Madnick-style heuristics, not\n\
+     ILFDs; the confidence threshold is what separates the two)."

@@ -1,0 +1,1 @@
+lib/baselines/heuristic.ml: Entity_id Float Hashtbl Ilfd List Relational String

@@ -1,0 +1,1 @@
+lib/baselines/heuristic.mli: Entity_id Ilfd Relational

@@ -1,0 +1,1 @@
+lib/baselines/key_equiv.ml: Entity_id List Relational String

@@ -1,0 +1,1 @@
+lib/baselines/key_equiv.mli: Entity_id Relational

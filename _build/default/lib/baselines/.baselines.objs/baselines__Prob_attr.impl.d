@@ -1,0 +1,1 @@
+lib/baselines/prob_attr.ml: Entity_id Float Hashtbl List Option Relational Strdist

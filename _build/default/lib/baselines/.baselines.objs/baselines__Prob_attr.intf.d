@@ -1,0 +1,1 @@
+lib/baselines/prob_attr.mli: Entity_id Relational

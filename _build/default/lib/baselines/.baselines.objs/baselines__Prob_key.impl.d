@@ -1,0 +1,1 @@
+lib/baselines/prob_key.ml: Entity_id Float Hashtbl Key_equiv List Relational Strdist

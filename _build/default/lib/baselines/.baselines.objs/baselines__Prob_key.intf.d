@@ -1,0 +1,1 @@
+lib/baselines/prob_key.mli: Entity_id Relational

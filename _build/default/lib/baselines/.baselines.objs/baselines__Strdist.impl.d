@@ -1,0 +1,1 @@
+lib/baselines/strdist.ml: Array Buffer Char Float Fun List String

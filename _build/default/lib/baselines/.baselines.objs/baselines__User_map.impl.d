@@ -1,0 +1,1 @@
+lib/baselines/user_map.ml: Entity_id Hashtbl List Map Printf Relational

@@ -1,0 +1,1 @@
+lib/baselines/user_map.mli: Entity_id Relational

@@ -1,0 +1,138 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+type rule = { ilfd : Ilfd.t; confidence : float }
+
+let rule ?(confidence = 0.9) ilfd = { ilfd; confidence }
+
+type scored_pair = {
+  entry : Entity_id.Matching_table.entry;
+  confidence : float;
+}
+
+type outcome = {
+  matched : Entity_id.Matching_table.t;
+  scores : scored_pair list;
+}
+
+(* Derivation with confidence: original values have confidence 1.0; a
+   derived value's confidence is the rule's, discounted by the product of
+   its antecedents' confidences. First applicable rule wins. *)
+let derive_values schema tuple rules =
+  let cache : (string, (V.t * float) option) Hashtbl.t = Hashtbl.create 8 in
+  let in_progress = Hashtbl.create 8 in
+  let rec lookup attr =
+    match Schema.index_of_opt schema attr with
+    | Some i when not (V.is_null (Tuple.nth tuple i)) ->
+        Some (Tuple.nth tuple i, 1.0)
+    | _ -> (
+        match Hashtbl.find_opt cache attr with
+        | Some cached -> cached
+        | None ->
+            if Hashtbl.mem in_progress attr then None
+            else begin
+              Hashtbl.add in_progress attr ();
+              let result = derive attr in
+              Hashtbl.remove in_progress attr;
+              Hashtbl.replace cache attr result;
+              result
+            end)
+  and antecedent_confidence r =
+    List.fold_left
+      (fun acc (c : Ilfd.condition) ->
+        match acc with
+        | None -> None
+        | Some conf -> (
+            match lookup c.attribute with
+            | Some (v, c_conf) when V.non_null_eq v c.value ->
+                Some (conf *. c_conf)
+            | Some _ | None -> None))
+      (Some 1.0)
+      (Ilfd.antecedent r.ilfd)
+  and derive attr =
+    List.find_map
+      (fun r ->
+        match
+          List.find_opt
+            (fun (c : Ilfd.condition) -> String.equal c.attribute attr)
+            (Ilfd.consequent r.ilfd)
+        with
+        | None -> None
+        | Some c -> (
+            match antecedent_confidence r with
+            | Some conf -> Some (c.value, conf *. r.confidence)
+            | None -> None))
+      rules
+  in
+  lookup
+
+let run ?(threshold = 0.7) ~r ~s ~key rules =
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let kext = Entity_id.Extended_key.attributes key in
+  let side schema rel =
+    List.map
+      (fun t ->
+        let lookup = derive_values schema t rules in
+        (t, List.map (fun a -> (a, lookup a)) kext))
+      (Relation.tuples rel)
+  in
+  let r_side = side sr r and s_side = side ss s in
+  let scored = ref [] in
+  List.iter
+    (fun (tr, r_vals) ->
+      List.iter
+        (fun (ts, s_vals) ->
+          let joint =
+            List.fold_left2
+              (fun acc (_, rv) (_, sv) ->
+                match acc, rv, sv with
+                | Some conf, Some (v1, c1), Some (v2, c2)
+                  when V.non_null_eq v1 v2 ->
+                    Some (conf *. c1 *. c2)
+                | _ -> None)
+              (Some 1.0) r_vals s_vals
+          in
+          match joint with
+          | Some confidence ->
+              scored :=
+                {
+                  entry =
+                    {
+                      Entity_id.Matching_table.r_key =
+                        Tuple.project sr tr r_key;
+                      s_key = Tuple.project ss ts s_key;
+                    };
+                  confidence;
+                }
+                :: !scored
+          | None -> ())
+        s_side)
+    r_side;
+  let ranked =
+    List.sort (fun a b -> Float.compare b.confidence a.confidence) !scored
+  in
+  let used_r = Hashtbl.create 16 and used_s = Hashtbl.create 16 in
+  let entries =
+    List.filter_map
+      (fun sp ->
+        if sp.confidence < threshold then None
+        else
+          let rk = Tuple.values sp.entry.Entity_id.Matching_table.r_key in
+          let sk = Tuple.values sp.entry.s_key in
+          if Hashtbl.mem used_r rk || Hashtbl.mem used_s sk then None
+          else begin
+            Hashtbl.add used_r rk ();
+            Hashtbl.add used_s sk ();
+            Some sp.entry
+          end)
+      ranked
+  in
+  {
+    matched =
+      Entity_id.Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
+        entries;
+    scores = ranked;
+  }

@@ -1,0 +1,34 @@
+(** Baseline 5 — heuristic rules (Wang & Madnick, Section 2.2): a
+    knowledge-based matcher whose inference rules carry {e confidence}
+    rather than certainty. Structurally identical to ILFD derivation, but
+    derived values only hold with some probability, so "the matching
+    result produced may not be correct" — soundness is traded for
+    coverage. Confidence composes by product along a derivation chain. *)
+
+type rule = { ilfd : Ilfd.t; confidence : float }
+
+val rule : ?confidence:float -> Ilfd.t -> rule
+(** Default confidence 0.9. *)
+
+type scored_pair = {
+  entry : Entity_id.Matching_table.entry;
+  confidence : float;  (** joint confidence of both sides' derivations *)
+}
+
+type outcome = {
+  matched : Entity_id.Matching_table.t;
+  scores : scored_pair list;
+}
+
+(** [run ?threshold ~r ~s ~key rules] — extend both sides with the
+    heuristic rules (first applicable rule wins, its confidence
+    discounted by its antecedents'), match on the extended key, keep
+    pairs whose joint confidence ≥ [threshold] (default 0.7), greedy
+    one-to-one. *)
+val run :
+  ?threshold:float ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Entity_id.Extended_key.t ->
+  rule list ->
+  outcome

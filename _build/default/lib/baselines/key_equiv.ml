@@ -1,0 +1,35 @@
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+
+let same_set a b =
+  List.sort String.compare a = List.sort String.compare b
+
+let common_candidate_key r s =
+  List.find_opt
+    (fun k -> List.exists (same_set k) (Relation.keys s))
+    (Relation.keys r)
+
+let run_on_attributes ~attrs r s =
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let entries = ref [] in
+  Relation.iter
+    (fun tr ->
+      Relation.iter
+        (fun ts ->
+          if Tuple.agree sr tr ss ts attrs then
+            entries :=
+              {
+                Entity_id.Matching_table.r_key = Tuple.project sr tr r_key;
+                s_key = Tuple.project ss ts s_key;
+              }
+              :: !entries)
+        s)
+    r;
+  Entity_id.Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
+    (List.rev !entries)
+
+let run r s =
+  match common_candidate_key r s with
+  | None -> Error "no common candidate key between the two relations"
+  | Some key -> Ok (run_on_attributes ~attrs:key r s)

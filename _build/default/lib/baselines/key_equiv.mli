@@ -1,0 +1,25 @@
+(** Baseline 1 — entity identification by key equivalence (Section 2.2):
+    match tuples whose values agree on a {e common candidate key}
+    (Multibase-style). Applicable only when such a key exists; the
+    motivating Example 1 is exactly a case where it is not. *)
+
+(** [common_candidate_key r s] — the first candidate key of [r] that is
+    also (as a set) a candidate key of [s]. *)
+val common_candidate_key :
+  Relational.Relation.t -> Relational.Relation.t -> string list option
+
+(** [run r s] — [Error] when no common candidate key exists; otherwise
+    the matching table of key-equal pairs. *)
+val run :
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  (Entity_id.Matching_table.t, string) result
+
+(** [run_on_attributes ~attrs r s] — the same matcher forced onto an
+    arbitrary common attribute set (the {e unsound} variant the paper
+    warns about when [attrs] is not a key of the integrated world). *)
+val run_on_attributes :
+  attrs:string list ->
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  Entity_id.Matching_table.t

@@ -1,0 +1,109 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+type config = {
+  upper : float;
+  lower : float;
+  weights : (string * float) list;
+  one_to_one : bool;
+}
+
+let default_config =
+  { upper = 0.9; lower = 0.3; weights = []; one_to_one = true }
+
+type outcome = {
+  matched : Entity_id.Matching_table.t;
+  not_matched : Entity_id.Matching_table.t;
+  undetermined_count : int;
+  comparison_values : (Entity_id.Matching_table.entry * float) list;
+}
+
+let value_similarity a b =
+  match a, b with
+  | V.String x, V.String y -> Strdist.subfield_similarity x y
+  | _ -> if V.eq3 a b = V.True then 1.0 else 0.0
+
+let run ?(config = default_config) r s =
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let common = Schema.common sr ss in
+  let weight a =
+    Option.value (List.assoc_opt a config.weights) ~default:1.0
+  in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let entry_of tr ts =
+    {
+      Entity_id.Matching_table.r_key = Tuple.project sr tr r_key;
+      s_key = Tuple.project ss ts s_key;
+    }
+  in
+  let comparison tr ts =
+    (* NULL cells contribute nothing; renormalise over observed mass. *)
+    let num, den =
+      List.fold_left
+        (fun (num, den) a ->
+          let va = Tuple.get sr tr a and vb = Tuple.get ss ts a in
+          if V.is_null va || V.is_null vb then (num, den)
+          else
+            let w = weight a in
+            (num +. (w *. value_similarity va vb), den +. w))
+        (0.0, 0.0) common
+    in
+    if den = 0.0 then None else Some (num /. den)
+  in
+  let scored = ref [] in
+  Relation.iter
+    (fun tr ->
+      Relation.iter
+        (fun ts ->
+          match comparison tr ts with
+          | Some cv -> scored := (entry_of tr ts, cv) :: !scored
+          | None -> ())
+        s)
+    r;
+  let total_pairs = Relation.cardinality r * Relation.cardinality s in
+  let ranked =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) !scored
+  in
+  let used_r = Hashtbl.create 16 and used_s = Hashtbl.create 16 in
+  let take (entry : Entity_id.Matching_table.entry) =
+    let rk = Tuple.values entry.r_key and sk = Tuple.values entry.s_key in
+    if
+      config.one_to_one
+      && (Hashtbl.mem used_r rk || Hashtbl.mem used_s sk)
+    then false
+    else begin
+      Hashtbl.add used_r rk ();
+      Hashtbl.add used_s sk ();
+      true
+    end
+  in
+  let matched =
+    List.filter_map
+      (fun (entry, cv) ->
+        if cv >= config.upper && take entry then Some entry else None)
+      ranked
+  in
+  let not_matched =
+    List.filter_map
+      (fun (entry, cv) -> if cv <= config.lower then Some entry else None)
+      ranked
+  in
+  let mt =
+    Entity_id.Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
+      matched
+  in
+  let nmt =
+    Entity_id.Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
+      not_matched
+  in
+  {
+    matched = mt;
+    not_matched = nmt;
+    undetermined_count =
+      total_pairs
+      - Entity_id.Matching_table.cardinality mt
+      - Entity_id.Matching_table.cardinality nmt;
+    comparison_values = ranked;
+  }

@@ -1,0 +1,33 @@
+(** Baseline 4 — probabilistic attribute equivalence (Chatterjee & Segev,
+    Section 2.2): assign every record pair a {e comparison value} over
+    all common attributes and threshold it. Figure 2 of the paper is the
+    canonical counterexample: identical attribute values do not imply the
+    same entity when the databases model different domain subsets. *)
+
+type config = {
+  upper : float;  (** comparison value ≥ upper ⇒ declare matching *)
+  lower : float;  (** comparison value ≤ lower ⇒ declare not matching *)
+  weights : (string * float) list;
+      (** per-attribute weights; attributes absent from the list weigh 1 *)
+  one_to_one : bool;  (** greedy uniqueness enforcement *)
+}
+
+val default_config : config
+(** upper 0.9, lower 0.3, unit weights, one-to-one on. *)
+
+type outcome = {
+  matched : Entity_id.Matching_table.t;
+  not_matched : Entity_id.Matching_table.t;
+  undetermined_count : int;
+  comparison_values : (Entity_id.Matching_table.entry * float) list;
+}
+
+(** [run ?config r s] — comparison over the common attributes of the two
+    schemas; strings by subfield similarity, other types by equality;
+    NULLs are skipped and the weight mass renormalised. With no common
+    attribute every pair is undetermined. *)
+val run :
+  ?config:config ->
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  outcome

@@ -1,0 +1,82 @@
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+type scored_pair = {
+  entry : Entity_id.Matching_table.entry;
+  score : float;
+}
+
+type outcome = {
+  matched : Entity_id.Matching_table.t;
+  scores : scored_pair list;
+}
+
+let value_similarity a b =
+  match a, b with
+  | V.Null, _ | _, V.Null -> 0.0
+  | V.String x, V.String y -> Strdist.subfield_similarity x y
+  | _ -> if V.eq3 a b = V.True then 1.0 else 0.0
+
+let run ?(threshold = 0.85) ?(floor = 0.5) r s =
+  match Key_equiv.common_candidate_key r s with
+  | None -> Error "no common candidate key between the two relations"
+  | Some key ->
+      let sr = Relation.schema r and ss = Relation.schema s in
+      let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+      let scored = ref [] in
+      Relation.iter
+        (fun tr ->
+          Relation.iter
+            (fun ts ->
+              let sims =
+                List.map
+                  (fun a ->
+                    value_similarity (Tuple.get sr tr a) (Tuple.get ss ts a))
+                  key
+              in
+              let score =
+                List.fold_left ( +. ) 0.0 sims
+                /. float_of_int (List.length key)
+              in
+              if score >= floor then
+                scored :=
+                  {
+                    entry =
+                      {
+                        Entity_id.Matching_table.r_key =
+                          Tuple.project sr tr r_key;
+                        s_key = Tuple.project ss ts s_key;
+                      };
+                    score;
+                  }
+                  :: !scored)
+            s)
+        r;
+      let ranked =
+        List.sort (fun a b -> Float.compare b.score a.score) !scored
+      in
+      (* Greedy one-to-one assignment, best score first. *)
+      let used_r = Hashtbl.create 16 and used_s = Hashtbl.create 16 in
+      let entries =
+        List.filter_map
+          (fun sp ->
+            if sp.score < threshold then None
+            else
+              let rk = Tuple.values sp.entry.Entity_id.Matching_table.r_key in
+              let sk = Tuple.values sp.entry.s_key in
+              if Hashtbl.mem used_r rk || Hashtbl.mem used_s sk then None
+              else begin
+                Hashtbl.add used_r rk ();
+                Hashtbl.add used_s sk ();
+                Some sp.entry
+              end)
+          ranked
+      in
+      Ok
+        {
+          matched =
+            Entity_id.Matching_table.make ~r_key_attrs:r_key
+              ~s_key_attrs:s_key entries;
+          scores = ranked;
+        }

@@ -1,0 +1,28 @@
+(** Baseline 3 — probabilistic key equivalence (Pu, Section 2.2): relax
+    exact common-key equality to approximate matching of the key's
+    subfields. High confidence when most subfields agree, but — as the
+    paper notes — "the probabilistic nature of matching may also admit
+    erroneous matching", which the benches quantify. *)
+
+type scored_pair = {
+  entry : Entity_id.Matching_table.entry;
+  score : float;  (** mean per-attribute subfield similarity, in [0,1] *)
+}
+
+type outcome = {
+  matched : Entity_id.Matching_table.t;
+  scores : scored_pair list;  (** all pairs scoring above [floor] *)
+}
+
+(** [run ?threshold ?floor r s] — requires a common candidate key
+    ([Error] otherwise). String key attributes compare by
+    {!Strdist.subfield_similarity}; other types by exact equality.
+    Pairs scoring ≥ [threshold] (default 0.85) match; [floor] (default
+    0.5) trims the reported score list. One-to-one is enforced greedily,
+    best score first. *)
+val run :
+  ?threshold:float ->
+  ?floor:float ->
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  (outcome, string) result

@@ -1,0 +1,147 @@
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <-
+          min
+            (min (curr.(j - 1) + 1) (prev.(j) + 1))
+            (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let levenshtein_similarity a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else 1.0 -. float_of_int (levenshtein a b) /. float_of_int (max la lb)
+
+let jaro a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else if la = 0 || lb = 0 then 0.0
+  else begin
+    let window = max 0 ((max la lb / 2) - 1) in
+    let a_matched = Array.make la false and b_matched = Array.make lb false in
+    let matches = ref 0 in
+    for i = 0 to la - 1 do
+      let lo = max 0 (i - window) and hi = min (lb - 1) (i + window) in
+      let rec scan j =
+        if j > hi then ()
+        else if (not b_matched.(j)) && a.[i] = b.[j] then begin
+          a_matched.(i) <- true;
+          b_matched.(j) <- true;
+          incr matches
+        end
+        else scan (j + 1)
+      in
+      scan lo
+    done;
+    if !matches = 0 then 0.0
+    else begin
+      (* Count transpositions among matched characters. *)
+      let transpositions = ref 0 in
+      let j = ref 0 in
+      for i = 0 to la - 1 do
+        if a_matched.(i) then begin
+          while not b_matched.(!j) do
+            incr j
+          done;
+          if a.[i] <> b.[!j] then incr transpositions;
+          incr j
+        end
+      done;
+      let m = float_of_int !matches in
+      let t = float_of_int (!transpositions / 2) in
+      ((m /. float_of_int la) +. (m /. float_of_int lb) +. ((m -. t) /. m))
+      /. 3.0
+    end
+  end
+
+let jaro_winkler ?(prefix_scale = 0.1) a b =
+  let j = jaro a b in
+  let max_prefix = min 4 (min (String.length a) (String.length b)) in
+  let rec prefix_len i =
+    if i >= max_prefix || a.[i] <> b.[i] then i else prefix_len (i + 1)
+  in
+  let l = float_of_int (prefix_len 0) in
+  j +. (l *. prefix_scale *. (1.0 -. j))
+
+let subfields s =
+  let buf = Buffer.create 8 in
+  let fields = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char buf c
+      | 'A' .. 'Z' -> Buffer.add_char buf (Char.lowercase_ascii c)
+      | _ -> flush ())
+    s;
+  flush ();
+  List.rev !fields
+
+let subfield_overlap a b =
+  let fa = subfields a and fb = subfields b in
+  match fa, fb with
+  | [], [] -> 1.0
+  | [], _ | _, [] -> 0.0
+  | _ ->
+      let shorter, longer =
+        if List.length fa <= List.length fb then (fa, fb) else (fb, fa)
+      in
+      let hits =
+        List.length (List.filter (fun f -> List.mem f longer) shorter)
+      in
+      float_of_int hits /. float_of_int (List.length shorter)
+
+let subfield_similarity a b =
+  let fa = subfields a and fb = subfields b in
+  match fa, fb with
+  | [], [] -> 1.0
+  | [], _ | _, [] -> 0.0
+  | _ ->
+      (* Tokenisation differences ("Village Wok" vs "VillageWok") must
+         not dominate: also score the concatenated, punctuation-free
+         forms and keep the better of the two views. *)
+      let joined = jaro_winkler (String.concat "" fa) (String.concat "" fb) in
+      (* Greedy best alignment: each field of the shorter list picks its
+         best remaining partner. *)
+      let shorter, longer =
+        if List.length fa <= List.length fb then (fa, fb) else (fb, fa)
+      in
+      let remaining = ref longer in
+      let total =
+        List.fold_left
+          (fun acc f ->
+            match !remaining with
+            | [] -> acc
+            | _ ->
+                let best =
+                  List.fold_left
+                    (fun (bs, bg) g ->
+                      let s = jaro_winkler f g in
+                      if s > bs then (s, Some g) else (bs, bg))
+                    (-1.0, None) !remaining
+                in
+                (match best with
+                | score, Some g ->
+                    remaining := List.filter (fun x -> x <> g) !remaining;
+                    acc +. score
+                | _, None -> acc))
+          0.0 shorter
+      in
+      Float.max joined (total /. float_of_int (List.length longer))

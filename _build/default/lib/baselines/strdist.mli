@@ -1,0 +1,32 @@
+(** String similarity measures used by the probabilistic baselines
+    (Section 2.2, approaches 3 and 4). Built from scratch — no external
+    dependency. *)
+
+(** [levenshtein a b] — edit distance (insert/delete/substitute, unit
+    costs). *)
+val levenshtein : string -> string -> int
+
+(** [levenshtein_similarity a b] — [1 − dist/max_len] in [0,1]; two empty
+    strings are similar with 1. *)
+val levenshtein_similarity : string -> string -> float
+
+(** [jaro a b] — Jaro similarity in [0,1]. *)
+val jaro : string -> string -> float
+
+(** [jaro_winkler ?prefix_scale a b] — Jaro boosted by common prefix
+    (≤ 4 chars); [prefix_scale] defaults to 0.1. *)
+val jaro_winkler : ?prefix_scale:float -> string -> string -> float
+
+(** [subfields s] — lowercase alphanumeric tokens of [s] (Pu's name
+    subfields: "V. Wok" → ["v"; "wok"]). *)
+val subfields : string -> string list
+
+(** [subfield_overlap a b] — fraction of subfields of the shorter list
+    with an exact match in the other, in [0,1]. *)
+val subfield_overlap : string -> string -> float
+
+(** [subfield_similarity a b] — the better of (a) a greedy best-pair
+    alignment of subfields scored by {!jaro_winkler}, averaged over the
+    larger field count, and (b) {!jaro_winkler} of the concatenated
+    punctuation-free forms (so "Village Wok" ≈ "VillageWok"). *)
+val subfield_similarity : string -> string -> float

@@ -1,0 +1,72 @@
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+module Vmap = Map.Make (struct
+  type t = V.t list
+
+  let compare = List.compare V.compare
+end)
+
+type t = { r_to_global : string Vmap.t; s_to_global : string Vmap.t }
+
+let empty = { r_to_global = Vmap.empty; s_to_global = Vmap.empty }
+
+let assign side ~global key_values =
+  if Vmap.mem key_values side then
+    invalid_arg "User_map.assign: local key already assigned"
+  else Vmap.add key_values global side
+
+let assign_r t ~global key_values =
+  { t with r_to_global = assign t.r_to_global ~global key_values }
+
+let assign_s t ~global key_values =
+  { t with s_to_global = assign t.s_to_global ~global key_values }
+
+let size t = Vmap.cardinal t.r_to_global + Vmap.cardinal t.s_to_global
+
+let run t r s =
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  (* Index S tuples by their global id. *)
+  let by_global = Hashtbl.create 64 in
+  Relation.iter
+    (fun ts ->
+      let k = Tuple.values (Tuple.project ss ts s_key) in
+      match Vmap.find_opt k t.s_to_global with
+      | Some g -> Hashtbl.replace by_global g (Tuple.project ss ts s_key)
+      | None -> ())
+    s;
+  let entries = ref [] in
+  Relation.iter
+    (fun tr ->
+      let k = Tuple.values (Tuple.project sr tr r_key) in
+      match Vmap.find_opt k t.r_to_global with
+      | Some g -> (
+          match Hashtbl.find_opt by_global g with
+          | Some s_key_tuple ->
+              entries :=
+                {
+                  Entity_id.Matching_table.r_key = Tuple.project sr tr r_key;
+                  s_key = s_key_tuple;
+                }
+                :: !entries
+          | None -> ())
+      | None -> ())
+    r;
+  Entity_id.Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
+    (List.rev !entries)
+
+let of_truth entries =
+  List.fold_left
+    (fun (t, i) (e : Entity_id.Matching_table.entry) ->
+      let global = Printf.sprintf "g%d" i in
+      ( {
+          r_to_global =
+            Vmap.add (Tuple.values e.r_key) global t.r_to_global;
+          s_to_global =
+            Vmap.add (Tuple.values e.s_key) global t.s_to_global;
+        },
+        i + 1 ))
+    (empty, 0) entries
+  |> fst

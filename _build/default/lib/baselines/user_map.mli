@@ -1,0 +1,31 @@
+(** Baseline 2 — user-specified equivalence (Section 2.2): a table
+    mapping local object identifiers to global identifiers, maintained by
+    hand (the Pegasus approach). General — it handles synonyms and
+    homonyms — but the mapping table grows with the data. *)
+
+type t
+
+val empty : t
+
+(** [assign t ~global key_values] — declare that the local tuple whose
+    key has the given values denotes global entity [global]. The same
+    local key may be assigned only once. *)
+val assign_r : t -> global:string -> Relational.Value.t list -> t
+
+val assign_s : t -> global:string -> Relational.Value.t list -> t
+
+val size : t -> int
+(** Number of local-to-global assignments (the maintenance burden). *)
+
+(** [run t r s] — pairs of tuples assigned the same global id. Tuples
+    without an assignment stay undetermined. *)
+val run :
+  t ->
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  Entity_id.Matching_table.t
+
+(** [of_truth entries] — build the full mapping from a ground-truth pair
+    list (what a perfectly diligent user would have entered; used by the
+    benches to cost out this baseline). *)
+val of_truth : Entity_id.Matching_table.entry list -> t

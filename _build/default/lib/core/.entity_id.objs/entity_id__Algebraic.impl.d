@@ -1,0 +1,1 @@
+lib/core/algebraic.ml: Array Extended_key Identify Ilfd List Matching_table Relational

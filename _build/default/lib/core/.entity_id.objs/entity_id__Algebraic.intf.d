@@ -1,0 +1,1 @@
+lib/core/algebraic.mli: Extended_key Identify Ilfd Matching_table Relational

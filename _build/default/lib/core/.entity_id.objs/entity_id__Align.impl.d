@@ -1,0 +1,1 @@
+lib/core/align.ml: Array Fun List Printf Relational String

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Extended_key Format Identify Ilfd List Map Option Relational String

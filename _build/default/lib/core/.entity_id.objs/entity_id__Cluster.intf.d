@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Extended_key Format Ilfd Relational

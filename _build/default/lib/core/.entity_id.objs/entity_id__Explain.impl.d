@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Extended_key Format Identify Ilfd List Matching_table Printf Relational String

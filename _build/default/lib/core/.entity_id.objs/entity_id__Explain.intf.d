@@ -1,0 +1,1 @@
+lib/core/explain.mli: Extended_key Format Ilfd Matching_table Proplogic Relational

@@ -1,0 +1,1 @@
+lib/core/extended_key.ml: Format Ilfd List Printf Relational Rules String

@@ -1,0 +1,1 @@
+lib/core/extended_key.mli: Format Ilfd Relational Rules

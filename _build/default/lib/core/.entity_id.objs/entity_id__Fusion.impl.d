@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Identify Integrate List Option Relational

@@ -1,0 +1,1 @@
+lib/core/identify.ml: Decision Extended_key Hashtbl Ilfd List Matching_table Relational

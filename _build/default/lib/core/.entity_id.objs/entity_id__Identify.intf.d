@@ -1,0 +1,1 @@
+lib/core/identify.mli: Extended_key Ilfd Matching_table Relational Rules

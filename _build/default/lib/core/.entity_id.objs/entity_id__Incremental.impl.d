@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Extended_key Identify Ilfd List Matching_table Relational

@@ -1,0 +1,1 @@
+lib/core/integrate.ml: Extended_key Identify List Relational String

@@ -1,0 +1,1 @@
+lib/core/integrate.mli: Extended_key Identify Relational

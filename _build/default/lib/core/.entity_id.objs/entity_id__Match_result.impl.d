@@ -1,0 +1,1 @@
+lib/core/match_result.ml: Format Relational

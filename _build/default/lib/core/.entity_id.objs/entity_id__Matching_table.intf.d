@@ -1,0 +1,1 @@
+lib/core/matching_table.mli: Format Relational

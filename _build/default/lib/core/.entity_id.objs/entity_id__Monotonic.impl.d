@@ -1,0 +1,1 @@
+lib/core/monotonic.ml: Extended_key Format Identify Ilfd List Matching_table Negative Relational Rules

@@ -1,0 +1,1 @@
+lib/core/monotonic.mli: Extended_key Format Ilfd Matching_table Relational Rules

@@ -1,0 +1,1 @@
+lib/core/negative.ml: Ilfd List Matching_table Relational Rules

@@ -1,0 +1,1 @@
+lib/core/negative.mli: Ilfd Matching_table Relational Rules

@@ -1,0 +1,94 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+type transform =
+  | Rename of { from_attr : string; to_attr : string }
+  | Map of {
+      from_attr : string;
+      to_attr : string;
+      f : V.t -> V.t;
+    }
+  | Combine of {
+      from_attrs : string list;
+      to_attr : string;
+      f : V.t list -> V.t;
+    }
+  | Drop of string
+
+type t = transform list
+
+let apply_one transform r =
+  let schema = Relation.schema r in
+  match transform with
+  | Rename { from_attr; to_attr } ->
+      Relational.Algebra.rename [ (from_attr, to_attr) ] r
+  | Map { from_attr; to_attr; f } ->
+      let out_schema = Schema.rename schema [ (from_attr, to_attr) ] in
+      let idx = Schema.index_of schema from_attr in
+      let keys =
+        List.map
+          (List.map (fun a -> if a = from_attr then to_attr else a))
+          (Relation.declared_keys r)
+      in
+      Relation.of_tuples out_schema ~keys
+        (List.map
+           (fun t ->
+             let cells = Tuple.to_array t in
+             if not (V.is_null cells.(idx)) then cells.(idx) <- f cells.(idx);
+             Tuple.of_array out_schema cells)
+           (Relation.tuples r))
+  | Combine { from_attrs; to_attr; f } ->
+      let keep =
+        List.filter
+          (fun a -> not (List.mem a from_attrs))
+          (Schema.names schema)
+      in
+      let out_schema = Schema.concat (Schema.project schema keep)
+          (Schema.of_names [ to_attr ]) in
+      (* Keys mentioning a combined attribute no longer exist. *)
+      let keys =
+        List.filter
+          (List.for_all (fun a -> List.mem a keep))
+          (Relation.declared_keys r)
+      in
+      Relation.of_tuples out_schema ~keys
+        (List.map
+           (fun t ->
+             let kept = Tuple.project schema t keep in
+             let combined =
+               f (List.map (fun a -> Tuple.get schema t a) from_attrs)
+             in
+             Tuple.of_array out_schema
+               (Array.append (Tuple.to_array kept) [| combined |]))
+           (Relation.tuples r))
+  | Drop attr ->
+      let keep = List.filter (fun a -> a <> attr) (Schema.names schema) in
+      let keys =
+        List.filter
+          (List.for_all (fun a -> List.mem a keep))
+          (Relation.declared_keys r)
+      in
+      Relation.of_tuples (Schema.project schema keep) ~keys
+        (List.map (fun t -> Tuple.project schema t keep) (Relation.tuples r))
+
+let apply alignment r = List.fold_left (Fun.flip apply_one) r alignment
+
+let scale_float k v =
+  match v with
+  | V.Int i -> V.Float (float_of_int i *. k)
+  | V.Float f -> V.Float (f *. k)
+  | V.Null -> V.Null
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Align.scale_float: non-numeric value %s"
+           (V.to_string v))
+
+let concat_strings sep values =
+  let parts =
+    List.filter_map
+      (fun v -> if V.is_null v then None else Some (V.to_string v))
+      values
+  in
+  match parts with [] -> V.Null | _ -> V.String (String.concat sep parts)

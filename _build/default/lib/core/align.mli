@@ -1,0 +1,49 @@
+(** Schema alignment — the schema-level preprocessing the paper assumes
+    has happened before entity identification (Section 2: domain
+    mismatch, synonym resolution via attribute equivalences determined at
+    schema-integration time).
+
+    An alignment maps one relation's attributes onto the integrated
+    vocabulary: renamings for synonyms ([lastname ↦ surname]) and value
+    transforms for structural/semantic domain mismatch (currency in yen ↦
+    dollars, split name ↦ concatenated name). Applying an alignment
+    yields a relation the instance-level machinery can use directly. *)
+
+type transform =
+  | Rename of { from_attr : string; to_attr : string }
+      (** Synonym: same domain, different name. *)
+  | Map of {
+      from_attr : string;
+      to_attr : string;
+      f : Relational.Value.t -> Relational.Value.t;
+    }
+      (** Semantic domain mismatch: unit/scale conversion. NULL maps to
+          NULL without calling [f]. *)
+  | Combine of {
+      from_attrs : string list;
+      to_attr : string;
+      f : Relational.Value.t list -> Relational.Value.t;
+    }
+      (** Structural mismatch: several source attributes form one
+          integrated attribute (e.g. last/first/middle ↦ name). The
+          source attributes are dropped. *)
+  | Drop of string  (** Attribute with no integrated counterpart. *)
+
+type t = transform list
+
+(** [apply alignment r] — transforms are applied left to right; declared
+    candidate keys are re-declared under renamed attributes and dropped
+    if any key attribute was consumed by [Combine]/[Drop].
+    @raise Relational.Schema.Unknown_attribute on a missing source.
+    @raise Relational.Schema.Duplicate_attribute on a target clash. *)
+val apply : t -> Relational.Relation.t -> Relational.Relation.t
+
+(** Common value transforms. *)
+
+val scale_float : float -> Relational.Value.t -> Relational.Value.t
+(** [scale_float k] multiplies numeric values by [k] (yen→dollars);
+    non-numeric values raise [Invalid_argument]. *)
+
+val concat_strings : string -> Relational.Value.t list -> Relational.Value.t
+(** [concat_strings sep] joins string renderings, skipping NULLs; all
+    NULL yields NULL. *)

@@ -1,0 +1,55 @@
+(** Entity identification across {e more than two} databases.
+
+    The paper's machinery is pairwise (R vs S), but its opening problem —
+    "taking two (or more) independently developed databases" — is k-ary.
+    Because extended-key matching declares two tuples equivalent exactly
+    when their complete non-NULL K_Ext vectors are equal, the relation
+    "models the same entity" is transitive across any number of
+    databases: tuples cluster by K_Ext vector. Tuples whose extended key
+    cannot be completed (underivable attributes) remain unclustered —
+    undetermined, in Figure 3 terms.
+
+    The generalised uniqueness constraint: a cluster may contain at most
+    one tuple per database (each real-world entity is modelled by at most
+    one tuple per relation). Violations are reported, mirroring the
+    prototype's unsound-extended-key warning. *)
+
+type member = { db : string; tuple : Relational.Tuple.t }
+(** [tuple] is the {e extended} tuple. *)
+
+type cluster = {
+  key_values : Relational.Value.t list;  (** the shared K_Ext vector *)
+  members : member list;  (** ≥ 2 members, in database order *)
+}
+
+type result = {
+  clusters : cluster list;
+  singletons : member list;
+      (** complete K_Ext but no partner in any other database *)
+  undetermined : member list;  (** incomplete (NULL) extended key *)
+  violations : cluster list;
+      (** clusters with two tuples from one database *)
+  extended : (string * Relational.Relation.t) list;
+}
+
+(** [integrate ~key ilfds dbs] — [dbs] are (name, relation) pairs with
+    distinct names.
+    @raise Invalid_argument on duplicate database names. *)
+val integrate :
+  key:Extended_key.t ->
+  Ilfd.t list ->
+  (string * Relational.Relation.t) list ->
+  result
+
+(** [pairwise_consistent ~key ilfds dbs result] — the clustering agrees
+    with running {!Identify.run} on every database pair: two tuples share
+    a cluster iff the pairwise pipeline matches them. (Exposed for the
+    test suite; true by construction.) *)
+val pairwise_consistent :
+  key:Extended_key.t ->
+  Ilfd.t list ->
+  (string * Relational.Relation.t) list ->
+  result ->
+  bool
+
+val pp_cluster : Format.formatter -> cluster -> unit

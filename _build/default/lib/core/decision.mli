@@ -1,0 +1,42 @@
+(** The entity-identification function: a three-valued decision for a
+    tuple pair given identity and distinctness rules (Section 3.2).
+
+    "true" only if some identity rule applies; "false" only if some
+    distinctness rule applies; "unknown" otherwise. If both apply, the
+    rule base is inconsistent with the consistency constraint — reported
+    rather than silently resolved. *)
+
+type verdict = {
+  result : Match_result.t;
+  identity : Rules.Identity.t option;  (** the rule that fired, if any *)
+  distinctness : Rules.Distinctness.t option;
+}
+
+exception Inconsistent of {
+  identity : Rules.Identity.t;
+  distinctness : Rules.Distinctness.t;
+}
+
+(** [decide ~identity ~distinctness s1 t1 s2 t2].
+    @raise Inconsistent when both an identity and a distinctness rule
+    apply to the same pair. *)
+val decide :
+  identity:Rules.Identity.t list ->
+  distinctness:Rules.Distinctness.t list ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  verdict
+
+(** [partition ~identity ~distinctness r s] — every (r,s) pair classified:
+    [(matching, not_matching, undetermined)] with the witnessing tuples.
+    This is the Figure 3 partition, materialised. *)
+val partition :
+  identity:Rules.Identity.t list ->
+  distinctness:Rules.Distinctness.t list ->
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  (Relational.Tuple.t * Relational.Tuple.t) list
+  * (Relational.Tuple.t * Relational.Tuple.t) list
+  * (Relational.Tuple.t * Relational.Tuple.t) list

@@ -1,0 +1,95 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+type explanation = {
+  entry : Matching_table.entry;
+  key_values : (string * V.t) list;
+  r_derivations : Ilfd.Apply.derivation list;
+  s_derivations : Ilfd.Apply.derivation list;
+}
+
+let find_by_key rel key_attrs key_tuple =
+  Relation.find_opt
+    (fun t ->
+      Tuple.equal (Tuple.project (Relation.schema rel) t key_attrs) key_tuple)
+    rel
+
+let derivations_of rel key ilfds tuple =
+  let schema = Relation.schema rel in
+  let target = Identify.extension_schema rel key in
+  match Ilfd.Apply.extend_tuple schema tuple ~target ilfds with
+  | Ok (extended, derivations) -> (extended, derivations)
+  | Error _ -> assert false (* First_rule mode reports no conflicts *)
+
+let matches ~r ~s ~key ilfds =
+  let outcome = Identify.run ~r ~s ~key ilfds in
+  let kext = Extended_key.attributes key in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  List.filter_map
+    (fun (entry : Matching_table.entry) ->
+      match
+        ( find_by_key r r_key entry.r_key,
+          find_by_key s s_key entry.s_key )
+      with
+      | Some tr, Some ts ->
+          let r_ext, r_derivations = derivations_of r key ilfds tr in
+          let _, s_derivations = derivations_of s key ilfds ts in
+          let target = Identify.extension_schema r key in
+          let key_values =
+            List.map (fun a -> (a, Tuple.get target r_ext a)) kext
+          in
+          Some { entry; key_values; r_derivations; s_derivations }
+      | _ -> None)
+    (Matching_table.entries outcome.matching_table)
+
+let prove_derivation ilfds schema tuple (d : Ilfd.Apply.derivation) =
+  (* The tuple's original non-NULL values form the antecedent; the
+     derived condition must follow from the ILFDs. *)
+  let given =
+    List.filter_map
+      (fun a ->
+        let v = Tuple.get schema tuple a in
+        if V.is_null v then None else Some (Ilfd.condition a v))
+      (Schema.names schema)
+  in
+  match Ilfd.make given [ Ilfd.condition d.attribute d.value ] with
+  | goal -> Ilfd.Theory.prove ilfds goal
+  | exception Ilfd.Ill_formed _ -> None
+
+let pp_derivation ppf (d : Ilfd.Apply.derivation) =
+  Format.fprintf ppf "%s := %s   by %a" d.attribute (V.to_string d.value)
+    Ilfd.pp d.rule
+
+let pp_explanation ppf e =
+  Format.fprintf ppf "@[<v2>match %a ~ %a@,agreed key: %s@,%a%a@]" Tuple.pp
+    e.entry.Matching_table.r_key Tuple.pp e.entry.s_key
+    (String.concat ", "
+       (List.map
+          (fun (a, v) -> Printf.sprintf "%s=%s" a (V.to_string v))
+          e.key_values))
+    (fun ppf ds ->
+      match ds with
+      | [] -> Format.fprintf ppf "R side: all key values stored directly@,"
+      | _ ->
+          Format.fprintf ppf "R side derivations:@,";
+          List.iter (fun d -> Format.fprintf ppf "  %a@," pp_derivation d) ds)
+    e.r_derivations
+    (fun ppf ds ->
+      match ds with
+      | [] -> Format.fprintf ppf "S side: all key values stored directly"
+      | _ ->
+          Format.fprintf ppf "S side derivations:@,";
+          List.iter (fun d -> Format.fprintf ppf "  %a@," pp_derivation d) ds)
+    e.s_derivations
+
+let render explanations =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iteri
+    (fun i e ->
+      Format.fprintf ppf "[%d] %a@.@." (i + 1) pp_explanation e)
+    explanations;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

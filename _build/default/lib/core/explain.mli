@@ -1,0 +1,44 @@
+(** Explanations: the audit trail behind each declared match.
+
+    Soundness is the paper's non-negotiable property, and a DBA asked to
+    act on a matching table (the dismissal scenario of Section 4) will
+    want to see {e why} each pair was declared. An explanation lists, for
+    each side, the chain of ILFD derivations that filled in missing
+    extended-key attributes (including scratch intermediates like the
+    county in the I7→I8 chain), the final agreed key values, and — on
+    request — an Armstrong-axiom proof that each derived condition
+    follows from the rule base. *)
+
+type explanation = {
+  entry : Matching_table.entry;
+  key_values : (string * Relational.Value.t) list;
+      (** the agreed extended-key values *)
+  r_derivations : Ilfd.Apply.derivation list;
+      (** derivation steps on the R side, in order *)
+  s_derivations : Ilfd.Apply.derivation list;
+}
+
+(** [matches ~r ~s ~key ilfds] — one explanation per matched pair, in
+    matching-table order (re-runs the pipeline capturing derivations). *)
+val matches :
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Extended_key.t ->
+  Ilfd.t list ->
+  explanation list
+
+(** [prove_derivation ilfds source_tuple schema derivation] — an
+    Armstrong proof that the derived condition follows from the ILFDs
+    given the tuple's original values ([None] only if the derivation was
+    not actually justified — impossible for engine output, tested). *)
+val prove_derivation :
+  Ilfd.t list ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  Ilfd.Apply.derivation ->
+  Proplogic.Armstrong.proof option
+
+val pp_explanation : Format.formatter -> explanation -> unit
+
+(** [render explanations] — a human-readable report. *)
+val render : explanation list -> string

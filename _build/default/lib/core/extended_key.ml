@@ -1,0 +1,37 @@
+type t = { attributes : string list }
+
+exception Invalid of string
+
+let make attrs =
+  if attrs = [] then raise (Invalid "extended key must be non-empty");
+  let sorted = List.sort_uniq String.compare attrs in
+  if List.length sorted <> List.length attrs then
+    raise (Invalid "extended key attributes must be distinct");
+  { attributes = attrs }
+
+let attributes k = k.attributes
+
+let equivalence_rule k =
+  Rules.Identity.of_attribute_equalities
+    ~name:
+      (Printf.sprintf "extended_key_equivalence(%s)"
+         (String.concat "," k.attributes))
+    k.attributes
+
+let candidate_attributes r s ilfds =
+  let reachable rel =
+    Relational.Schema.names (Relational.Relation.schema rel)
+    @ Ilfd.Apply.derivable_attributes (Relational.Relation.schema rel) ilfds
+  in
+  let from_r = reachable r and from_s = reachable s in
+  List.filter (fun a -> List.mem a from_s) from_r
+
+let covers_keys k ~r_key ~s_key =
+  List.for_all (fun a -> List.mem a k.attributes) (r_key @ s_key)
+
+let is_minimal_for k integrated =
+  Relational.Key_tools.is_superkey integrated k.attributes
+  && Relational.Key_tools.is_candidate_key integrated k.attributes
+
+let pp ppf k =
+  Format.fprintf ppf "K_Ext{%s}" (String.concat ", " k.attributes)

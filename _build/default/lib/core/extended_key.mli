@@ -1,0 +1,39 @@
+(** Extended keys (Section 4.1).
+
+    [K_Ext] is a minimal attribute set of the form [K1 ∪ K2 ∪ Ā] that
+    uniquely identifies an entity in the integrated world, where [Ā] may
+    add non-key attributes. Its identity rule — {e extended key
+    equivalence} — matches two tuples when they agree, non-NULL, on every
+    extended-key attribute. *)
+
+type t = private { attributes : string list }
+
+exception Invalid of string
+
+(** [make attrs] — non-empty, duplicate-free (order preserved).
+    @raise Invalid otherwise. *)
+val make : string list -> t
+
+val attributes : t -> string list
+
+(** [equivalence_rule k] — the identity rule
+    [⋀_{A ∈ k} (e1.A = e2.A) → (e1 ≡ e2)]. *)
+val equivalence_rule : t -> Rules.Identity.t
+
+(** [candidate_attributes r s ilfds] — attributes available on both sides
+    once ILFD derivation is taken into account: (attributes of R plus
+    those derivable from them) ∩ (same for S). This is the list the
+    prototype's [setup_extkey] offers the user. *)
+val candidate_attributes :
+  Relational.Relation.t -> Relational.Relation.t -> Ilfd.t list -> string list
+
+(** [covers_keys k ~r_key ~s_key] — [K1 ∪ K2 ⊆ K_Ext], the shape the
+    paper's definition prescribes. *)
+val covers_keys : t -> r_key:string list -> s_key:string list -> bool
+
+(** [is_minimal_for k integrated] — no proper subset of [k] is still an
+    instance key of the given integrated relation (checks the paper's
+    minimality requirement against an instance). *)
+val is_minimal_for : t -> Relational.Relation.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+type policy =
+  | Prefer_left
+  | Prefer_right
+  | Prefer_non_null
+  | Resolve of (V.t -> V.t -> V.t)
+
+exception Inconsistent of {
+  attribute : string;
+  left : V.t;
+  right : V.t;
+}
+
+let resolve_value policy attribute left right =
+  if V.is_null left then right
+  else if V.is_null right then left
+  else if V.eq3 left right = V.True then left
+  else
+    match policy with
+    | Prefer_left -> left
+    | Prefer_right -> right
+    | Prefer_non_null -> raise (Inconsistent { attribute; left; right })
+    | Resolve f -> f left right
+
+let union_schema rs ss =
+  let r_names = Schema.names rs in
+  let extra = List.filter (fun a -> not (List.mem a r_names)) (Schema.names ss) in
+  Schema.of_names (r_names @ extra)
+
+let fuse ?(default = Prefer_non_null) ?(overrides = [])
+    (o : Identify.outcome) =
+  let rs = Relation.schema o.r_extended and ss = Relation.schema o.s_extended in
+  let out = union_schema rs ss in
+  let policy_for attribute =
+    Option.value (List.assoc_opt attribute overrides) ~default
+  in
+  let cell tr_opt ts_opt attribute =
+    let side schema t =
+      match t with
+      | Some t -> Option.value (Tuple.get_opt schema t attribute) ~default:V.Null
+      | None -> V.Null
+    in
+    resolve_value (policy_for attribute) attribute (side rs tr_opt)
+      (side ss ts_opt)
+  in
+  let row tr_opt ts_opt =
+    Tuple.make out
+      (List.map (cell tr_opt ts_opt) (Schema.names out))
+  in
+  let merged = List.map (fun (tr, ts) -> row (Some tr) (Some ts)) o.pairs in
+  let r_only =
+    List.map (fun tr -> row (Some tr) None) (Integrate.unmatched_r o)
+  in
+  let s_only =
+    List.map (fun ts -> row None (Some ts)) (Integrate.unmatched_s o)
+  in
+  Relational.Algebra.sort_by (Schema.names out)
+    (Relation.of_tuples out (merged @ r_only @ s_only))
+
+let conflicts (o : Identify.outcome) =
+  let rs = Relation.schema o.r_extended and ss = Relation.schema o.s_extended in
+  let shared = Schema.common rs ss in
+  List.concat_map
+    (fun (tr, ts) ->
+      List.filter_map
+        (fun attribute ->
+          let left = Tuple.get rs tr attribute
+          and right = Tuple.get ss ts attribute in
+          if
+            (not (V.is_null left))
+            && (not (V.is_null right))
+            && V.eq3 left right <> V.True
+          then
+            Some
+              ( attribute,
+                left,
+                right,
+                Tuple.project rs tr (Relation.primary_key o.r_extended) )
+          else None)
+        shared)
+    o.pairs

@@ -1,0 +1,99 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+
+type outcome = {
+  r_extended : Relation.t;
+  s_extended : Relation.t;
+  matching_table : Matching_table.t;
+  violations : Matching_table.violation list;
+  pairs : (Tuple.t * Tuple.t) list;
+}
+
+let extension_schema relation key =
+  let schema = Relation.schema relation in
+  let missing =
+    List.filter
+      (fun a -> not (Schema.mem schema a))
+      (Extended_key.attributes key)
+  in
+  Schema.concat schema (Schema.of_names missing)
+
+let run ?mode ~r ~s ~key ilfds =
+  let r_target = extension_schema r key
+  and s_target = extension_schema s key in
+  let r_ext = Ilfd.Apply.extend_relation ?mode r ~target:r_target ilfds in
+  let s_ext = Ilfd.Apply.extend_relation ?mode s ~target:s_target ilfds in
+  let kext = Extended_key.attributes key in
+  (* Hash-join R′ and S′ on K_Ext; tuples with any NULL key value never
+     match (non_null_eq). *)
+  let buckets = Hashtbl.create (max 16 (Relation.cardinality s_ext)) in
+  Relation.iter
+    (fun ts ->
+      let k = Tuple.project s_target ts kext in
+      if not (Tuple.has_null k) then
+        Hashtbl.replace buckets (Tuple.values k)
+          (ts
+          ::
+          (match Hashtbl.find_opt buckets (Tuple.values k) with
+          | Some l -> l
+          | None -> [])))
+    s_ext;
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let pairs = ref [] in
+  Relation.iter
+    (fun tr ->
+      let k = Tuple.project r_target tr kext in
+      if not (Tuple.has_null k) then
+        match Hashtbl.find_opt buckets (Tuple.values k) with
+        | Some partners ->
+            List.iter (fun ts -> pairs := (tr, ts) :: !pairs) (List.rev partners)
+        | None -> ())
+    r_ext;
+  let pairs = List.rev !pairs in
+  let entry_of (tr, ts) =
+    {
+      Matching_table.r_key = Tuple.project r_target tr r_key;
+      s_key = Tuple.project s_target ts s_key;
+    }
+  in
+  let matching_table =
+    Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
+      (List.map entry_of pairs)
+  in
+  {
+    r_extended = r_ext;
+    s_extended = s_ext;
+    matching_table;
+    violations = Matching_table.uniqueness_violations matching_table;
+    pairs;
+  }
+
+let is_verified o = o.violations = []
+
+let run_rules ?mode ~identity ?(distinctness = []) ~r ~s ~key ilfds =
+  let r_target = extension_schema r key
+  and s_target = extension_schema s key in
+  let r_ext = Ilfd.Apply.extend_relation ?mode r ~target:r_target ilfds in
+  let s_ext = Ilfd.Apply.extend_relation ?mode s ~target:s_target ilfds in
+  let matched, _, _ =
+    Decision.partition ~identity ~distinctness r_ext s_ext
+  in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let entry_of (tr, ts) =
+    {
+      Matching_table.r_key = Tuple.project r_target tr r_key;
+      s_key = Tuple.project s_target ts s_key;
+    }
+  in
+  let matching_table =
+    Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
+      (List.map entry_of matched)
+  in
+  {
+    r_extended = r_ext;
+    s_extended = s_ext;
+    matching_table;
+    violations = Matching_table.uniqueness_violations matching_table;
+    pairs = matched;
+  }

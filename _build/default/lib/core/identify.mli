@@ -1,0 +1,62 @@
+(** The matching-table construction of Section 4.2, operational form:
+
+    + extend R to R′ (and S to S′) with the extended-key attributes each
+      side is missing, deriving values with the available ILFDs and
+      defaulting to NULL;
+    + match every R′/S′ pair with identical {e non-NULL} values on all of
+      K_Ext;
+    + record the pair of original candidate-key values in MT_RS;
+    + verify the result is sound in the uniqueness sense (the prototype
+      prints "the extended key causes unsound matching result" when it is
+      not — we return the witnesses).
+
+    This is the whole Figure 4 pipeline apart from integration
+    ({!Integrate}) and the negative table ({!Negative}). *)
+
+type outcome = {
+  r_extended : Relational.Relation.t;  (** R′ *)
+  s_extended : Relational.Relation.t;  (** S′ *)
+  matching_table : Matching_table.t;
+  violations : Matching_table.violation list;
+      (** uniqueness violations; empty = the extended key is verified *)
+  pairs : (Relational.Tuple.t * Relational.Tuple.t) list;
+      (** the matched pairs as full extended tuples, R′ × S′ *)
+}
+
+(** [run ?mode ~r ~s ~key ilfds].
+    @raise Ilfd.Apply.Conflict_found in [Check_conflicts] mode. *)
+val run :
+  ?mode:Ilfd.Apply.mode ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Extended_key.t ->
+  Ilfd.t list ->
+  outcome
+
+(** [extension_schema relation key] — the relation's schema widened with
+    its missing extended-key attributes (K_Ext−R, in key order). *)
+val extension_schema :
+  Relational.Relation.t -> Extended_key.t -> Relational.Schema.t
+
+(** [run_rules ?mode ~identity ?distinctness ~r ~s ~key ilfds] — the
+    general form: extended-key equivalence is only {e one} identity rule
+    (Section 4.1); this variant matches with an arbitrary identity-rule
+    set over the ILFD-extended relations, still recording pairs by their
+    candidate-key values and checking uniqueness. [key] controls which
+    attributes are derived into R′/S′ (pass the union of attributes your
+    rules mention). Distinctness rules contribute nothing to MT but an
+    {!Decision.Inconsistent} pair raises.
+    @raise Decision.Inconsistent when an identity and a distinctness rule
+    fire on the same pair. *)
+val run_rules :
+  ?mode:Ilfd.Apply.mode ->
+  identity:Rules.Identity.t list ->
+  ?distinctness:Rules.Distinctness.t list ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Extended_key.t ->
+  Ilfd.t list ->
+  outcome
+
+(** [is_verified o] — the prototype's acknowledge/warning distinction. *)
+val is_verified : outcome -> bool

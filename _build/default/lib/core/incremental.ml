@@ -1,0 +1,126 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Index = Relational.Index
+
+type t = {
+  r : Relation.t;
+  s : Relation.t;
+  key : Extended_key.t;
+  ilfds : Ilfd.t list;
+  r_target : Schema.t;
+  s_target : Schema.t;
+  r_ext : Tuple.t list;  (** reverse insertion order *)
+  s_ext : Tuple.t list;
+  r_index : Index.t;  (** extended R tuples on K_Ext *)
+  s_index : Index.t;
+  pairs : (Tuple.t * Tuple.t) list;  (** reverse order, extended tuples *)
+}
+
+let kext t = Extended_key.attributes t.key
+
+let entry_of t (tr, ts) =
+  {
+    Matching_table.r_key = Tuple.project t.r_target tr (Relation.primary_key t.r);
+    s_key = Tuple.project t.s_target ts (Relation.primary_key t.s);
+  }
+
+let matching_table t =
+  Matching_table.make
+    ~r_key_attrs:(Relation.primary_key t.r)
+    ~s_key_attrs:(Relation.primary_key t.s)
+    (List.rev_map (entry_of t) t.pairs)
+
+let of_outcome ~r ~s ~key ~ilfds (o : Identify.outcome) =
+  let r_target = Relation.schema o.r_extended in
+  let s_target = Relation.schema o.s_extended in
+  let kext = Extended_key.attributes key in
+  {
+    r;
+    s;
+    key;
+    ilfds;
+    r_target;
+    s_target;
+    r_ext = List.rev (Relation.tuples o.r_extended);
+    s_ext = List.rev (Relation.tuples o.s_extended);
+    r_index = Index.build o.r_extended kext;
+    s_index = Index.build o.s_extended kext;
+    pairs = List.rev o.pairs;
+  }
+
+let create ~r ~s ~key ilfds =
+  of_outcome ~r ~s ~key ~ilfds (Identify.run ~r ~s ~key ilfds)
+
+let extend_one t schema tuple ~target =
+  match Ilfd.Apply.extend_tuple schema tuple ~target t.ilfds with
+  | Ok (extended, _) -> extended
+  | Error _ -> assert false (* First_rule mode never reports conflicts *)
+
+let insert_r t tuple =
+  let r = Relation.add t.r tuple in
+  let extended = extend_one t (Relation.schema t.r) tuple ~target:t.r_target in
+  let partners = Index.lookup_tuple t.s_index t.r_target extended in
+  (* Index lookup finds S′ tuples equal on K_Ext; both sides must be
+     fully non-NULL (the index drops NULL keys, and so does the probe). *)
+  let probe_null =
+    Tuple.has_null (Tuple.project t.r_target extended (kext t))
+  in
+  let new_pairs =
+    if probe_null then [] else List.map (fun ts -> (extended, ts)) partners
+  in
+  let t' =
+    {
+      t with
+      r;
+      r_ext = extended :: t.r_ext;
+      r_index = Index.add t.r_index t.r_target extended;
+      pairs = List.rev_append new_pairs t.pairs;
+    }
+  in
+  (t', List.map (entry_of t') new_pairs)
+
+let insert_s t tuple =
+  let s = Relation.add t.s tuple in
+  let extended = extend_one t (Relation.schema t.s) tuple ~target:t.s_target in
+  let partners = Index.lookup_tuple t.r_index t.s_target extended in
+  let probe_null =
+    Tuple.has_null (Tuple.project t.s_target extended (kext t))
+  in
+  let new_pairs =
+    if probe_null then [] else List.map (fun tr -> (tr, extended)) partners
+  in
+  let t' =
+    {
+      t with
+      s;
+      s_ext = extended :: t.s_ext;
+      s_index = Index.add t.s_index t.s_target extended;
+      pairs = List.rev_append new_pairs t.pairs;
+    }
+  in
+  (t', List.map (entry_of t') new_pairs)
+
+let add_ilfd t ilfd =
+  create ~r:t.r ~s:t.s ~key:t.key (t.ilfds @ [ ilfd ])
+
+let r t = t.r
+let s t = t.s
+
+let violations t = Matching_table.uniqueness_violations (matching_table t)
+
+let outcome t =
+  let mt = matching_table t in
+  {
+    Identify.r_extended =
+      Relation.of_tuples t.r_target
+        ~keys:(Relation.declared_keys t.r)
+        (List.rev t.r_ext);
+    s_extended =
+      Relation.of_tuples t.s_target
+        ~keys:(Relation.declared_keys t.s)
+        (List.rev t.s_ext);
+    matching_table = mt;
+    violations = Matching_table.uniqueness_violations mt;
+    pairs = List.rev t.pairs;
+  }

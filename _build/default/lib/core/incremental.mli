@@ -1,0 +1,52 @@
+(** Incremental entity identification under federated updates.
+
+    The paper (Sections 2 and 7): "participating database systems can
+    continue to operate autonomously. Instance integration may have to be
+    performed whenever updating is done on the participating databases"
+    and "in processing a federated database query, entity identification
+    has to be performed whenever the information about real-world
+    entities exists in different databases". This engine maintains the
+    matching table under tuple insertions without re-running the whole
+    pipeline: each new tuple is extended once and probed against a hash
+    index of the other side's extended relation.
+
+    Equivalence with the batch pipeline ({!Identify.run} on the final
+    relations) is a tested invariant. Adding an {e ILFD} invalidates
+    derived attributes globally, so {!add_ilfd} recomputes — knowledge
+    updates are rare; data updates are the hot path. *)
+
+type t
+
+(** [create ~r ~s ~key ilfds] — initial state from existing relations. *)
+val create :
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Extended_key.t ->
+  Ilfd.t list ->
+  t
+
+(** [insert_r t tuple] — add a tuple (of R's original schema) to R.
+    Returns the new state and the matching-table entries the insertion
+    created (possibly none).
+    @raise Relational.Relation.Key_violation if the tuple breaks one of
+    R's candidate keys. *)
+val insert_r : t -> Relational.Tuple.t -> t * Matching_table.entry list
+
+val insert_s : t -> Relational.Tuple.t -> t * Matching_table.entry list
+
+(** [add_ilfd t ilfd] — extend the knowledge base; recomputes extended
+    relations and the matching table (monotone: the previous matches are
+    preserved — {!Monotonic} has the property-level statement). *)
+val add_ilfd : t -> Ilfd.t -> t
+
+val matching_table : t -> Matching_table.t
+val r : t -> Relational.Relation.t
+val s : t -> Relational.Relation.t
+
+(** [violations t] — uniqueness violations accumulated so far; a sound
+    configuration keeps this empty as data arrives. *)
+val violations : t -> Matching_table.violation list
+
+(** [outcome t] — the equivalent batch view (for integration with
+    {!Integrate.integrated_table} and reporting). *)
+val outcome : t -> Identify.outcome

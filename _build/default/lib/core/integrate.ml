@@ -1,0 +1,87 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+let matched_side project pairs =
+  List.map project pairs
+
+let unmatched side_tuples matched =
+  List.filter
+    (fun t -> not (List.exists (Tuple.equal t) matched))
+    side_tuples
+
+let unmatched_r (o : Identify.outcome) =
+  unmatched (Relation.tuples o.r_extended) (matched_side fst o.pairs)
+
+let unmatched_s (o : Identify.outcome) =
+  unmatched (Relation.tuples o.s_extended) (matched_side snd o.pairs)
+
+(* The prototype sorts rows with setof, where null is an ordinary atom;
+   reproduce that ordering by comparing cells as their printed text. *)
+let atom_compare t1 t2 =
+  List.compare
+    (fun a b -> String.compare (V.to_string a) (V.to_string b))
+    (Tuple.values t1) (Tuple.values t2)
+
+let integrated_table ~key (o : Identify.outcome) =
+  let rs = Relation.schema o.r_extended
+  and ss = Relation.schema o.s_extended in
+  let kext = Extended_key.attributes key in
+  let rest schema =
+    List.filter (fun a -> not (List.mem a kext)) (Schema.names schema)
+  in
+  let r_cols = kext @ rest rs and s_cols = kext @ rest ss in
+  (* Column layout: r_<kext>, s_<kext>, r_<rest>, s_<rest>. *)
+  let header =
+    List.map (fun a -> "r_" ^ a) kext
+    @ List.map (fun a -> "s_" ^ a) kext
+    @ List.map (fun a -> "r_" ^ a) (rest rs)
+    @ List.map (fun a -> "s_" ^ a) (rest ss)
+  in
+  let schema = Schema.of_names header in
+  let null_r = List.map (fun _ -> V.Null) r_cols
+  and null_s = List.map (fun _ -> V.Null) s_cols in
+  let reorder r_vals s_vals =
+    (* r_vals follows kext @ rest rs; s_vals follows kext @ rest ss; the
+       output interleaves the kext blocks. *)
+    let nk = List.length kext in
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    let drop n l = List.filteri (fun i _ -> i >= n) l in
+    take nk r_vals @ take nk s_vals @ drop nk r_vals @ drop nk s_vals
+  in
+  let row_of_pair (tr, ts) =
+    reorder
+      (Tuple.values (Tuple.project rs tr r_cols))
+      (Tuple.values (Tuple.project ss ts s_cols))
+  in
+  let row_of_r tr =
+    reorder (Tuple.values (Tuple.project rs tr r_cols)) null_s
+  in
+  let row_of_s ts =
+    reorder null_r (Tuple.values (Tuple.project ss ts s_cols))
+  in
+  let rows =
+    List.map row_of_pair o.pairs
+    @ List.map row_of_r (unmatched_r o)
+    @ List.map row_of_s (unmatched_s o)
+  in
+  let tuples =
+    List.sort atom_compare (List.map (Tuple.make schema) rows)
+  in
+  Relation.of_tuples schema tuples
+
+let possibly_same ~key schema t1 t2 =
+  let values_of t attr =
+    List.filter_map
+      (fun col -> Tuple.get_opt schema t col)
+      [ "r_" ^ attr; "s_" ^ attr ]
+    |> List.filter (fun v -> not (V.is_null v))
+  in
+  List.for_all
+    (fun attr ->
+      let v1 = values_of t1 attr and v2 = values_of t2 attr in
+      List.for_all
+        (fun a -> List.for_all (fun b -> V.eq3 a b = V.True) v2)
+        v1)
+    (Extended_key.attributes key)

@@ -1,0 +1,31 @@
+(** The integrated table T_RS = MT_RS ⋈ R′ ⟗ S′ (Section 4.1).
+
+    Matching pairs merge into one row carrying both sides' attributes;
+    tuples unmatched on either side appear padded with NULLs. Under the
+    NULL interpretation the paper assigns to T_RS, a real-world entity may
+    still be modelled by up to two tuples whose extended-key values do not
+    conflict on non-NULL attributes. *)
+
+(** [integrated_table ~key outcome] — columns in the paper's layout:
+    [r_<kext…> s_<kext…> r_<rest…> s_<rest…>] (extended-key attributes of
+    each side first, remaining attributes after), rows sorted with NULL
+    ordered as the atom ["null"], exactly like the prototype's [setof]
+    output. *)
+val integrated_table :
+  key:Extended_key.t -> Identify.outcome -> Relational.Relation.t
+
+(** [merged_count mt] / [unmatched_r] / [unmatched_s] — row bookkeeping:
+    |T_RS| = |MT| + unmatched_r + unmatched_s. *)
+val unmatched_r : Identify.outcome -> Relational.Tuple.t list
+
+val unmatched_s : Identify.outcome -> Relational.Tuple.t list
+
+(** [possibly_same ~key schema t1 t2] — the T_RS-level compatibility test:
+    no conflicting non-NULL extended-key values between two integrated
+    tuples. *)
+val possibly_same :
+  key:Extended_key.t ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  Relational.Tuple.t ->
+  bool

@@ -1,0 +1,24 @@
+type t = Match | No_match | Undetermined
+
+let equal a b =
+  match a, b with
+  | Match, Match | No_match, No_match | Undetermined, Undetermined -> true
+  | (Match | No_match | Undetermined), _ -> false
+
+let of_truth = function
+  | Relational.Value.True -> Match
+  | Relational.Value.False -> No_match
+  | Relational.Value.Unknown -> Undetermined
+
+let refines a b =
+  match a, b with
+  | Undetermined, (Match | No_match | Undetermined) -> true
+  | Match, Match | No_match, No_match -> true
+  | (Match | No_match), _ -> false
+
+let to_string = function
+  | Match -> "matching"
+  | No_match -> "not matching"
+  | Undetermined -> "undetermined"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,19 @@
+(** The three-valued outcome of the entity-identification function
+    (Section 3.2): a pair of tuples is {e matching}, {e not matching}, or
+    {e undetermined}. The three sets partition all pairs (Figure 3). *)
+
+type t = Match | No_match | Undetermined
+
+val equal : t -> t -> bool
+
+(** [of_truth t] — [True ↦ Match], [False ↦ No_match],
+    [Unknown ↦ Undetermined]. *)
+val of_truth : Relational.Value.truth -> t
+
+(** Monotonicity order (Section 3.3): [Undetermined] may later become
+    [Match] or [No_match]; determined results must never change.
+    [refines a b] — [b] is a legal later state of [a]. *)
+val refines : t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+module Tuple = Relational.Tuple
+
+type entry = { r_key : Tuple.t; s_key : Tuple.t }
+
+type t = {
+  r_key_attrs : string list;
+  s_key_attrs : string list;
+  entries : entry list;
+}
+
+type violation =
+  | R_tuple_matched_twice of { r_key : Tuple.t; s_keys : Tuple.t list }
+  | S_tuple_matched_twice of { s_key : Tuple.t; r_keys : Tuple.t list }
+
+let entry_equal a b =
+  Tuple.equal a.r_key b.r_key && Tuple.equal a.s_key b.s_key
+
+let make ~r_key_attrs ~s_key_attrs entries =
+  let deduped =
+    List.fold_left
+      (fun acc e -> if List.exists (entry_equal e) acc then acc else e :: acc)
+      [] entries
+    |> List.rev
+  in
+  { r_key_attrs; s_key_attrs; entries = deduped }
+
+let entries t = t.entries
+let cardinality t = List.length t.entries
+let mem t entry = List.exists (entry_equal entry) t.entries
+
+let add t entry =
+  if mem t entry then t else { t with entries = t.entries @ [ entry ] }
+
+let group_by project other entries =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let k = Tuple.values (project e) in
+      (match Hashtbl.find_opt tbl k with
+      | None ->
+          order := (k, project e) :: !order;
+          Hashtbl.add tbl k [ other e ]
+      | Some l -> Hashtbl.replace tbl k (other e :: l)))
+    entries;
+  List.rev_map
+    (fun (k, key_tuple) -> (key_tuple, List.rev (Hashtbl.find tbl k)))
+    !order
+
+let uniqueness_violations t =
+  let r_side =
+    group_by (fun e -> e.r_key) (fun e -> e.s_key) t.entries
+    |> List.filter_map (fun (r_key, s_keys) ->
+           match s_keys with
+           | [] | [ _ ] -> None
+           | _ :: _ :: _ -> Some (R_tuple_matched_twice { r_key; s_keys }))
+  in
+  let s_side =
+    group_by (fun e -> e.s_key) (fun e -> e.r_key) t.entries
+    |> List.filter_map (fun (s_key, r_keys) ->
+           match r_keys with
+           | [] | [ _ ] -> None
+           | _ :: _ :: _ -> Some (S_tuple_matched_twice { s_key; r_keys }))
+  in
+  r_side @ s_side
+
+let satisfies_uniqueness t = uniqueness_violations t = []
+
+let consistent mt nmt =
+  not (List.exists (fun e -> mem nmt e) mt.entries)
+
+let to_relation t =
+  let schema =
+    Relational.Schema.of_names
+      (List.map (fun a -> "r_" ^ a) t.r_key_attrs
+      @ List.map (fun a -> "s_" ^ a) t.s_key_attrs)
+  in
+  let rows =
+    List.map (fun e -> Tuple.concat e.r_key e.s_key) t.entries
+  in
+  Relational.Algebra.sort_by
+    (Relational.Schema.names schema)
+    (Relational.Relation.of_tuples schema rows)
+
+let pp ppf t = Relational.Relation.pp ppf (to_relation t)
+
+let pp_violation ppf = function
+  | R_tuple_matched_twice { r_key; s_keys } ->
+      Format.fprintf ppf "R-tuple %a matched to %d S-tuples (%a)" Tuple.pp
+        r_key (List.length s_keys)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           Tuple.pp)
+        s_keys
+  | S_tuple_matched_twice { s_key; r_keys } ->
+      Format.fprintf ppf "S-tuple %a matched to %d R-tuples (%a)" Tuple.pp
+        s_key (List.length r_keys)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           Tuple.pp)
+        r_keys

@@ -1,0 +1,53 @@
+(** Matching tables (MT_RS) and negative matching tables (NMT_RS).
+
+    An entry pairs the key values of an R-tuple with those of an S-tuple
+    (Section 3.2). The same structure serves both tables; the
+    {e uniqueness constraint} (no tuple matched to more than one tuple on
+    the other side) applies to the matching table only, and the
+    {e consistency constraint} relates the two. *)
+
+type entry = { r_key : Relational.Tuple.t; s_key : Relational.Tuple.t }
+
+type t = private {
+  r_key_attrs : string list;
+  s_key_attrs : string list;
+  entries : entry list;
+}
+
+type violation =
+  | R_tuple_matched_twice of { r_key : Relational.Tuple.t;
+                               s_keys : Relational.Tuple.t list }
+  | S_tuple_matched_twice of { s_key : Relational.Tuple.t;
+                               r_keys : Relational.Tuple.t list }
+
+(** [make ~r_key_attrs ~s_key_attrs entries] — exact duplicates collapse;
+    no constraint is checked here (checking is a separate, reportable
+    step, as in the prototype's [verify]). *)
+val make :
+  r_key_attrs:string list -> s_key_attrs:string list -> entry list -> t
+
+val entries : t -> entry list
+val cardinality : t -> int
+val mem : t -> entry -> bool
+
+(** [add t entry] — the paper allows a knowledgeable user to assert
+    additional pairs directly. *)
+val add : t -> entry -> t
+
+(** [uniqueness_violations t] — witnesses against the uniqueness
+    constraint, empty when sound. The prototype's [correct] predicate
+    computes exactly this via bagof/setof cardinalities. *)
+val uniqueness_violations : t -> violation list
+
+val satisfies_uniqueness : t -> bool
+
+(** [consistent mt nmt] — no pair appears in both tables (the consistency
+    constraint). *)
+val consistent : t -> t -> bool
+
+(** [to_relation t] — as a relation with attributes [r_<key>… s_<key>…],
+    sorted, for display and set-algebraic use. *)
+val to_relation : t -> Relational.Relation.t
+
+val pp : Format.formatter -> t -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,71 @@
+module Relation = Relational.Relation
+
+type t = {
+  r : Relation.t;
+  s : Relation.t;
+  key : Extended_key.t;
+  ilfds : Ilfd.t list;
+  distinctness : Rules.Distinctness.t list;
+}
+
+type snapshot = {
+  matched : Matching_table.t;
+  not_matched : Matching_table.t;
+  undetermined_count : int;
+  total_pairs : int;
+}
+
+let create ~r ~s ~key () = { r; s; key; ilfds = []; distinctness = [] }
+
+let add_ilfd t i = { t with ilfds = t.ilfds @ [ i ] }
+let add_ilfds t is = { t with ilfds = t.ilfds @ is }
+let add_distinctness t d = { t with distinctness = t.distinctness @ [ d ] }
+
+let ilfds t = t.ilfds
+
+let snapshot t =
+  let outcome = Identify.run ~r:t.r ~s:t.s ~key:t.key t.ilfds in
+  let matched = outcome.Identify.matching_table in
+  (* Distinctness rules see the extended relations, so rules over derived
+     attributes (e.g. Prop-1 forms over a derived cuisine) can fire. *)
+  let all_rules =
+    t.distinctness @ Negative.distinctness_rules_of_ilfds t.ilfds
+  in
+  let raw_negative =
+    Negative.of_rules ~r:outcome.Identify.r_extended
+      ~s:outcome.Identify.s_extended all_rules
+  in
+  (* Keep the three sets a partition: a pair proven matching is removed
+     from the negative side. A consistency violation (same pair in both)
+     is detectable via Matching_table.consistent on the raw tables. *)
+  let not_matched =
+    Matching_table.make
+      ~r_key_attrs:(Relation.primary_key t.r)
+      ~s_key_attrs:(Relation.primary_key t.s)
+      (List.filter
+         (fun e -> not (Matching_table.mem matched e))
+         (Matching_table.entries raw_negative))
+  in
+  let total_pairs = Relation.cardinality t.r * Relation.cardinality t.s in
+  {
+    matched;
+    not_matched;
+    undetermined_count =
+      total_pairs
+      - Matching_table.cardinality matched
+      - Matching_table.cardinality not_matched;
+    total_pairs;
+  }
+
+let subset a b =
+  List.for_all (fun e -> Matching_table.mem b e) (Matching_table.entries a)
+
+let monotone_step before after =
+  subset before.matched after.matched
+  && subset before.not_matched after.not_matched
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "matching=%d not-matching=%d undetermined=%d (of %d)"
+    (Matching_table.cardinality s.matched)
+    (Matching_table.cardinality s.not_matched)
+    s.undetermined_count s.total_pairs

@@ -1,0 +1,43 @@
+(** The incremental, monotonic view of entity identification
+    (Section 3.3, Figure 3).
+
+    As the DBA supplies more semantic information (ILFDs, extra identity
+    or distinctness rules), the matching and non-matching sets may only
+    grow and the undetermined set only shrink. This module maintains that
+    state and exposes the monotonicity check as an executable predicate —
+    it is the engine behind the Figure 3 experiment. *)
+
+type t
+
+type snapshot = {
+  matched : Matching_table.t;
+  not_matched : Matching_table.t;
+  undetermined_count : int;
+  total_pairs : int;
+}
+
+(** [create ~r ~s ~key ()] — initial state: no ILFDs, no extra rules. *)
+val create :
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Extended_key.t ->
+  unit ->
+  t
+
+val add_ilfd : t -> Ilfd.t -> t
+val add_ilfds : t -> Ilfd.t list -> t
+val add_distinctness : t -> Rules.Distinctness.t -> t
+
+val ilfds : t -> Ilfd.t list
+
+(** [snapshot t] — the current Figure 3 partition. Matching comes from
+    the extended-key pipeline ({!Identify}); non-matching from the
+    distinctness rules (user-supplied plus Proposition 1 forms of the
+    ILFDs), minus any pair already matched. *)
+val snapshot : t -> snapshot
+
+(** [monotone_step before after] — every matched pair stays matched and
+    every non-matched pair stays non-matched. *)
+val monotone_step : snapshot -> snapshot -> bool
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

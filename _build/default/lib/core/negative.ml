@@ -1,0 +1,43 @@
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+let of_rules ~r ~s rules =
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let entries = ref [] in
+  Relation.iter
+    (fun tr ->
+      Relation.iter
+        (fun ts ->
+          (* e1 ≢ e2 is symmetric: try the rule in both orientations
+             (the paper's Table 4 entry fires with e1 = the S-tuple). *)
+          let applies =
+            List.exists
+              (fun rule ->
+                Rules.Distinctness.applies rule sr tr ss ts = V.True
+                || Rules.Distinctness.applies rule ss ts sr tr = V.True)
+              rules
+          in
+          if applies then
+            entries :=
+              {
+                Matching_table.r_key = Tuple.project sr tr r_key;
+                s_key = Tuple.project ss ts s_key;
+              }
+              :: !entries)
+        s)
+    r;
+  Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
+    (List.rev !entries)
+
+let distinctness_rules_of_ilfds ilfds =
+  List.concat_map
+    (fun i ->
+      match Ilfd.Props.distinctness_rules_of_ilfd i with
+      | rules -> rules
+      | exception Rules.Distinctness.Ill_formed _ -> [])
+    ilfds
+
+let of_ilfds ~r ~s ilfds =
+  of_rules ~r ~s (distinctness_rules_of_ilfds ilfds)

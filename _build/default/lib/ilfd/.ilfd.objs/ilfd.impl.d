@@ -1,0 +1,1 @@
+lib/ilfd/ilfd.ml: Apply Def Encode Mine Props Table Theory

@@ -1,0 +1,1 @@
+lib/ilfd/apply.ml: Array Def Format Hashtbl List Option Relational String

@@ -1,0 +1,1 @@
+lib/ilfd/apply.mli: Def Format Relational

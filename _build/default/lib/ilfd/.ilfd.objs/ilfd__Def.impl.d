@@ -1,0 +1,1 @@
+lib/ilfd/def.ml: Format List Printf Relational String

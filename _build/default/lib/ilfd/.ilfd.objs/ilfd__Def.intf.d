@@ -1,0 +1,1 @@
+lib/ilfd/def.mli: Format Relational

@@ -1,0 +1,1 @@
+lib/ilfd/encode.ml: Def List Option Printf Proplogic Relational String

@@ -1,0 +1,1 @@
+lib/ilfd/encode.mli: Def Proplogic

@@ -1,0 +1,1 @@
+lib/ilfd/mine.ml: Def Float Format Int List Map Option Relational String

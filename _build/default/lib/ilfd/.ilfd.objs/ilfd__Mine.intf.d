@@ -1,0 +1,1 @@
+lib/ilfd/mine.mli: Def Format Relational

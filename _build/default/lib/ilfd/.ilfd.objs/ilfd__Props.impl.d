@@ -1,0 +1,1 @@
+lib/ilfd/props.ml: Def Hashtbl List Printf Relational Rules

@@ -1,0 +1,1 @@
+lib/ilfd/props.mli: Def Relational Rules

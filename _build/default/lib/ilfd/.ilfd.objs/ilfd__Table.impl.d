@@ -1,0 +1,1 @@
+lib/ilfd/table.ml: Def Format Hashtbl List Option Printf Relational String

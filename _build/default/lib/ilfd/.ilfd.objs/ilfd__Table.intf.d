@@ -1,0 +1,1 @@
+lib/ilfd/table.mli: Def Format Relational

@@ -1,0 +1,1 @@
+lib/ilfd/theory.ml: Def Encode List Proplogic Relational String

@@ -1,0 +1,1 @@
+lib/ilfd/theory.mli: Def Proplogic

@@ -1,0 +1,178 @@
+module V = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+
+type conflict = {
+  attribute : string;
+  first : V.t;
+  second : V.t;
+  rule : Def.t;
+}
+
+type mode = First_rule | Check_conflicts
+
+type derivation = {
+  attribute : string;
+  value : V.t;
+  rule : Def.t;
+}
+
+exception Conflict_found of conflict
+
+exception Conflict_exn of conflict
+
+let extend_tuple ?(mode = First_rule) schema tuple ~target ilfds =
+  (* cells.(i) is the current value for target attribute i; source
+     attributes are copied, others start NULL. *)
+  let cells =
+    Array.of_list
+      (List.map
+         (fun (a : Schema.attribute) ->
+           match Schema.index_of_opt schema a.name with
+           | Some _ -> Tuple.get schema tuple a.name
+           | None -> V.Null)
+         (Schema.attributes target))
+  in
+  let used : derivation list ref = ref [] in
+  let in_progress = Hashtbl.create 8 in
+  (* Attributes outside the target schema can still participate as
+     intermediate steps of a chain (the prototype derives r_cty even
+     though county is not an attribute of R′); they live in scratch. *)
+  let scratch : (string, V.t option) Hashtbl.t = Hashtbl.create 8 in
+  let record_use attribute value rule =
+    used := { attribute; value; rule } :: !used
+  in
+  (* derive attr: the current value if non-NULL, else the value of the
+     first ILFD (rule order) whose antecedent holds; recursion resolves
+     antecedent attributes that are themselves derivable. *)
+  let rec lookup attr =
+    match Schema.index_of_opt target attr with
+    | None ->
+        (match Hashtbl.find_opt scratch attr with
+        | Some cached -> cached
+        | None ->
+            if Hashtbl.mem in_progress attr then None
+            else begin
+              Hashtbl.add in_progress attr ();
+              let result = derive attr in
+              Hashtbl.remove in_progress attr;
+              let value = Option.map fst result in
+              Hashtbl.replace scratch attr value;
+              (match result with
+              | Some (v, rule) -> record_use attr v rule
+              | None -> ());
+              value
+            end)
+    | Some i ->
+        if not (V.is_null cells.(i)) then Some cells.(i)
+        else if Hashtbl.mem in_progress attr then None
+        else begin
+          Hashtbl.add in_progress attr ();
+          let result = derive attr in
+          Hashtbl.remove in_progress attr;
+          (match result with
+          | Some (v, rule) ->
+              cells.(i) <- v;
+              record_use attr v rule
+          | None -> ());
+          Option.map fst result
+        end
+  and antecedent_holds rule =
+    List.for_all
+      (fun (c : Def.condition) ->
+        match lookup c.attribute with
+        | Some v -> V.non_null_eq v c.value
+        | None -> false)
+      (Def.antecedent rule)
+  and derive attr =
+    let candidates =
+      List.filter
+        (fun r ->
+          List.exists
+            (fun (c : Def.condition) -> String.equal c.attribute attr)
+            (Def.consequent r))
+        ilfds
+    in
+    let value_of r =
+      List.find_map
+        (fun (c : Def.condition) ->
+          if String.equal c.attribute attr then Some c.value else None)
+        (Def.consequent r)
+    in
+    let applicable = List.filter antecedent_holds candidates in
+    match applicable with
+    | [] -> None
+    | first_rule :: rest -> (
+        let v = Option.get (value_of first_rule) in
+        match mode with
+        | First_rule -> Some (v, first_rule)
+        | Check_conflicts -> (
+            let disagreeing =
+              List.find_opt
+                (fun r -> not (V.equal (Option.get (value_of r)) v))
+                rest
+            in
+            match disagreeing with
+            | None -> Some (v, first_rule)
+            | Some rule ->
+                raise
+                  (Conflict_exn
+                     {
+                       attribute = attr;
+                       first = v;
+                       second = Option.get (value_of rule);
+                       rule;
+                     })))
+  in
+  match
+    List.iter
+      (fun (a : Schema.attribute) -> ignore (lookup a.name))
+      (Schema.attributes target)
+  with
+  | () -> Ok (Tuple.of_array target cells, List.rev !used)
+  | exception Conflict_exn c -> Error c
+
+let extend_relation ?mode r ~target ilfds =
+  let schema = Relational.Relation.schema r in
+  let rows =
+    List.map
+      (fun t ->
+        match extend_tuple ?mode schema t ~target ilfds with
+        | Ok (t', _) -> t'
+        | Error c -> raise (Conflict_found c))
+      (Relational.Relation.tuples r)
+  in
+  Relational.Relation.of_tuples target
+    ~keys:(Relational.Relation.declared_keys r)
+    rows
+
+let derivable_attributes schema ilfds =
+  (* Fixpoint over attribute availability: an ILFD can contribute when
+     all its antecedent attributes are available. *)
+  let rec fix available =
+    let next =
+      List.fold_left
+        (fun acc i ->
+          let ante_ok =
+            List.for_all
+              (fun (c : Def.condition) -> List.mem c.attribute acc)
+              (Def.antecedent i)
+          in
+          if ante_ok then
+            List.fold_left
+              (fun acc (c : Def.condition) ->
+                if List.mem c.attribute acc then acc else c.attribute :: acc)
+              acc (Def.consequent i)
+          else acc)
+        available ilfds
+    in
+    if List.length next = List.length available then available else fix next
+  in
+  let base = Schema.names schema in
+  List.filter (fun a -> not (List.mem a base)) (fix base)
+  |> List.sort_uniq String.compare
+
+let pp_conflict ppf (c : conflict) =
+  Format.fprintf ppf
+    "conflicting derivations for %s: %s (first applicable rule) vs %s (from %a)"
+    c.attribute (V.to_string c.first) (V.to_string c.second) Def.pp c.rule

@@ -1,0 +1,63 @@
+(** Deriving missing attribute values with ILFDs — the step that extends
+    R to R′ (Section 4.2, first two bullets).
+
+    The engine mirrors the Prolog prototype's evaluation: for a missing
+    attribute, candidate ILFDs are tried in the given order and {e the
+    first applicable one wins} (the prototype puts a cut at the end of
+    each ILFD rule); antecedent conditions may themselves refer to
+    attributes that need deriving, which happens recursively with a cycle
+    guard (SLD would loop; we fail that path instead). Attributes that no
+    ILFD can derive default to NULL, like the prototype's trailing
+    [r_spec(Rid, null).] facts. *)
+
+type conflict = {
+  attribute : string;
+  first : Relational.Value.t;  (** value from the earliest applicable rule *)
+  second : Relational.Value.t;  (** a later, disagreeing derivation *)
+  rule : Def.t;  (** the disagreeing rule *)
+}
+
+type mode =
+  | First_rule  (** cut semantics; later disagreeing rules are ignored *)
+  | Check_conflicts
+      (** evaluate all applicable rules; report a disagreement *)
+
+type derivation = {
+  attribute : string;  (** what was derived (may be a scratch attribute) *)
+  value : Relational.Value.t;
+  rule : Def.t;  (** the ILFD that produced it *)
+}
+
+(** [extend_tuple ?mode schema tuple ~target ilfds] widens [tuple] from
+    [schema] to [target] (a superset of [schema]'s attributes; extra
+    attributes start as NULL), then derives what it can. Returns the
+    extended tuple and the per-attribute derivations performed (in
+    derivation order, including scratch intermediates), or the first
+    conflict in [Check_conflicts] mode. *)
+val extend_tuple :
+  ?mode:mode ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  target:Relational.Schema.t ->
+  Def.t list ->
+  (Relational.Tuple.t * derivation list, conflict) result
+
+(** [extend_relation ?mode r ~target ilfds] maps {!extend_tuple} over a
+    relation; the result keeps [r]'s declared keys (still valid: original
+    attributes are unchanged).
+    @raise Conflict_found (with the witness inside) in [Check_conflicts]
+    mode when some tuple has disagreeing derivations. *)
+val extend_relation :
+  ?mode:mode ->
+  Relational.Relation.t ->
+  target:Relational.Schema.t ->
+  Def.t list ->
+  Relational.Relation.t
+
+exception Conflict_found of conflict
+
+(** [derivable_attributes schema ilfds] — attributes some ILFD could in
+    principle contribute to tuples of [schema]. *)
+val derivable_attributes : Relational.Schema.t -> Def.t list -> string list
+
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,158 @@
+module V = Relational.Value
+
+type condition = { attribute : string; value : V.t }
+
+type t = { antecedent : condition list; consequent : condition list }
+
+exception Ill_formed of string
+
+let condition attribute value = { attribute; value }
+
+let normalise side conds =
+  let sorted =
+    List.sort (fun a b -> String.compare a.attribute b.attribute) conds
+  in
+  let rec dedup = function
+    | a :: b :: rest when String.equal a.attribute b.attribute ->
+        if V.equal a.value b.value then dedup (a :: rest)
+        else
+          raise
+            (Ill_formed
+               (Printf.sprintf "%s gives conflicting values for %s" side
+                  a.attribute))
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  let checked = dedup sorted in
+  List.iter
+    (fun c ->
+      if V.is_null c.value then
+        raise
+          (Ill_formed
+             (Printf.sprintf "%s binds %s to NULL — NULL means unknown and \
+                              cannot appear in a semantic constraint"
+                side c.attribute)))
+    checked;
+  checked
+
+let make ante cons =
+  if cons = [] then raise (Ill_formed "empty consequent");
+  {
+    antecedent = normalise "antecedent" ante;
+    consequent = normalise "consequent" cons;
+  }
+
+let make1 ante attr v = make ante [ condition attr v ]
+
+let antecedent i = i.antecedent
+let consequent i = i.consequent
+
+let condition_mem c conds =
+  List.exists
+    (fun d -> String.equal c.attribute d.attribute && V.equal c.value d.value)
+    conds
+
+let is_trivial i = List.for_all (fun c -> condition_mem c i.antecedent) i.consequent
+
+let attributes i =
+  List.map (fun c -> c.attribute) (i.antecedent @ i.consequent)
+  |> List.sort_uniq String.compare
+
+let antecedent_holds schema tuple i =
+  List.for_all
+    (fun c ->
+      match Relational.Tuple.get_opt schema tuple c.attribute with
+      | Some v -> V.non_null_eq v c.value
+      | None -> false)
+    i.antecedent
+
+let satisfies ?(strict = false) schema tuple i =
+  (not (antecedent_holds schema tuple i))
+  || List.for_all
+       (fun c ->
+         match Relational.Tuple.get_opt schema tuple c.attribute with
+         | None -> true
+         | Some v ->
+             if V.is_null v then not strict else V.non_null_eq v c.value)
+       i.consequent
+
+let satisfied_by_relation ?strict r i =
+  Relational.Relation.for_all
+    (fun t -> satisfies ?strict (Relational.Relation.schema r) t i)
+    r
+
+let compare_condition a b =
+  let c = String.compare a.attribute b.attribute in
+  if c <> 0 then c else V.compare a.value b.value
+
+let compare a b =
+  let c = List.compare compare_condition a.antecedent b.antecedent in
+  if c <> 0 then c
+  else List.compare compare_condition a.consequent b.consequent
+
+let equal a b = compare a b = 0
+
+(* --- concrete syntax ------------------------------------------------ *)
+
+let parse_value raw =
+  let raw = String.trim raw in
+  let len = String.length raw in
+  if len >= 2 && raw.[0] = '"' && raw.[len - 1] = '"' then
+    V.String (String.sub raw 1 (len - 2))
+  else V.of_csv_string raw
+
+let parse_condition raw =
+  match String.index_opt raw '=' with
+  | None ->
+      raise
+        (Ill_formed
+           (Printf.sprintf "expected attribute = value, got %S"
+              (String.trim raw)))
+  | Some i ->
+      let attribute = String.trim (String.sub raw 0 i) in
+      let value =
+        parse_value (String.sub raw (i + 1) (String.length raw - i - 1))
+      in
+      if attribute = "" then raise (Ill_formed "empty attribute name");
+      if V.is_null value then
+        raise (Ill_formed (Printf.sprintf "condition on %s has no value" attribute));
+      condition attribute value
+
+let split_on_string sep s =
+  (* Split on a multi-character separator. *)
+  let seplen = String.length sep and len = String.length s in
+  let rec go start acc i =
+    if i + seplen > len then List.rev (String.sub s start (len - start) :: acc)
+    else if String.sub s i seplen = sep then
+      go (i + seplen) (String.sub s start (i - start) :: acc) (i + seplen)
+    else go start acc (i + 1)
+  in
+  go 0 [] 0
+
+let parse src =
+  match split_on_string "->" src with
+  | [ lhs; rhs ] ->
+      let conds part seps =
+        String.split_on_char seps part
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map parse_condition
+      in
+      make (conds lhs '&') (conds rhs ',')
+  | _ -> raise (Ill_formed (Printf.sprintf "expected exactly one -> in %S" src))
+
+let pp_condition ppf c =
+  Format.fprintf ppf "%s=%s" c.attribute (V.to_string c.value)
+
+let pp ppf i =
+  let pp_side ppf sep conds =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf sep)
+      pp_condition ppf conds
+  in
+  Format.fprintf ppf "%a -> %a"
+    (fun ppf -> pp_side ppf " & ")
+    i.antecedent
+    (fun ppf -> pp_side ppf ", ")
+    i.consequent
+
+let to_string i = Format.asprintf "%a" pp i

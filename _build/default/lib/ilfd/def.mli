@@ -1,0 +1,65 @@
+(** Instance-level functional dependencies (ILFDs).
+
+    An ILFD is a semantic constraint on real-world entities of the form
+    [(E.A1 = a1) ∧ … ∧ (E.An = an) → (E.B = b)] (paper, Section 4.1).
+    Unlike an FD, it relates specific {e values}; checking a violation
+    involves a single tuple; and it is used to {e derive} new properties
+    of entities — the missing extended-key values.
+
+    A [condition] is one [(attribute = value)] pair. *)
+
+type condition = { attribute : string; value : Relational.Value.t }
+
+type t = private { antecedent : condition list; consequent : condition list }
+
+exception Ill_formed of string
+
+val condition : string -> Relational.Value.t -> condition
+
+(** [make ante cons] — antecedent and consequent conditions. Conditions
+    are normalised (sorted by attribute).
+    @raise Ill_formed on an empty consequent, a duplicated attribute with
+    conflicting values within one side, or a NULL value (NULL means
+    {e unknown}, it cannot appear in a semantic constraint). *)
+val make : condition list -> condition list -> t
+
+(** [make1 ante attr v] — sugar for a single-condition consequent. *)
+val make1 : condition list -> string -> Relational.Value.t -> t
+
+val antecedent : t -> condition list
+val consequent : t -> condition list
+
+(** [is_trivial i] — every consequent condition already appears in the
+    antecedent (holds in any entity set). *)
+val is_trivial : t -> bool
+
+(** [attributes i] — all attributes mentioned. *)
+val attributes : t -> string list
+
+(** [antecedent_holds schema tuple i] — every antecedent condition is
+    satisfied with a non-NULL equal value. *)
+val antecedent_holds : Relational.Schema.t -> Relational.Tuple.t -> t -> bool
+
+(** [satisfies schema tuple i] — the tuple does not violate the ILFD:
+    antecedent holds ⇒ every consequent attribute present in the schema
+    carries the stated (non-NULL) value. A NULL consequent cell counts as
+    a violation only in [strict] mode; by default NULL means "not yet
+    derived", which is how the prototype treats missing information. *)
+val satisfies :
+  ?strict:bool -> Relational.Schema.t -> Relational.Tuple.t -> t -> bool
+
+(** [satisfied_by_relation ?strict r i] — no tuple violates it. *)
+val satisfied_by_relation : ?strict:bool -> Relational.Relation.t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Parse the concrete syntax used by rule files and the CLI:
+    ["speciality = Mughalai -> cuisine = Indian"], with [&] separating
+    antecedent conditions and [,] separating consequent conditions.
+    Values parse per [Value.of_csv_string] (quote to force string).
+    @raise Ill_formed on syntax errors. *)
+val parse : string -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,57 @@
+module V = Relational.Value
+
+(* Layout: attr '\t' type-tag '\t' repr.  Attribute names never contain
+   tabs in this system (schemas come from CSV headers / code). *)
+
+let tag_of v =
+  match V.type_of v with
+  | Some V.TInt -> "i"
+  | Some V.TFloat -> "f"
+  | Some V.TBool -> "b"
+  | Some V.TString -> "s"
+  | None -> "n"
+
+let symbol (c : Def.condition) =
+  Printf.sprintf "%s\t%s\t%s" c.attribute (tag_of c.value)
+    (V.to_string c.value)
+
+let decode sym =
+  match String.split_on_char '\t' sym with
+  | [ attribute; tag; repr ] -> (
+      let value =
+        match tag with
+        | "i" -> Option.map V.int (int_of_string_opt repr)
+        | "f" -> Option.map V.float (float_of_string_opt repr)
+        | "b" -> Option.map V.bool (bool_of_string_opt repr)
+        | "s" -> Some (V.String repr)
+        | _ -> None
+      in
+      match value with
+      | Some v -> Some (Def.condition attribute v)
+      | None -> None)
+  | _ -> None
+
+let clause i =
+  Proplogic.Clause.make
+    (List.map symbol (Def.antecedent i))
+    (List.map symbol (Def.consequent i))
+
+let ilfd_of_clause c =
+  let side s =
+    List.filter_map decode (Proplogic.Symbol.Set.elements s)
+  in
+  let ante = side (Proplogic.Clause.antecedent c) in
+  let cons = side (Proplogic.Clause.consequent c) in
+  if
+    List.length ante
+    <> Proplogic.Symbol.Set.cardinal (Proplogic.Clause.antecedent c)
+    || List.length cons
+       <> Proplogic.Symbol.Set.cardinal (Proplogic.Clause.consequent c)
+    || cons = []
+  then None
+  else Some (Def.make ante cons)
+
+let clauses is = List.map clause is
+
+let conditions_of_symbols syms =
+  List.filter_map decode (Proplogic.Symbol.Set.elements syms)

@@ -1,0 +1,24 @@
+(** The [(A = a) ↦ propositional symbol] encoding of Section 5.
+
+    Injective in both the attribute and the value (type-tagged), so two
+    conditions map to the same symbol iff they are the same condition. *)
+
+(** [symbol cond] — the propositional symbol for a condition. *)
+val symbol : Def.condition -> Proplogic.Symbol.t
+
+(** [decode sym] — the condition back. [None] if [sym] was not produced
+    by {!symbol}. *)
+val decode : Proplogic.Symbol.t -> Def.condition option
+
+(** [clause i] — the implicational formula of an ILFD. *)
+val clause : Def.t -> Proplogic.Clause.t
+
+(** [ilfd_of_clause c] — inverse of {!clause}; [None] when any symbol
+    fails to decode or the consequent is empty. *)
+val ilfd_of_clause : Proplogic.Clause.t -> Def.t option
+
+val clauses : Def.t list -> Proplogic.Clause.t list
+
+(** [conditions_of_symbols syms] — decoded conditions (symbols that fail
+    to decode are dropped). *)
+val conditions_of_symbols : Proplogic.Symbol.Set.t -> Def.condition list

@@ -1,0 +1,11 @@
+(* Facade: [Ilfd.t] is the ILFD type itself (from {!Def}), with the
+   theory, derivation engine, tables and propositions as submodules. *)
+
+include Def
+
+module Encode = Encode
+module Theory = Theory
+module Apply = Apply
+module Table = Table
+module Props = Props
+module Mine = Mine

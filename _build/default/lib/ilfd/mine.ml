@@ -1,0 +1,85 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+type candidate = { ilfd : Def.t; support : int; confidence : float }
+
+module Vmap = Map.Make (struct
+  type t = V.t list
+
+  let compare = List.compare V.compare
+end)
+
+let mine ?(min_support = 2) ?(min_confidence = 1.0) r ~lhs ~rhs =
+  let schema = Relation.schema r in
+  List.iter (fun a -> ignore (Schema.index_of schema a)) (rhs :: lhs);
+  (* groups: lhs values -> (rhs value -> count). *)
+  let groups = ref Vmap.empty in
+  Relation.iter
+    (fun t ->
+      let key = Tuple.project schema t lhs in
+      let target = Tuple.get schema t rhs in
+      if (not (Tuple.has_null key)) && not (V.is_null target) then begin
+        let k = Tuple.values key in
+        let counts =
+          Option.value (Vmap.find_opt k !groups) ~default:Vmap.empty
+        in
+        let c =
+          Option.value (Vmap.find_opt [ target ] counts) ~default:0
+        in
+        groups := Vmap.add k (Vmap.add [ target ] (c + 1) counts) !groups
+      end)
+    r;
+  let candidates =
+    Vmap.fold
+      (fun k counts acc ->
+        let support = Vmap.fold (fun _ c acc -> acc + c) counts 0 in
+        let best_value, best_count =
+          Vmap.fold
+            (fun value c ((_, bc) as best) ->
+              if c > bc then (value, c) else best)
+            counts
+            ([ V.Null ], 0)
+        in
+        let confidence = float_of_int best_count /. float_of_int support in
+        if support >= min_support && confidence >= min_confidence then
+          let ante = List.map2 Def.condition lhs k in
+          match best_value with
+          | [ v ] ->
+              { ilfd = Def.make1 ante rhs v; support; confidence } :: acc
+          | _ -> acc
+        else acc)
+      !groups []
+  in
+  List.sort
+    (fun a b ->
+      let c = Float.compare b.confidence a.confidence in
+      if c <> 0 then c
+      else
+        let c = Int.compare b.support a.support in
+        if c <> 0 then c else Def.compare a.ilfd b.ilfd)
+    candidates
+
+let mine_pairs ?min_support ?min_confidence r =
+  let names = Schema.names (Relation.schema r) in
+  List.concat_map
+    (fun lhs ->
+      List.concat_map
+        (fun rhs ->
+          if String.equal lhs rhs then []
+          else mine ?min_support ?min_confidence r ~lhs:[ lhs ] ~rhs)
+        names)
+    names
+
+let exact candidates =
+  List.filter_map
+    (fun c -> if c.confidence >= 1.0 then Some c.ilfd else None)
+    candidates
+
+let validate r candidate =
+  Def.satisfied_by_relation ~strict:false r candidate.ilfd
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "%a  [support=%d confidence=%.2f]" Def.pp c.ilfd
+    c.support c.confidence

@@ -1,0 +1,48 @@
+(** ILFD mining — the "knowledge acquisition tools" the paper's
+    conclusion points to: suggest identity-supporting semantic rules from
+    data rather than relying solely on the DBA.
+
+    Mining is {e instance-level}: for a left-hand attribute set [lhs] and
+    a target [rhs], each distinct non-NULL [lhs] value combination
+    occurring in the relation yields a candidate
+    [(lhs = values) → (rhs = majority value)], with
+
+    - {e support}: rows matching the antecedent, and
+    - {e confidence}: the fraction of those rows carrying the majority
+      consequent value.
+
+    Only confidence-1.0 candidates are true ILFDs of the instance
+    (Proposition 2 territory); lower-confidence candidates are exactly
+    the heuristic rules of the Wang–Madnick baseline. *)
+
+type candidate = { ilfd : Def.t; support : int; confidence : float }
+
+(** [mine ?min_support ?min_confidence r ~lhs ~rhs] — candidates ordered
+    by descending (confidence, support). Defaults: support ≥ 2,
+    confidence ≥ 1.0. Rows NULL on any [lhs] attribute or on [rhs] are
+    ignored. *)
+val mine :
+  ?min_support:int ->
+  ?min_confidence:float ->
+  Relational.Relation.t ->
+  lhs:string list ->
+  rhs:string ->
+  candidate list
+
+(** [mine_pairs ?min_support ?min_confidence r] — {!mine} over every
+    (single attribute, other attribute) pair of the schema. *)
+val mine_pairs :
+  ?min_support:int ->
+  ?min_confidence:float ->
+  Relational.Relation.t ->
+  candidate list
+
+(** [exact candidates] — just the ILFDs of the confidence-1.0 ones. *)
+val exact : candidate list -> Def.t list
+
+(** [validate r candidate] — the candidate holds strictly on [r] (no
+    violating tuple); use against a {e second} relation to avoid blessing
+    coincidences of the mining instance. *)
+val validate : Relational.Relation.t -> candidate -> bool
+
+val pp_candidate : Format.formatter -> candidate -> unit

@@ -1,0 +1,102 @@
+module V = Relational.Value
+module P = Relational.Predicate
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+
+let distinctness_rules_of_ilfd i =
+  let ante_atoms =
+    List.map
+      (fun (c : Def.condition) ->
+        Rules.Atom.make
+          (Rules.Atom.attr Rules.Atom.Left c.attribute)
+          P.Eq (Rules.Atom.const c.value))
+      (Def.antecedent i)
+  in
+  List.map
+    (fun (c : Def.condition) ->
+      let neg =
+        Rules.Atom.make
+          (Rules.Atom.attr Rules.Atom.Right c.attribute)
+          P.Ne (Rules.Atom.const c.value)
+      in
+      Rules.Distinctness.make
+        ~name:
+          (Printf.sprintf "prop1(%s)" (Def.to_string i))
+        (ante_atoms @ [ neg ]))
+    (Def.consequent i)
+
+let ilfd_of_distinctness_rule (r : Rules.Distinctness.t) =
+  let classify (atom : Rules.Atom.t) =
+    match atom.lhs, atom.op, atom.rhs with
+    | Rules.Atom.Attr (Rules.Atom.Left, a), P.Eq, Rules.Atom.Const v
+    | Rules.Atom.Const v, P.Eq, Rules.Atom.Attr (Rules.Atom.Left, a) ->
+        `Ante (Def.condition a v)
+    | Rules.Atom.Attr (Rules.Atom.Right, a), P.Ne, Rules.Atom.Const v
+    | Rules.Atom.Const v, P.Ne, Rules.Atom.Attr (Rules.Atom.Right, a) ->
+        `Cons (Def.condition a v)
+    | _ -> `Other
+  in
+  let classified = List.map classify r.atoms in
+  let antes =
+    List.filter_map (function `Ante c -> Some c | _ -> None) classified
+  in
+  let conss =
+    List.filter_map (function `Cons c -> Some c | _ -> None) classified
+  in
+  let others = List.exists (function `Other -> true | _ -> false) classified in
+  match conss, others with
+  | [ c ], false when antes <> [] -> Some (Def.make antes [ c ])
+  | _ -> None
+
+let fd_holds r lhs rhs =
+  let schema = Relation.schema r in
+  let seen = Hashtbl.create (Relation.cardinality r) in
+  let ok = ref true in
+  Relation.iter
+    (fun t ->
+      let key = Tuple.project schema t lhs in
+      if not (Tuple.has_null key) then begin
+        let v = Tuple.project schema t rhs in
+        match Hashtbl.find_opt seen (Tuple.values key) with
+        | Some v' -> if not (Tuple.equal v v') then ok := false
+        | None -> Hashtbl.add seen (Tuple.values key) v
+      end)
+    r;
+  !ok
+
+let covering_family r lhs rhs =
+  if not (fd_holds r lhs rhs) then None
+  else
+    let schema = Relation.schema r in
+    let seen = Hashtbl.create 16 in
+    let ilfds = ref [] in
+    Relation.iter
+      (fun t ->
+        let key = Tuple.project schema t lhs in
+        let vals = Tuple.project schema t rhs in
+        if
+          (not (Tuple.has_null key))
+          && (not (Tuple.has_null vals))
+          && not (Hashtbl.mem seen (Tuple.values key))
+        then begin
+          Hashtbl.add seen (Tuple.values key) ();
+          let ante =
+            List.map2 Def.condition lhs (Tuple.values key)
+          in
+          let cons =
+            List.map2 Def.condition rhs (Tuple.values vals)
+          in
+          ilfds := Def.make ante cons :: !ilfds
+        end)
+      r;
+    Some (List.rev !ilfds)
+
+let family_covers r lhs ilfds =
+  let schema = Relation.schema r in
+  Relation.for_all
+    (fun t ->
+      let key = Tuple.project schema t lhs in
+      Tuple.has_null key
+      || List.exists (fun i -> Def.antecedent_holds schema t i) ilfds)
+    r

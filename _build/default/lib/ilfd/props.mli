@@ -1,0 +1,36 @@
+(** Executable forms of the paper's Proposition 1 and Proposition 2.
+
+    {b Proposition 1} — [(E.A1=a1) ∧ … ∧ (E.An=an) → (E.B=b)] is an ILFD
+    iff [∀e1,e2. (e1.A1=a1) ∧ … ∧ (e1.An=an) ∧ (e2.B≠b) → (e1 ≢ e2)] is a
+    distinctness rule. Both directions are constructive here.
+
+    {b Proposition 2} — if for {e each} combination of values of
+    [A1,…,Am] there is an ILFD deriving [B1,…,Bn], then the FD
+    [{A1,…,Am} → {B1,…,Bn}] holds. *)
+
+(** [distinctness_rules_of_ilfd i] — one distinctness rule per consequent
+    condition (Proposition 1, only-if direction).
+    @raise Rules.Distinctness.Ill_formed when the ILFD has an empty
+    antecedent (the corresponding rule would involve no [e1]
+    attribute). *)
+val distinctness_rules_of_ilfd : Def.t -> Rules.Distinctness.t list
+
+(** [ilfd_of_distinctness_rule r] — the converse construction, when [r]
+    has the required shape: equality atoms [e1.Ai = ai] plus exactly one
+    [e2.B ≠ b] atom (Proposition 1, if direction). *)
+val ilfd_of_distinctness_rule : Rules.Distinctness.t -> Def.t option
+
+(** [fd_holds r lhs rhs] — the FD [lhs → rhs] holds in the instance [r]:
+    tuples agreeing (non-NULL) on [lhs] agree on [rhs]. *)
+val fd_holds : Relational.Relation.t -> string list -> string list -> bool
+
+(** [covering_family r lhs rhs] — the ILFD family of Proposition 2 read
+    off the instance: one ILFD per distinct (non-NULL) [lhs] combination
+    occurring in [r]. [None] if the instance itself violates the FD. *)
+val covering_family :
+  Relational.Relation.t -> string list -> string list -> Def.t list option
+
+(** [family_covers r lhs ilfds] — every (non-NULL) [lhs]-combination in
+    [r] fires at least one of the given ILFDs. *)
+val family_covers :
+  Relational.Relation.t -> string list -> Def.t list -> bool

@@ -1,0 +1,107 @@
+module V = Relational.Value
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+
+type t = { inputs : string list; output : string; relation : Relation.t }
+
+exception Ill_formed of string
+
+let make ~inputs ~output rows =
+  if inputs = [] then raise (Ill_formed "ILFD table needs input attributes");
+  if List.mem output inputs then
+    raise (Ill_formed "output attribute repeats an input attribute");
+  let schema = Schema.of_names (inputs @ [ output ]) in
+  match Relation.create schema ~keys:[ inputs ] rows with
+  | relation -> { inputs; output; relation }
+  | exception Relation.Key_violation { tuple; _ } ->
+      raise
+        (Ill_formed
+           (Printf.sprintf
+              "contradictory ILFD rows: inputs of %s map to two outputs"
+              (Tuple.to_string tuple)))
+
+let to_relation t = t.relation
+
+let of_relation ~inputs ~output r =
+  let projected = Relational.Algebra.project (inputs @ [ output ]) r in
+  make ~inputs ~output
+    (List.map Tuple.values (Relation.tuples projected))
+
+let to_ilfds t =
+  let schema = Relation.schema t.relation in
+  List.map
+    (fun row ->
+      let ante =
+        List.map
+          (fun a -> Def.condition a (Tuple.get schema row a))
+          t.inputs
+      in
+      Def.make1 ante t.output (Tuple.get schema row t.output))
+    (Relation.tuples t.relation)
+
+let of_ilfds ilfds =
+  (* Split conjunctive consequents, then group by shape. *)
+  let singletons =
+    List.concat_map
+      (fun i ->
+        List.map
+          (fun (c : Def.condition) ->
+            (Def.antecedent i, c))
+          (Def.consequent i))
+      ilfds
+  in
+  let shape (ante, (c : Def.condition)) =
+    (List.map (fun (a : Def.condition) -> a.attribute) ante, c.attribute)
+  in
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun entry ->
+      let key = shape entry in
+      (match Hashtbl.find_opt groups key with
+      | None ->
+          order := key :: !order;
+          Hashtbl.add groups key [ entry ]
+      | Some existing -> Hashtbl.replace groups key (entry :: existing)))
+    singletons;
+  List.rev_map
+    (fun ((inputs, output) as key) ->
+      let entries = List.rev (Hashtbl.find groups key) in
+      let rows =
+        List.map
+          (fun (ante, (c : Def.condition)) ->
+            List.map
+              (fun a ->
+                (List.find
+                   (fun (x : Def.condition) -> String.equal x.attribute a)
+                   ante)
+                  .value)
+              inputs
+            @ [ c.value ])
+          entries
+      in
+      (* Drop exact duplicate rows before key validation. *)
+      let rows = List.sort_uniq (List.compare V.compare) rows in
+      make ~inputs ~output rows)
+    !order
+
+let lookup t bindings =
+  let matches row =
+    List.for_all
+      (fun input ->
+        match List.assoc_opt input bindings with
+        | Some v ->
+            V.non_null_eq v (Relation.value t.relation row input)
+        | None -> false)
+      t.inputs
+  in
+  Option.map
+    (fun row -> Relation.value t.relation row t.output)
+    (Relation.find_opt matches t.relation)
+
+let pp ppf t =
+  Format.fprintf ppf "IM(%s; %s):@,%s"
+    (String.concat "," t.inputs)
+    t.output
+    (Relational.Pretty.render t.relation)

@@ -1,0 +1,43 @@
+(** ILFD tables — storing uniform-format ILFDs as relations.
+
+    The paper (Section 4.2, Table 8): "ILFDs of the form
+    [(E.A1=a1) ∧ … ∧ (E.An=an) → (E.B=b)] can be stored in the relation
+    schema [ILFD(A1, …, An, B)]". [IM(x̄,y)] denotes the table with input
+    attributes x̄ deriving attribute y. *)
+
+type t = private {
+  inputs : string list;
+  output : string;
+  relation : Relational.Relation.t;
+}
+
+exception Ill_formed of string
+
+(** [make ~inputs ~output rows] — each row lists the input values
+    followed by the output value. The inputs form the key (two rows with
+    equal inputs and different outputs would encode contradictory
+    ILFDs). @raise Ill_formed on arity/key problems. *)
+val make :
+  inputs:string list -> output:string -> Relational.Value.t list list -> t
+
+(** [of_ilfds ilfds] groups uniform ILFDs into tables: one table per
+    (antecedent-attribute-set, consequent-attribute) pair. ILFDs with
+    conjunctive consequents are split first. Raises [Ill_formed] if two
+    grouped ILFDs contradict (same inputs, different output). *)
+val of_ilfds : Def.t list -> t list
+
+val to_ilfds : t -> Def.t list
+
+(** The backing relation, schema [inputs @ [output]], key [inputs]. *)
+val to_relation : t -> Relational.Relation.t
+
+(** [of_relation ~inputs ~output r] interprets an existing relation as an
+    ILFD table (projects to [inputs @ [output]]). *)
+val of_relation :
+  inputs:string list -> output:string -> Relational.Relation.t -> t
+
+(** [lookup t bindings] — the derived output value for the given input
+    values, if a row matches. [bindings] must cover all inputs. *)
+val lookup : t -> (string * Relational.Value.t) list -> Relational.Value.t option
+
+val pp : Format.formatter -> t -> unit

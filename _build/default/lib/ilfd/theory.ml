@@ -1,0 +1,83 @@
+module Pl = Proplogic
+
+let closure ilfds conds =
+  let syms =
+    Pl.Symbol.set_of_list (List.map Encode.symbol conds)
+  in
+  Encode.conditions_of_symbols
+    (Pl.Infer.closure (Encode.clauses ilfds) syms)
+
+let entails ilfds goal =
+  Pl.Infer.entails (Encode.clauses ilfds) (Encode.clause goal)
+
+let entails_semantic ilfds goal =
+  Pl.Semantics.entails (Encode.clauses ilfds) (Encode.clause goal)
+
+let entails_dpll ilfds goal =
+  Pl.Dpll.entails (Encode.clauses ilfds) (Encode.clause goal)
+
+let prove ilfds goal =
+  Pl.Armstrong.derive (Encode.clauses ilfds) (Encode.clause goal)
+
+let condition_equal (a : Def.condition) (b : Def.condition) =
+  String.equal a.attribute b.attribute
+  && Relational.Value.equal a.value b.value
+
+let derived_ilfds ilfds =
+  let stated i = Def.consequent i in
+  List.concat_map
+    (fun i ->
+      let ante = Def.antecedent i in
+      let derivable = closure ilfds ante in
+      List.filter_map
+        (fun c ->
+          let already_antecedent =
+            List.exists (condition_equal c) ante
+          in
+          let already_stated = List.exists (condition_equal c) (stated i) in
+          if already_antecedent || already_stated then None
+          else Some (Def.make ante [ c ]))
+        derivable)
+    ilfds
+  |> List.sort_uniq Def.compare
+
+let compose r1 r2 =
+  (* Pseudotransitivity: r1 : X → Y, r2 : A2 → Z with A2 ∩ Y ≠ ∅ gives
+     (X ∪ (A2 − Y)) → Z. *)
+  let cons1 = Def.consequent r1 in
+  let covered, residue =
+    List.partition
+      (fun c -> List.exists (condition_equal c) cons1)
+      (Def.antecedent r2)
+  in
+  if covered = [] then None
+  else
+    match Def.make (Def.antecedent r1 @ residue) (Def.consequent r2) with
+    | composed ->
+        if Def.is_trivial composed then None else Some composed
+    | exception Def.Ill_formed _ -> None
+
+let saturate ilfds =
+  let rec fix known =
+    let fresh =
+      List.concat_map
+        (fun r2 ->
+          List.filter_map (fun r1 -> compose r1 r2) known)
+        known
+      |> List.filter (fun c -> not (List.exists (Def.equal c) known))
+      |> List.sort_uniq Def.compare
+    in
+    if fresh = [] then known else fix (known @ fresh)
+  in
+  fix (List.sort_uniq Def.compare ilfds)
+
+let equivalent f g =
+  Pl.Cover.equivalent (Encode.clauses f) (Encode.clauses g)
+
+let minimal_cover f =
+  Pl.Cover.minimal_cover (Encode.clauses f)
+  |> List.filter_map Encode.ilfd_of_clause
+
+let redundant f i =
+  let others = List.filter (fun j -> not (Def.equal i j)) f in
+  entails others i

@@ -1,0 +1,47 @@
+(** The ILFD theory of Section 5 at the ILFD level: closure, implication,
+    derived ILFDs, covers — thin semantic-preserving wrappers over the
+    propositional engines via {!Encode}. *)
+
+(** [closure ilfds conds] — all conditions derivable from [conds], i.e.
+    the decoded [X⁺_F] (Armstrong closure for ILFDs). *)
+val closure : Def.t list -> Def.condition list -> Def.condition list
+
+(** [entails ilfds goal] — [F ⊨ goal], by forward chaining (sound and
+    complete per Theorem 1). *)
+val entails : Def.t list -> Def.t -> bool
+
+(** [entails_semantic ilfds goal] — the truth-table oracle. *)
+val entails_semantic : Def.t list -> Def.t -> bool
+
+(** [entails_dpll ilfds goal] — by SAT refutation. *)
+val entails_dpll : Def.t list -> Def.t -> bool
+
+(** [prove ilfds goal] — an Armstrong-axiom proof object when entailed. *)
+val prove : Def.t list -> Def.t -> Proplogic.Armstrong.proof option
+
+(** [derived_ilfds ilfds] — non-trivial ILFDs obtained by composing the
+    given ones: for each antecedent of a given ILFD, every condition in
+    its closure that is not already a stated consequent of a single rule.
+    The paper's I9 ([It'sGreek ∧ FrontAve → Gyros]) arises this way from
+    I7 and I8. *)
+val derived_ilfds : Def.t list -> Def.t list
+
+(** [saturate ilfds] — the given rules plus all pairwise
+    pseudotransitivity compositions, to a fixed point: from [X → Y] and
+    [W ∧ Y → Z] it adds [W ∧ X → Z]. This is how the paper's derived I9
+    ([name=It'sGreek ∧ street=FrontAve. → speciality=Gyros]) arises from
+    I7 and I8, and it is the preprocessing that lets the Section 4.2
+    relational pipeline work with ILFD tables over {e original}
+    attributes only. Compositions whose antecedents would bind one
+    attribute to two values are dropped (they can never fire). *)
+val saturate : Def.t list -> Def.t list
+
+(** [equivalent f g] — mutual entailment of the two rule sets. *)
+val equivalent : Def.t list -> Def.t list -> bool
+
+(** [minimal_cover f] — a minimal equivalent ILFD set ({!Proplogic.Cover}
+    lifted back through the encoding). *)
+val minimal_cover : Def.t list -> Def.t list
+
+(** [redundant f i] — [i] follows from the other rules of [f]. *)
+val redundant : Def.t list -> Def.t -> bool

@@ -1,0 +1,1 @@
+lib/prolog/database.ml: Format Int List Map Option String Term

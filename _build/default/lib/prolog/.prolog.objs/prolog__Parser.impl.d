@@ -1,0 +1,1 @@
+lib/prolog/parser.ml: Array Buffer Database List Option Printf String Term

@@ -1,0 +1,1 @@
+lib/prolog/prelude.ml: Database List Parser Term

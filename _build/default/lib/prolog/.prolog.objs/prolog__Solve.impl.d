@@ -1,0 +1,1 @@
+lib/prolog/solve.ml: Database List Option Printf Subst Term Unify

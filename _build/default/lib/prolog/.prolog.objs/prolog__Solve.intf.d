@@ -1,0 +1,1 @@
+lib/prolog/solve.mli: Database Subst Term

@@ -1,0 +1,1 @@
+lib/prolog/subst.ml: Format List Map String Term

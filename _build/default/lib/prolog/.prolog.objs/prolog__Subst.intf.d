@@ -1,0 +1,1 @@
+lib/prolog/subst.mli: Format Term

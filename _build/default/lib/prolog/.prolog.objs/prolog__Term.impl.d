@@ -1,0 +1,1 @@
+lib/prolog/term.ml: Format Int List Option String

@@ -1,0 +1,1 @@
+lib/prolog/unify.ml: Int List String Subst Term

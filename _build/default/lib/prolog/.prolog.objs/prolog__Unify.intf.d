@@ -1,0 +1,1 @@
+lib/prolog/unify.mli: Subst Term

@@ -1,0 +1,50 @@
+type clause = { head : Term.t; body : Term.t list }
+
+module M = Map.Make (struct
+  type t = string * int
+
+  let compare (n1, a1) (n2, a2) =
+    let c = String.compare n1 n2 in
+    if c <> 0 then c else Int.compare a1 a2
+end)
+
+type t = clause list M.t
+
+let empty = M.empty
+
+let indicator_of_head = function
+  | Term.Atom name -> (name, 0)
+  | Term.Compound (name, args) -> (name, List.length args)
+  | Term.Int _ | Term.Var _ ->
+      invalid_arg "Database: clause head must be an atom or compound"
+
+let assertz db clause =
+  let key = indicator_of_head clause.head in
+  let existing = Option.value (M.find_opt key db) ~default:[] in
+  M.add key (existing @ [ clause ]) db
+
+let asserta db clause =
+  let key = indicator_of_head clause.head in
+  let existing = Option.value (M.find_opt key db) ~default:[] in
+  M.add key (clause :: existing) db
+
+let fact head = { head; body = [] }
+
+let clauses db name arity =
+  Option.value (M.find_opt (name, arity) db) ~default:[]
+
+let of_clauses cs = List.fold_left assertz empty cs
+
+let retract_all db name arity = M.remove (name, arity) db
+
+let predicates db = List.map fst (M.bindings db)
+
+let pp_clause ppf { head; body } =
+  match body with
+  | [] -> Format.fprintf ppf "%a." Term.pp head
+  | _ ->
+      Format.fprintf ppf "%a :- %a." Term.pp head
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Term.pp)
+        body

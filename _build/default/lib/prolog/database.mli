@@ -1,0 +1,32 @@
+(** The clause store: an ordered list of clauses per predicate indicator
+    (name/arity). Clause order matters — SLD resolution tries clauses top
+    to bottom, which together with cut gives the paper's "first applicable
+    ILFD wins" behaviour. *)
+
+type clause = { head : Term.t; body : Term.t list }
+
+type t
+
+val empty : t
+
+(** [assertz db clause] appends (standard Prolog [assertz]). *)
+val assertz : t -> clause -> t
+
+(** [asserta db clause] prepends. *)
+val asserta : t -> clause -> t
+
+(** [fact head] is a clause with an empty body. *)
+val fact : Term.t -> clause
+
+(** [clauses db name arity] in assertion order. *)
+val clauses : t -> string -> int -> clause list
+
+val of_clauses : clause list -> t
+
+(** [retract_all db name arity] removes a predicate's clauses. *)
+val retract_all : t -> string -> int -> t
+
+(** All predicate indicators present. *)
+val predicates : t -> (string * int) list
+
+val pp_clause : Format.formatter -> clause -> unit

@@ -1,0 +1,311 @@
+exception Syntax_error of { line : int; message : string }
+
+type token =
+  | Tatom of string
+  | Tvar of string
+  | Tint of int
+  | Tpunct of string  (** ( ) [ ] | , . *)
+  | Top of string  (** symbolic / alphabetic operators *)
+  | Teof
+
+type state = { tokens : (token * int) array; mutable pos : int }
+
+let fail line message = raise (Syntax_error { line; message })
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let symbolic_ops =
+  (* Longest first so that greedy matching picks e.g. =:= over =. *)
+  [ "=\\="; "=:="; "\\=="; "=<"; ">="; "\\="; "=="; ":-"; "\\+"; "//";
+    "="; "<"; ">"; "+"; "-"; "*"; "/"; "!" ]
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident c = is_lower c || is_upper c || is_digit c
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let push t = tokens := (t, !line) :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '%' then
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '*' then begin
+        let rec skip j =
+          if j + 1 >= n then fail !line "unterminated block comment"
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      end
+      else if c = '\'' then begin
+        (* Quoted atom; '' escapes a quote. *)
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then fail !line "unterminated quoted atom"
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            if src.[j] = '\n' then incr line;
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        push (Tatom (Buffer.contents buf));
+        go next
+      end
+      else if is_digit c then begin
+        let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+        let next = scan i in
+        push (Tint (int_of_string (String.sub src i (next - i))));
+        go next
+      end
+      else if is_lower c then begin
+        let rec scan j = if j < n && is_ident src.[j] then scan (j + 1) else j in
+        let next = scan i in
+        push (Tatom (String.sub src i (next - i)));
+        go next
+      end
+      else if is_upper c then begin
+        let rec scan j = if j < n && is_ident src.[j] then scan (j + 1) else j in
+        let next = scan i in
+        push (Tvar (String.sub src i (next - i)));
+        go next
+      end
+      else if c = '(' || c = ')' || c = '[' || c = ']' || c = '|' || c = ','
+      then begin
+        push (Tpunct (String.make 1 c));
+        go (i + 1)
+      end
+      else if c = '.' then begin
+        (* End of clause when followed by layout or EOF. *)
+        let is_end =
+          i + 1 >= n
+          ||
+          let d = src.[i + 1] in
+          d = ' ' || d = '\t' || d = '\n' || d = '\r' || d = '%'
+        in
+        if is_end then begin
+          push (Tpunct ".");
+          go (i + 1)
+        end
+        else fail !line "unexpected '.' inside a term"
+      end
+      else
+        match
+          List.find_opt
+            (fun op ->
+              let l = String.length op in
+              i + l <= n && String.sub src i l = op)
+            symbolic_ops
+        with
+        | Some op ->
+            push (Top op);
+            go (i + String.length op)
+        | None -> fail !line (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  Array.of_list (List.rev ((Teof, !line) :: !tokens))
+
+(* ------------------------------------------------------------------ *)
+(* Precedence-climbing parser                                          *)
+(* ------------------------------------------------------------------ *)
+
+let infix_prec = function
+  | ":-" -> Some 1200
+  | "=" | "\\=" | "==" | "\\==" | "is" | "<" | ">" | "=<" | ">=" | "=:="
+  | "=\\=" | "mod" ->
+      Some 700
+  | "+" | "-" -> Some 500
+  | "*" | "/" | "//" -> Some 400
+  | _ -> None
+
+(* mod is alphabetic but infix (precedence 400 in ISO; 700 above is wrong
+   for mod — fix in the table below). *)
+let infix_prec = function
+  | "mod" -> Some 400
+  | op -> infix_prec op
+
+let peek st = fst st.tokens.(st.pos)
+let peek_line st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok message =
+  if peek st = tok then advance st else fail (peek_line st) message
+
+let rec parse_term st max_prec =
+  let left = parse_primary st in
+  parse_infix st left max_prec
+
+and parse_infix st left max_prec =
+  match peek st with
+  | Top op when infix_prec op <> None && Option.get (infix_prec op) <= max_prec
+    ->
+      let prec = Option.get (infix_prec op) in
+      advance st;
+      (* 700-level operators are xfx (non-associative); arithmetic is yfx
+         (left-associative): both mean the right operand parses at
+         prec - 1. *)
+      let right = parse_term st (prec - 1) in
+      parse_infix st (Term.Compound (op, [ left; right ])) max_prec
+  | Tatom ("is" | "mod") when st.pos + 1 < Array.length st.tokens ->
+      let op = match peek st with Tatom a -> a | _ -> assert false in
+      let prec = Option.get (infix_prec op) in
+      if prec <= max_prec then begin
+        advance st;
+        let right = parse_term st (prec - 1) in
+        parse_infix st (Term.Compound (op, [ left; right ])) max_prec
+      end
+      else left
+  | _ -> left
+
+and parse_primary st =
+  match peek st with
+  | Tint i ->
+      advance st;
+      Term.Int i
+  | Tvar v ->
+      advance st;
+      Term.Var v
+  | Top "!" ->
+      advance st;
+      Term.Atom "!"
+  | Top "-" ->
+      advance st;
+      (match peek st with
+      | Tint i ->
+          advance st;
+          Term.Int (-i)
+      | _ -> Term.Compound ("-", [ parse_term st 200 ]))
+  | Top "\\+" ->
+      advance st;
+      Term.Compound ("\\+", [ parse_term st 900 ])
+  | Tpunct "(" ->
+      advance st;
+      let t = parse_conj st in
+      expect st (Tpunct ")") "expected ')'";
+      t
+  | Tpunct "[" ->
+      advance st;
+      parse_list st
+  | Tatom name ->
+      advance st;
+      if peek st = Tpunct "(" then begin
+        advance st;
+        let args = parse_args st in
+        expect st (Tpunct ")") "expected ')' after arguments";
+        Term.Compound (name, args)
+      end
+      else Term.Atom name
+  | tok ->
+      fail (peek_line st)
+        (Printf.sprintf "unexpected token %s"
+           (match tok with
+           | Tpunct p -> Printf.sprintf "%S" p
+           | Top o -> Printf.sprintf "operator %S" o
+           | Teof -> "end of input"
+           | Tatom _ | Tvar _ | Tint _ -> "term"))
+
+and parse_args st =
+  let first = parse_term st 999 in
+  if peek st = Tpunct "," then begin
+    advance st;
+    first :: parse_args st
+  end
+  else [ first ]
+
+and parse_list st =
+  if peek st = Tpunct "]" then begin
+    advance st;
+    Term.nil
+  end
+  else
+    let items = parse_args st in
+    let tail =
+      if peek st = Tpunct "|" then begin
+        advance st;
+        parse_term st 999
+      end
+      else Term.nil
+    in
+    expect st (Tpunct "]") "expected ']'";
+    List.fold_right Term.cons items tail
+
+and parse_conj st =
+  (* Comma as right-associative conjunction inside parentheses; the full
+     1200 precedence admits (H :- B) as an argument, as standard Prolog
+     does for retract/1 and assert/1. *)
+  let first = parse_term st 1200 in
+  if peek st = Tpunct "," then begin
+    advance st;
+    Term.Compound (",", [ first; parse_conj st ])
+  end
+  else first
+
+let parse_goal_list st =
+  let rec go acc =
+    let g = parse_term st 999 in
+    if peek st = Tpunct "," then begin
+      advance st;
+      go (g :: acc)
+    end
+    else List.rev (g :: acc)
+  in
+  go []
+
+let parse_clause st =
+  let head = parse_term st 999 in
+  match peek st with
+  | Tpunct "." ->
+      advance st;
+      { Database.head; body = [] }
+  | Top ":-" ->
+      advance st;
+      let body = parse_goal_list st in
+      expect st (Tpunct ".") "expected '.' at end of clause";
+      { Database.head; body }
+  | _ -> fail (peek_line st) "expected '.' or ':-' after clause head"
+
+let make_state src = { tokens = lex src; pos = 0 }
+
+let program src =
+  let st = make_state src in
+  let rec go acc =
+    if peek st = Teof then List.rev acc else go (parse_clause st :: acc)
+  in
+  go []
+
+let goals src =
+  let st = make_state src in
+  let gs = parse_goal_list st in
+  if peek st = Tpunct "." then advance st;
+  if peek st <> Teof then fail (peek_line st) "trailing input after query";
+  gs
+
+let term src =
+  let st = make_state src in
+  let t = parse_term st 1200 in
+  if peek st = Tpunct "." then advance st;
+  if peek st <> Teof then fail (peek_line st) "trailing input after term";
+  t

@@ -1,0 +1,20 @@
+(** A parser for the Prolog subset the paper's prototype uses.
+
+    Supported: facts and rules ([head :- body.]), atoms (unquoted or
+    ['quoted']), variables, integers, compounds, lists ([[a, b|T]]), cut
+    ([!]), negation ([\+ G] / [not(G)]), the infix operators
+    [= \= == \== is < > =< >= =:= =\=] (precedence 700), arithmetic
+    [+ -] (500) and [* / // mod] (400), conjunction by [,], line comments
+    [% …] and block comments [/* … */]. *)
+
+exception Syntax_error of { line : int; message : string }
+
+(** [program src] parses a whole program (clauses terminated by [.]). *)
+val program : string -> Database.clause list
+
+(** [goals src] parses a comma-separated goal list, with or without a
+    trailing [.] — the query syntax of a Prolog toplevel. *)
+val goals : string -> Term.t list
+
+(** [term src] parses a single term. *)
+val term : string -> Term.t

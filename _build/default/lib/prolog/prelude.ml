@@ -1,0 +1,41 @@
+let source =
+  {|
+    member(X, [X|_Rest]).
+    member(X, [_Y|Rest]) :- member(X, Rest).
+
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+
+    reverse(Xs, Ys) :- reverse_acc(Xs, [], Ys).
+    reverse_acc([], Acc, Acc).
+    reverse_acc([X|Xs], Acc, Ys) :- reverse_acc(Xs, [X|Acc], Ys).
+
+    last([X], X).
+    last([_Y|Rest], X) :- last(Rest, X).
+
+    nth0(0, [X|_Rest], X).
+    nth0(N, [_Y|Rest], X) :- N > 0, M is N - 1, nth0(M, Rest, X).
+
+    select(X, [X|Rest], Rest).
+    select(X, [Y|Rest], [Y|Out]) :- select(X, Rest, Out).
+
+    not_equal(X, Y) :- \+ X = Y.
+  |}
+
+let clauses = Parser.program source
+
+let indicator (clause : Database.clause) =
+  match clause.head with
+  | Term.Atom name -> (name, 0)
+  | Term.Compound (name, args) -> (name, List.length args)
+  | Term.Int _ | Term.Var _ -> ("", -1)
+
+let load db =
+  (* User definitions keep priority: decide per predicate against the
+     ORIGINAL database, so multi-clause prelude predicates load fully. *)
+  let predefined (name, arity) = Database.clauses db name arity <> [] in
+  List.fold_left
+    (fun acc clause ->
+      if predefined (indicator clause) then acc
+      else Database.assertz acc clause)
+    db clauses

@@ -1,0 +1,12 @@
+(** A small clause library loaded on demand: list predicates every Prolog
+    program expects ([member/2], [append/3], [reverse/2], [last/2],
+    [nth0/3], [select/3]) plus [not_equal/2]. Programs may shadow any of
+    them by defining their own clauses (user clauses win — the engine
+    checks the database before builtins, and these are ordinary database
+    clauses anyway when appended first). *)
+
+val clauses : Database.clause list
+
+(** [load db] — appends the prelude clauses for predicates the database
+    does not already define, so user definitions keep priority. *)
+val load : Database.t -> Database.t

@@ -1,0 +1,321 @@
+exception Prolog_error of string
+
+type engine = {
+  mutable db : Database.t;
+  mutable steps : int;
+  max_steps : int;
+  out : string -> unit;
+  mutable frame_counter : int;
+}
+
+exception Cut_signal of int
+exception Stop_search
+
+let make ?(max_steps = 20_000_000) ?(out = print_string) db =
+  { db; steps = 0; max_steps; out; frame_counter = 0 }
+
+let database e = e.db
+
+let tick e =
+  e.steps <- e.steps + 1;
+  if e.steps > e.max_steps then raise (Prolog_error "step limit exceeded")
+
+let fresh_frame e =
+  e.frame_counter <- e.frame_counter + 1;
+  e.frame_counter
+
+let rec eval_arith e subst t =
+  match Subst.walk subst t with
+  | Term.Int i -> i
+  | Term.Compound ("+", [ a; b ]) -> eval_arith e subst a + eval_arith e subst b
+  | Term.Compound ("-", [ a; b ]) -> eval_arith e subst a - eval_arith e subst b
+  | Term.Compound ("*", [ a; b ]) -> eval_arith e subst a * eval_arith e subst b
+  | Term.Compound ("//", [ a; b ]) | Term.Compound ("/", [ a; b ]) ->
+      let d = eval_arith e subst b in
+      if d = 0 then raise (Prolog_error "zero divisor")
+      else eval_arith e subst a / d
+  | Term.Compound ("mod", [ a; b ]) ->
+      let d = eval_arith e subst b in
+      if d = 0 then raise (Prolog_error "zero divisor")
+      else eval_arith e subst a mod d
+  | Term.Compound ("-", [ a ]) -> -eval_arith e subst a
+  | t -> raise (Prolog_error ("non-evaluable arithmetic term: " ^ Term.to_string t))
+
+(* Expand conjunction terms (from call/1 or parsed operators) into goal
+   lists. *)
+let rec flatten_goal t =
+  match t with
+  | Term.Compound (",", [ a; b ]) -> flatten_goal a @ flatten_goal b
+  | _ -> [ t ]
+
+let rec solve_goals e frame goals subst emit =
+  match goals with
+  | [] -> emit subst
+  | goal :: rest -> (
+      tick e;
+      let goal_w = Subst.walk subst goal in
+      match goal_w with
+      | Term.Atom "!" ->
+          solve_goals e frame rest subst emit;
+          raise (Cut_signal frame)
+      | Term.Atom "true" -> solve_goals e frame rest subst emit
+      | Term.Atom ("fail" | "false") -> ()
+      | Term.Atom "nl" ->
+          e.out "\n";
+          solve_goals e frame rest subst emit
+      | Term.Var v -> raise (Prolog_error ("unbound goal variable " ^ v))
+      | Term.Int _ -> raise (Prolog_error "integer is not a callable goal")
+      | Term.Compound (",", [ _; _ ]) ->
+          solve_goals e frame (flatten_goal goal_w @ rest) subst emit
+      | Term.Atom _ | Term.Compound _ ->
+          let name, args =
+            match goal_w with
+            | Term.Atom n -> (n, [])
+            | Term.Compound (n, a) -> (n, a)
+            | Term.Var _ | Term.Int _ -> assert false
+          in
+          let arity = List.length args in
+          let user_clauses = Database.clauses e.db name arity in
+          if user_clauses <> [] then
+            solve_call e user_clauses goal_w subst (fun subst' ->
+                solve_goals e frame rest subst' emit)
+          else
+            solve_builtin e frame name args goal_w subst (fun subst' ->
+                solve_goals e frame rest subst' emit))
+
+and solve_call e clauses goal subst emit =
+  let frame = fresh_frame e in
+  try
+    List.iter
+      (fun (clause : Database.clause) ->
+        tick e;
+        let suffix = Printf.sprintf "#%d" (fresh_frame e) in
+        let head = Term.rename suffix clause.head in
+        let body = List.map (Term.rename suffix) clause.body in
+        match Unify.unify subst goal head with
+        | Some subst' -> solve_goals e frame body subst' emit
+        | None -> ())
+      clauses
+  with Cut_signal f when f = frame -> ()
+
+and solve_naf e goal subst =
+  (* Negation as failure: succeed iff [goal] has no solution. A cut inside
+     the negated goal is local to it. *)
+  let found = ref false in
+  (try
+     solve_goals e (fresh_frame e)
+       (flatten_goal goal) subst
+       (fun _ ->
+         found := true;
+         raise Stop_search)
+   with
+  | Stop_search -> ()
+  | Cut_signal _ -> ());
+  not !found
+
+and collect_solutions e goal subst template =
+  let acc = ref [] in
+  (try
+     solve_goals e (fresh_frame e)
+       (flatten_goal goal) subst
+       (fun subst' -> acc := Subst.resolve subst' template :: !acc)
+   with Cut_signal _ -> ());
+  List.rev !acc
+
+and solve_builtin e frame name args goal subst emit =
+  let unify_emit a b =
+    match Unify.unify subst a b with Some s -> emit s | None -> ()
+  in
+  match name, args with
+  | "=", [ a; b ] -> unify_emit a b
+  | "\\=", [ a; b ] -> (
+      match Unify.unify subst a b with Some _ -> () | None -> emit subst)
+  | "==", [ a; b ] ->
+      if Term.equal (Subst.resolve subst a) (Subst.resolve subst b) then
+        emit subst
+  | "\\==", [ a; b ] ->
+      if not (Term.equal (Subst.resolve subst a) (Subst.resolve subst b)) then
+        emit subst
+  | "is", [ lhs; rhs ] ->
+      unify_emit lhs (Term.Int (eval_arith e subst rhs))
+  | ("<" | ">" | "=<" | ">=" | "=:=" | "=\\="), [ a; b ] ->
+      let x = eval_arith e subst a and y = eval_arith e subst b in
+      let holds =
+        match name with
+        | "<" -> x < y
+        | ">" -> x > y
+        | "=<" -> x <= y
+        | ">=" -> x >= y
+        | "=:=" -> x = y
+        | "=\\=" -> x <> y
+        | _ -> assert false
+      in
+      if holds then emit subst
+  | ("\\+" | "not"), [ g ] -> if solve_naf e g subst then emit subst
+  | "var", [ t ] -> (
+      match Subst.walk subst t with Term.Var _ -> emit subst | _ -> ())
+  | "nonvar", [ t ] -> (
+      match Subst.walk subst t with Term.Var _ -> () | _ -> emit subst)
+  | "atom", [ t ] -> (
+      match Subst.walk subst t with Term.Atom _ -> emit subst | _ -> ())
+  | "integer", [ t ] -> (
+      match Subst.walk subst t with Term.Int _ -> emit subst | _ -> ())
+  | "atomic", [ t ] -> (
+      match Subst.walk subst t with
+      | Term.Atom _ | Term.Int _ -> emit subst
+      | _ -> ())
+  | "call", [ g ] -> (
+      match Subst.walk subst g with
+      | Term.Var v -> raise (Prolog_error ("unbound goal variable " ^ v))
+      | g -> solve_goals e frame (flatten_goal g) subst emit)
+  | "findall", [ template; g; result ] ->
+      unify_emit result (Term.list_of (collect_solutions e g subst template))
+  | "bagof", [ template; g; result ] -> (
+      match collect_solutions e g subst template with
+      | [] -> ()
+      | solutions -> unify_emit result (Term.list_of solutions))
+  | "setof", [ template; g; result ] -> (
+      match collect_solutions e g subst template with
+      | [] -> ()
+      | solutions ->
+          unify_emit result
+            (Term.list_of (List.sort_uniq Term.compare solutions)))
+  | "once", [ g ] -> (
+      let result = ref None in
+      (try
+         solve_goals e (fresh_frame e) (flatten_goal (Subst.walk subst g))
+           subst (fun s ->
+             result := Some s;
+             raise Stop_search)
+       with
+      | Stop_search -> ()
+      | Cut_signal _ -> ());
+      match !result with Some s -> emit s | None -> ())
+  | "forall", [ cond; action ] ->
+      (* forall(C, A) ≡ \+ (C, \+ A). *)
+      let counterexample =
+        Term.Compound
+          (",", [ cond; Term.Compound ("\\+", [ action ]) ])
+      in
+      if solve_naf e counterexample subst then emit subst
+  | "between", [ lo; hi; x ] -> (
+      let lo = eval_arith e subst lo and hi = eval_arith e subst hi in
+      match Subst.walk subst x with
+      | Term.Int i -> if lo <= i && i <= hi then emit subst
+      | Term.Var _ ->
+          let rec loop i =
+            if i > hi then ()
+            else begin
+              (match Unify.unify subst x (Term.Int i) with
+              | Some s -> emit s
+              | None -> ());
+              loop (i + 1)
+            end
+          in
+          loop lo
+      | _ -> ())
+  | "atom_concat", [ a; b; c ] -> (
+      match Subst.walk subst a, Subst.walk subst b with
+      | Term.Atom x, Term.Atom y -> unify_emit c (Term.Atom (x ^ y))
+      | _ ->
+          raise
+            (Prolog_error "atom_concat/3: first two arguments must be atoms"))
+  | "msort", [ l; sorted ] -> (
+      match Term.to_list (Subst.resolve subst l) with
+      | Some items ->
+          unify_emit sorted
+            (Term.list_of (List.sort Term.compare items))
+      | None -> raise (Prolog_error "msort/2: not a proper list"))
+  | "retract", [ c ] -> (
+      let head, body =
+        match Subst.resolve subst c with
+        | Term.Compound (":-", [ h; b ]) -> (h, flatten_goal b)
+        | h -> (h, [])
+      in
+      let name, arity =
+        match head with
+        | Term.Atom n -> (n, 0)
+        | Term.Compound (n, args) -> (n, List.length args)
+        | _ -> raise (Prolog_error "retract/1: bad clause head")
+      in
+      let clauses = Database.clauses e.db name arity in
+      let matches (clause : Database.clause) =
+        let suffix = Printf.sprintf "#%d" (fresh_frame e) in
+        let ch = Term.rename suffix clause.head in
+        let cb = List.map (Term.rename suffix) clause.body in
+        match Unify.unify subst head ch with
+        | Some s ->
+            if body = [] && clause.body = [] then Some s
+            else if List.length body = List.length cb then
+              List.fold_left2
+                (fun acc g1 g2 ->
+                  match acc with
+                  | Some s -> Unify.unify s g1 g2
+                  | None -> None)
+                (Some s) body cb
+            else None
+        | None -> None
+      in
+      let rec remove_first acc = function
+        | [] -> None
+        | clause :: rest -> (
+            match matches clause with
+            | Some s -> Some (s, List.rev_append acc rest)
+            | None -> remove_first (clause :: acc) rest)
+      in
+      match remove_first [] clauses with
+      | Some (s, remaining) ->
+          e.db <-
+            List.fold_left Database.assertz
+              (Database.retract_all e.db name arity)
+              remaining;
+          emit s
+      | None -> ())
+  | ("assert" | "assertz"), [ c ] -> (
+      match Subst.resolve subst c with
+      | Term.Compound (":-", [ head; body ]) ->
+          e.db <-
+            Database.assertz e.db { head; body = flatten_goal body };
+          emit subst
+      | head ->
+          e.db <- Database.assertz e.db (Database.fact head);
+          emit subst)
+  | ("write" | "print"), [ t ] ->
+      e.out (Term.to_string (Subst.resolve subst t));
+      emit subst
+  | _ ->
+      raise
+        (Prolog_error
+           (Printf.sprintf "unknown predicate %s/%d (goal: %s)" name
+              (List.length args) (Term.to_string goal)))
+
+let solve e goals =
+  let acc = ref [] in
+  (try
+     solve_goals e (fresh_frame e) goals Subst.empty (fun s ->
+         acc := s :: !acc)
+   with Cut_signal _ -> ());
+  List.rev !acc
+
+let solve_first e goals =
+  let result = ref None in
+  (try
+     solve_goals e (fresh_frame e) goals Subst.empty (fun s ->
+         result := Some s;
+         raise Stop_search)
+   with
+  | Stop_search -> ()
+  | Cut_signal _ -> ());
+  !result
+
+let succeeds e goals = Option.is_some (solve_first e goals)
+
+let query e goals =
+  let vars =
+    List.concat_map Term.variables goals
+    |> List.fold_left
+         (fun acc v -> if List.mem v acc then acc else v :: acc)
+         []
+    |> List.rev
+  in
+  List.map (fun s -> Subst.bindings s vars) (solve e goals)

@@ -1,0 +1,39 @@
+(** SLD resolution with cut and negation-as-failure.
+
+    Clauses are tried in assertion order and goals left to right, like the
+    SB-Prolog interpreter of the paper's prototype. [!] commits to the
+    current clause and discards both the remaining clauses of the call and
+    alternative solutions of goals to its left — this is what makes the
+    paper's ILFD rules deterministic ("a cut is given at the end of an
+    ILFD to prevent other ILFDs from being used once the former ILFD has
+    successfully derived the attribute value").
+
+    Built-ins (used only when the program defines no clause for the same
+    indicator, so a program may shadow e.g. [length/2] as the paper's
+    does): [true/0], [fail/0], [!/0], [=/2], [\=/2], [==/2], [\==/2],
+    [is/2], [</2], [>/2], [=</2], [>=/2], [=:=/2], [=\=/2], [\+/1],
+    [not/1], [var/1], [nonvar/1], [atom/1], [integer/1], [atomic/1],
+    [call/1], [findall/3], [bagof/3], [setof/3] (no [^] grouping),
+    [assert/1], [assertz/1], [write/1], [print/1], [nl/0]. *)
+
+exception Prolog_error of string
+
+type engine
+
+(** [make ?max_steps ?out db] — [out] receives [write]/[nl] output
+    (default: stdout); [max_steps] bounds resolution steps (default
+    20,000,000). @raise Prolog_error when exceeded. *)
+val make : ?max_steps:int -> ?out:(string -> unit) -> Database.t -> engine
+
+val database : engine -> Database.t
+(** Current database (reflects [assertz] executed by programs). *)
+
+(** [solve engine goals] — all solutions, in SLD order. *)
+val solve : engine -> Term.t list -> Subst.t list
+
+val solve_first : engine -> Term.t list -> Subst.t option
+val succeeds : engine -> Term.t list -> bool
+
+(** [query engine goals] resolves the variables occurring in [goals] for
+    each solution, in order of appearance. *)
+val query : engine -> Term.t list -> (string * Term.t) list list

@@ -1,0 +1,32 @@
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+
+let bind s v t =
+  assert (not (M.mem v s));
+  M.add v t s
+
+let lookup s v = M.find_opt v s
+
+let rec walk s t =
+  match t with
+  | Term.Var v -> (
+      match M.find_opt v s with Some t' -> walk s t' | None -> t)
+  | Term.Atom _ | Term.Int _ | Term.Compound _ -> t
+
+let rec resolve s t =
+  match walk s t with
+  | Term.Compound (f, args) -> Term.Compound (f, List.map (resolve s) args)
+  | (Term.Atom _ | Term.Int _ | Term.Var _) as t' -> t'
+
+let bindings s vars = List.map (fun v -> (v, resolve s (Term.Var v))) vars
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (v, t) -> Format.fprintf ppf "%s = %a" v Term.pp t))
+    (M.bindings s)

@@ -1,0 +1,25 @@
+(** Substitutions: finite maps from variable names to terms, with the
+    usual triangular representation (bindings may map to terms containing
+    further bound variables; {!resolve} chases them). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+(** [bind s v t] adds the binding [v ↦ t]; [v] must be unbound in [s]. *)
+val bind : t -> string -> Term.t -> t
+
+val lookup : t -> string -> Term.t option
+
+(** [walk s t] dereferences a {e top-level} variable chain (does not
+    descend into compounds). *)
+val walk : t -> Term.t -> Term.t
+
+(** [resolve s t] fully applies [s] to [t], recursively. *)
+val resolve : t -> Term.t -> Term.t
+
+(** [bindings s vars] resolves each variable of interest. *)
+val bindings : t -> string list -> (string * Term.t) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+type t =
+  | Atom of string
+  | Int of int
+  | Var of string
+  | Compound of string * t list
+
+let atom s = Atom s
+let int i = Int i
+let var v = Var v
+let compound f args = if args = [] then Atom f else Compound (f, args)
+
+let nil = Atom "[]"
+let cons h t = Compound (".", [ h; t ])
+
+let list_of ts = List.fold_right cons ts nil
+
+let rec to_list = function
+  | Atom "[]" -> Some []
+  | Compound (".", [ h; t ]) ->
+      Option.map (fun rest -> h :: rest) (to_list t)
+  | Atom _ | Int _ | Var _ | Compound _ -> None
+
+let rec equal a b =
+  match a, b with
+  | Atom x, Atom y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Var x, Var y -> String.equal x y
+  | Compound (f, xs), Compound (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 equal xs ys
+  | (Atom _ | Int _ | Var _ | Compound _), _ -> false
+
+(* Standard order of terms: Var < Int < Atom < Compound. *)
+let rank = function Var _ -> 0 | Int _ -> 1 | Atom _ -> 2 | Compound _ -> 3
+
+let rec compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Atom x, Atom y -> String.compare x y
+  | Compound (f, xs), Compound (g, ys) ->
+      let c = Int.compare (List.length xs) (List.length ys) in
+      if c <> 0 then c
+      else
+        let c = String.compare f g in
+        if c <> 0 then c else List.compare compare xs ys
+  | _, _ -> Int.compare (rank a) (rank b)
+
+let variables t =
+  let rec go acc = function
+    | Var v -> if List.mem v acc then acc else v :: acc
+    | Atom _ | Int _ -> acc
+    | Compound (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec rename suffix = function
+  | Var v -> Var (v ^ suffix)
+  | (Atom _ | Int _) as t -> t
+  | Compound (f, args) -> Compound (f, List.map (rename suffix) args)
+
+let rec is_ground = function
+  | Var _ -> false
+  | Atom _ | Int _ -> true
+  | Compound (_, args) -> List.for_all is_ground args
+
+(* Infix printing for operator terms, with minimal parenthesisation:
+   left-associative chains print flat ("0 + 1 + 1"). *)
+let infix_prec = function
+  | ":-" -> Some 1200
+  | "*" | "/" | "//" | "mod" -> Some 400
+  | "+" | "-" -> Some 500
+  | "=" | "\\=" | "==" | "\\==" | "is" | "<" | ">" | "=<" | ">=" | "=:="
+  | "=\\=" ->
+      Some 700
+  | _ -> None
+
+let rec pp ppf t = pp_prec 1200 ppf t
+
+and pp_prec max_prec ppf t =
+  match t with
+  | Atom a -> Format.pp_print_string ppf a
+  | Int i -> Format.pp_print_int ppf i
+  | Var v -> Format.pp_print_string ppf v
+  | Compound (".", [ _; _ ]) -> pp_list ppf t
+  | Compound ("\\+", [ g ]) -> Format.fprintf ppf "\\+ %a" (pp_prec 900) g
+  | Compound (f, [ l; r ]) when infix_prec f <> None ->
+      let prec = Option.get (infix_prec f) in
+      let needs_parens = prec > max_prec in
+      if needs_parens then Format.pp_print_string ppf "(";
+      Format.fprintf ppf "%a %s %a" (pp_prec prec) l f (pp_prec (prec - 1)) r;
+      if needs_parens then Format.pp_print_string ppf ")"
+  | Compound (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        args
+
+and pp_list ppf t =
+  let rec elements acc = function
+    | Atom "[]" -> (List.rev acc, None)
+    | Compound (".", [ h; rest ]) -> elements (h :: acc) rest
+    | tail -> (List.rev acc, Some tail)
+  in
+  let items, tail = elements [] t in
+  Format.pp_print_string ppf "[";
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp ppf items;
+  (match tail with
+  | None -> ()
+  | Some rest -> Format.fprintf ppf "|%a" pp rest);
+  Format.pp_print_string ppf "]"
+
+let to_string t = Format.asprintf "%a" pp t

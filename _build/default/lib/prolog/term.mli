@@ -1,0 +1,41 @@
+(** Prolog terms.
+
+    Lists use the conventional encoding: [Compound (".", [head; tail])]
+    terminated by [Atom "[]"]. Variables are named; {!rename} refreshes a
+    clause's variables with a unique suffix before each use. *)
+
+type t =
+  | Atom of string
+  | Int of int
+  | Var of string
+  | Compound of string * t list
+
+val atom : string -> t
+val int : int -> t
+val var : string -> t
+val compound : string -> t list -> t
+
+val nil : t
+val cons : t -> t -> t
+
+(** [list_of ts] builds a proper Prolog list term. *)
+val list_of : t list -> t
+
+(** [to_list t] decodes a proper list; [None] on partial lists. *)
+val to_list : t -> t list option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Variables occurring in the term, each once, in first-occurrence order. *)
+val variables : t -> string list
+
+(** [rename suffix t] appends [suffix] to every variable name. *)
+val rename : string -> t -> t
+
+val is_ground : t -> bool
+
+(** Prolog-style printing: lists as [[a, b]], operators as compounds. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,27 @@
+let rec occurs subst v t =
+  match Subst.walk subst t with
+  | Term.Var w -> String.equal v w
+  | Term.Atom _ | Term.Int _ -> false
+  | Term.Compound (_, args) -> List.exists (occurs subst v) args
+
+let rec unify subst a b =
+  let a = Subst.walk subst a and b = Subst.walk subst b in
+  match a, b with
+  | Term.Var v, Term.Var w when String.equal v w -> Some subst
+  | Term.Var v, t | t, Term.Var v ->
+      if occurs subst v t then None else Some (Subst.bind subst v t)
+  | Term.Atom x, Term.Atom y -> if String.equal x y then Some subst else None
+  | Term.Int x, Term.Int y -> if Int.equal x y then Some subst else None
+  | Term.Compound (f, xs), Term.Compound (g, ys)
+    when String.equal f g && List.length xs = List.length ys ->
+      let rec go subst xs ys =
+        match xs, ys with
+        | [], [] -> Some subst
+        | x :: xs, y :: ys -> (
+            match unify subst x y with
+            | Some subst -> go subst xs ys
+            | None -> None)
+        | _ -> None
+      in
+      go subst xs ys
+  | (Term.Atom _ | Term.Int _ | Term.Compound _), _ -> None

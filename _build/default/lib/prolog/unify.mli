@@ -1,0 +1,11 @@
+(** Syntactic unification with occurs check. *)
+
+(** [unify subst a b] extends [subst] so that [a] and [b] become equal, or
+    [None] if impossible. The occurs check is on: a variable never binds
+    to a term containing it, keeping the logic sound (the engine backs an
+    entity-identification procedure whose headline property is
+    soundness). *)
+val unify : Subst.t -> Term.t -> Term.t -> Subst.t option
+
+(** [occurs subst v t] — [v] occurs in [t] under [subst]. *)
+val occurs : Subst.t -> string -> Term.t -> bool

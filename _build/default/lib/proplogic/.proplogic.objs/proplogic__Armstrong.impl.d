@@ -1,0 +1,1 @@
+lib/proplogic/armstrong.ml: Clause Format List Symbol

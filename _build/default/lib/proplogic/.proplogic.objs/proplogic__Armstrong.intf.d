@@ -1,0 +1,1 @@
+lib/proplogic/armstrong.mli: Clause Format Symbol

@@ -1,0 +1,1 @@
+lib/proplogic/clause.ml: Format List Symbol

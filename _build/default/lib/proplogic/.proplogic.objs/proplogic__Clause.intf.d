@@ -1,0 +1,1 @@
+lib/proplogic/clause.mli: Format Symbol

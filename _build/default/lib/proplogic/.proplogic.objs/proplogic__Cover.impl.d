@@ -1,0 +1,1 @@
+lib/proplogic/cover.ml: Clause Infer List Symbol

@@ -1,0 +1,1 @@
+lib/proplogic/cover.mli: Clause

@@ -1,0 +1,1 @@
+lib/proplogic/dpll.ml: Clause Hashtbl Int List Map Symbol

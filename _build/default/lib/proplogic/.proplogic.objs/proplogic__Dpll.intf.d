@@ -1,0 +1,1 @@
+lib/proplogic/dpll.mli: Clause

@@ -1,0 +1,1 @@
+lib/proplogic/infer.ml: Array Clause Hashtbl List Queue Symbol

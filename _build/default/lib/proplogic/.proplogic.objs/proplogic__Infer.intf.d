@@ -1,0 +1,1 @@
+lib/proplogic/infer.mli: Clause Symbol

@@ -1,0 +1,1 @@
+lib/proplogic/semantics.ml: Clause List Symbol

@@ -1,0 +1,1 @@
+lib/proplogic/semantics.mli: Clause Symbol

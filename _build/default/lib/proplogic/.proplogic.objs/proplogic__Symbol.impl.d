@@ -1,0 +1,1 @@
+lib/proplogic/symbol.ml: Format Map Set String

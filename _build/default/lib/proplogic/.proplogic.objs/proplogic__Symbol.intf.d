@@ -1,0 +1,1 @@
+lib/proplogic/symbol.mli: Format Map Set

@@ -1,0 +1,117 @@
+type proof =
+  | Axiom of Clause.t
+  | Reflexivity of { x : Symbol.Set.t; y : Symbol.Set.t }
+  | Augmentation of { premise : proof; z : Symbol.Set.t }
+  | Transitivity of proof * proof
+  | Union of proof * proof
+  | Pseudotransitivity of proof * proof
+  | Decomposition of { premise : proof; keep : Symbol.Set.t }
+
+let rec conclusion = function
+  | Axiom c -> c
+  | Reflexivity { x; y } ->
+      if not (Symbol.Set.subset y x) then
+        invalid_arg "Armstrong.Reflexivity: consequent not a subset";
+      Clause.of_sets x y
+  | Augmentation { premise; z } ->
+      let c = conclusion premise in
+      Clause.of_sets
+        (Symbol.Set.union (Clause.antecedent c) z)
+        (Symbol.Set.union (Clause.consequent c) z)
+  | Transitivity (p, q) ->
+      let cp = conclusion p and cq = conclusion q in
+      if not (Symbol.Set.equal (Clause.consequent cp) (Clause.antecedent cq))
+      then invalid_arg "Armstrong.Transitivity: middle terms differ";
+      Clause.of_sets (Clause.antecedent cp) (Clause.consequent cq)
+  | Union (p, q) ->
+      let cp = conclusion p and cq = conclusion q in
+      if not (Symbol.Set.equal (Clause.antecedent cp) (Clause.antecedent cq))
+      then invalid_arg "Armstrong.Union: antecedents differ";
+      Clause.of_sets (Clause.antecedent cp)
+        (Symbol.Set.union (Clause.consequent cp) (Clause.consequent cq))
+  | Pseudotransitivity (p, q) ->
+      (* p : X → Y,  q : W∧Y → Z  ⊢  W∧X → Z.  W is recovered as the
+         q-antecedent minus Y. *)
+      let cp = conclusion p and cq = conclusion q in
+      let y = Clause.consequent cp in
+      if not (Symbol.Set.subset y (Clause.antecedent cq)) then
+        invalid_arg "Armstrong.Pseudotransitivity: Y not in second antecedent";
+      let w = Symbol.Set.diff (Clause.antecedent cq) y in
+      Clause.of_sets
+        (Symbol.Set.union w (Clause.antecedent cp))
+        (Clause.consequent cq)
+  | Decomposition { premise; keep } ->
+      let c = conclusion premise in
+      if not (Symbol.Set.subset keep (Clause.consequent c)) then
+        invalid_arg "Armstrong.Decomposition: keep not in consequent";
+      Clause.of_sets (Clause.antecedent c) keep
+
+let rec axioms_of = function
+  | Axiom c -> [ c ]
+  | Reflexivity _ -> []
+  | Augmentation { premise; _ } | Decomposition { premise; _ } ->
+      axioms_of premise
+  | Transitivity (p, q) | Union (p, q) | Pseudotransitivity (p, q) ->
+      axioms_of p @ axioms_of q
+
+let check hypotheses p goal =
+  match conclusion p with
+  | c ->
+      Clause.equal c goal
+      && List.for_all
+           (fun a -> List.exists (Clause.equal a) hypotheses)
+           (axioms_of p)
+  | exception Invalid_argument _ -> false
+
+(* Proof search mirrors the closure computation: maintain a proof of
+   X → S where S is the set derived so far; each clause firing extends S
+   via decomposition + transitivity + union. *)
+let derive hypotheses goal =
+  let x = Clause.antecedent goal and y = Clause.consequent goal in
+  let rec grow proof derived =
+    let fired =
+      List.find_opt
+        (fun c ->
+          Symbol.Set.subset (Clause.antecedent c) derived
+          && not (Symbol.Set.subset (Clause.consequent c) derived))
+        hypotheses
+    in
+    match fired with
+    | None -> (proof, derived)
+    | Some c ->
+        (* proof : X → derived.  From it: X → ante(c) by decomposition,
+           then X → cons(c) by transitivity with c, then union. *)
+        let to_ante =
+          Decomposition { premise = proof; keep = Clause.antecedent c }
+        in
+        let to_cons = Transitivity (to_ante, Axiom c) in
+        let proof = Union (proof, to_cons) in
+        grow proof (Symbol.Set.union derived (Clause.consequent c))
+  in
+  (* Clauses with empty antecedents complicate the Decomposition step
+     (X → ∅ is fine: it is Reflexivity with empty y), handled uniformly. *)
+  let start = Reflexivity { x; y = x } in
+  let proof, derived = grow start x in
+  if Symbol.Set.subset y derived then
+    Some (Decomposition { premise = proof; keep = y })
+  else None
+
+let rec size = function
+  | Axiom _ | Reflexivity _ -> 1
+  | Augmentation { premise; _ } | Decomposition { premise; _ } ->
+      1 + size premise
+  | Transitivity (p, q) | Union (p, q) | Pseudotransitivity (p, q) ->
+      1 + size p + size q
+
+let rec pp ppf p =
+  match p with
+  | Axiom c -> Format.fprintf ppf "axiom[%a]" Clause.pp c
+  | Reflexivity _ -> Format.fprintf ppf "refl[%a]" Clause.pp (conclusion p)
+  | Augmentation { premise; z } ->
+      Format.fprintf ppf "aug(%a, +%a)" pp premise Symbol.pp_set z
+  | Transitivity (a, b) -> Format.fprintf ppf "trans(%a, %a)" pp a pp b
+  | Union (a, b) -> Format.fprintf ppf "union(%a, %a)" pp a pp b
+  | Pseudotransitivity (a, b) ->
+      Format.fprintf ppf "pseudotrans(%a, %a)" pp a pp b
+  | Decomposition { premise; keep } ->
+      Format.fprintf ppf "decomp(%a, keep %a)" pp premise Symbol.pp_set keep

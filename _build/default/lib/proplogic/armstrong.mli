@@ -1,0 +1,44 @@
+(** Armstrong's axioms for ILFDs (Section 5.2) as checkable proof objects.
+
+    The paper proves the axiom system {e reflexivity}, {e augmentation},
+    {e transitivity} sound and complete (Lemma 1, Theorem 1), and derives
+    {e union}, {e pseudotransitivity} and {e decomposition} (Lemma 2). We
+    realise each as a proof constructor, give a checker that validates a
+    proof against a hypothesis set F, and a complete proof search that
+    succeeds exactly when [F ⊨ goal]. *)
+
+type proof =
+  | Axiom of Clause.t  (** A member of F. *)
+  | Reflexivity of { x : Symbol.Set.t; y : Symbol.Set.t }
+      (** Proves X → Y when Y ⊆ X (trivial ILFD). *)
+  | Augmentation of { premise : proof; z : Symbol.Set.t }
+      (** From X → Y, proves X∧Z → Y∧Z. *)
+  | Transitivity of proof * proof
+      (** From X → Y and Y → Z, proves X → Z. The first conclusion's
+          consequent must equal the second's antecedent. *)
+  | Union of proof * proof
+      (** From X → Y and X → Z, proves X → Y∧Z (Lemma 2.1). *)
+  | Pseudotransitivity of proof * proof
+      (** From X → Y and W∧Y → Z, proves W∧X → Z (Lemma 2.2). *)
+  | Decomposition of { premise : proof; keep : Symbol.Set.t }
+      (** From X → Y with keep ⊆ Y, proves X → keep (Lemma 2.3). *)
+
+(** [conclusion p] computes the clause a proof establishes.
+    @raise Invalid_argument if a side condition is violated (e.g. a
+    transitivity step whose middle terms do not line up). *)
+val conclusion : proof -> Clause.t
+
+(** [check hypotheses p goal] — [p] is structurally valid, every [Axiom]
+    leaf belongs to [hypotheses], and the conclusion equals [goal]. *)
+val check : Clause.t list -> proof -> Clause.t -> bool
+
+(** [derive hypotheses goal] searches for a proof; [Some p] with
+    [check hypotheses p goal = true] whenever [goal] is entailed, [None]
+    otherwise (completeness mirrors Theorem 1; tested against
+    {!Semantics.entails}). *)
+val derive : Clause.t list -> Clause.t -> proof option
+
+(** [size p] — number of constructors, a proxy for proof length. *)
+val size : proof -> int
+
+val pp : Format.formatter -> proof -> unit

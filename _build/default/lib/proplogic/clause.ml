@@ -1,0 +1,62 @@
+type t = { antecedent : Symbol.Set.t; consequent : Symbol.Set.t }
+
+let of_sets antecedent consequent = { antecedent; consequent }
+
+let make ante cons =
+  of_sets (Symbol.set_of_list ante) (Symbol.set_of_list cons)
+
+let antecedent c = c.antecedent
+let consequent c = c.consequent
+
+let is_trivial c = Symbol.Set.subset c.consequent c.antecedent
+
+let symbols c = Symbol.Set.union c.antecedent c.consequent
+
+let equal a b =
+  Symbol.Set.equal a.antecedent b.antecedent
+  && Symbol.Set.equal a.consequent b.consequent
+
+let compare a b =
+  let c = Symbol.Set.compare a.antecedent b.antecedent in
+  if c <> 0 then c else Symbol.Set.compare a.consequent b.consequent
+
+let combine clauses =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        let same, different =
+          List.partition
+            (fun d -> Symbol.Set.equal d.antecedent c.antecedent)
+            rest
+        in
+        let merged =
+          List.fold_left
+            (fun m d ->
+              { m with consequent = Symbol.Set.union m.consequent d.consequent })
+            c same
+        in
+        loop (merged :: acc) different
+  in
+  loop [] clauses
+
+let split c =
+  List.map
+    (fun q -> { c with consequent = Symbol.Set.singleton q })
+    (Symbol.Set.elements c.consequent)
+
+let satisfied_by valuation c =
+  (not (Symbol.Set.subset c.antecedent valuation))
+  || Symbol.Set.subset c.consequent valuation
+
+let pp ppf c =
+  let pp_side ppf side =
+    if Symbol.Set.is_empty side then Format.pp_print_string ppf "true"
+    else
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+        Symbol.pp ppf
+        (Symbol.Set.elements side)
+  in
+  Format.fprintf ppf "%a -> %a" pp_side c.antecedent pp_side c.consequent
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,40 @@
+(** Implicational formulas [(P1 ∧ … ∧ Pm) → (Q1 ∧ … ∧ Qn)].
+
+    This is exactly the propositional form of an ILFD after the
+    [(A = a) ↦ symbol] encoding, including the paper's combination rule:
+    formulas with identical antecedents merge by taking the union of their
+    consequents. *)
+
+type t = private { antecedent : Symbol.Set.t; consequent : Symbol.Set.t }
+
+(** [make ante cons] builds [ante → cons]. An empty antecedent means an
+    unconditional fact; an empty consequent is the trivial formula. *)
+val make : Symbol.t list -> Symbol.t list -> t
+
+val of_sets : Symbol.Set.t -> Symbol.Set.t -> t
+
+val antecedent : t -> Symbol.Set.t
+val consequent : t -> Symbol.Set.t
+
+(** [is_trivial c] — the consequent is a subset of the antecedent
+    (reflexivity axiom instances; they hold in every entity set). *)
+val is_trivial : t -> bool
+
+val symbols : t -> Symbol.Set.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [combine cs] merges formulas with identical antecedents, per the
+    paper's combination rule. Order of first occurrence is preserved. *)
+val combine : t list -> t list
+
+(** [split c] breaks a conjunctive consequent into one clause per
+    consequent symbol (the definite-clause form used by inference). *)
+val split : t -> t list
+
+(** [satisfied_by valuation c] — under [valuation] (the set of true
+    symbols), the formula holds: antecedent true ⇒ consequent true. *)
+val satisfied_by : Symbol.Set.t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,42 @@
+let entails_all f g = List.for_all (Infer.entails f) g
+
+let equivalent f g = entails_all f g && entails_all g f
+
+let shrink_antecedent f clause =
+  (* Greedily drop antecedent symbols while the reduced clause is still
+     entailed by f. *)
+  let rec loop ante =
+    let droppable =
+      Symbol.Set.elements ante
+      |> List.find_opt (fun s ->
+             let smaller = Symbol.Set.remove s ante in
+             Infer.entails f (Clause.of_sets smaller (Clause.consequent clause)))
+    in
+    match droppable with
+    | None -> ante
+    | Some s -> loop (Symbol.Set.remove s ante)
+  in
+  Clause.of_sets (loop (Clause.antecedent clause)) (Clause.consequent clause)
+
+let remove_redundant clauses =
+  List.fold_left
+    (fun kept c ->
+      let others =
+        List.filter (fun d -> not (Clause.equal d c)) kept
+      in
+      if Infer.entails others c then others else kept)
+    clauses clauses
+
+let minimal_cover f =
+  let split = List.concat_map Clause.split f in
+  let nontrivial = List.filter (fun c -> not (Clause.is_trivial c)) split in
+  let shrunk = List.map (shrink_antecedent nontrivial) nontrivial in
+  let deduped =
+    List.fold_left
+      (fun acc c -> if List.exists (Clause.equal c) acc then acc else acc @ [ c ])
+      [] shrunk
+  in
+  remove_redundant deduped
+
+let canonical_cover f =
+  minimal_cover f |> Clause.combine |> List.sort Clause.compare

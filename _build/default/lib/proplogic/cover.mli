@@ -1,0 +1,19 @@
+(** Minimal covers of ILFD sets.
+
+    The closure F⁺ is exponential (the paper remarks it is "expensive to
+    compute"); what implementations want instead is a small set equivalent
+    to F. A {e minimal cover} has singleton consequents, no extraneous
+    antecedent symbols, and no redundant clause. *)
+
+(** [equivalent f g] — each set entails every clause of the other. *)
+val equivalent : Clause.t list -> Clause.t list -> bool
+
+(** [minimal_cover f] — an equivalent set where every clause has a
+    singleton consequent, no antecedent symbol can be dropped, and no
+    clause can be removed. Deterministic for a given input order. *)
+val minimal_cover : Clause.t list -> Clause.t list
+
+(** [canonical_cover f] — a minimal cover with clauses of equal antecedent
+    recombined (the paper's combination rule) and sorted. Canonical form
+    for comparing rule sets. *)
+val canonical_cover : Clause.t list -> Clause.t list

@@ -1,0 +1,116 @@
+type literal = int
+type cnf = literal list list
+type outcome = Sat of literal list | Unsat
+
+(* Assignment as a map var -> bool; clauses re-simplified on each branch.
+   Unit propagation + pure-literal elimination + first-variable branching:
+   small but complete. *)
+
+module Imap = Map.Make (Int)
+
+let rec simplify assignment clauses =
+  (* Returns Some clauses' with satisfied clauses removed and false
+     literals deleted, or None if a clause became empty. *)
+  match clauses with
+  | [] -> Some []
+  | clause :: rest -> (
+      let satisfied =
+        List.exists
+          (fun lit ->
+            match Imap.find_opt (abs lit) assignment with
+            | Some b -> if lit > 0 then b else not b
+            | None -> false)
+          clause
+      in
+      if satisfied then simplify assignment rest
+      else
+        let remaining =
+          List.filter (fun lit -> not (Imap.mem (abs lit) assignment)) clause
+        in
+        if remaining = [] then None
+        else
+          match simplify assignment rest with
+          | None -> None
+          | Some rest' -> Some (remaining :: rest'))
+
+let find_unit clauses =
+  List.find_map (function [ lit ] -> Some lit | _ -> None) clauses
+
+let find_pure clauses =
+  let polarity = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun lit ->
+         let v = abs lit in
+         match Hashtbl.find_opt polarity v with
+         | None -> Hashtbl.replace polarity v (Some (lit > 0))
+         | Some (Some p) when p <> (lit > 0) -> Hashtbl.replace polarity v None
+         | Some _ -> ()))
+    clauses;
+  Hashtbl.fold
+    (fun v pol acc ->
+      match acc, pol with
+      | None, Some p -> Some (if p then v else -v)
+      | acc, _ -> acc)
+    polarity None
+
+let solve clauses =
+  let rec go assignment clauses =
+    match simplify assignment clauses with
+    | None -> Unsat
+    | Some [] ->
+        let model =
+          Imap.fold
+            (fun v b acc -> (if b then v else -v) :: acc)
+            assignment []
+        in
+        Sat model
+    | Some clauses -> (
+        match find_unit clauses with
+        | Some lit -> go (Imap.add (abs lit) (lit > 0) assignment) clauses
+        | None -> (
+            match find_pure clauses with
+            | Some lit -> go (Imap.add (abs lit) (lit > 0) assignment) clauses
+            | None -> (
+                match clauses with
+                | (lit :: _) :: _ -> (
+                    let v = abs lit in
+                    match go (Imap.add v true assignment) clauses with
+                    | Sat m -> Sat m
+                    | Unsat -> go (Imap.add v false assignment) clauses)
+                | _ -> assert false)))
+  in
+  go Imap.empty clauses
+
+let entails clauses goal =
+  (* Code symbols as positive integers. *)
+  let table = Hashtbl.create 64 in
+  let next = ref 0 in
+  let code s =
+    match Hashtbl.find_opt table s with
+    | Some i -> i
+    | None ->
+        incr next;
+        Hashtbl.add table s !next;
+        !next
+  in
+  let clause_cnf c =
+    (* (p1 ∧ … ∧ pm) → (q1 ∧ … ∧ qn)  ≡  ⋀_j (¬p1 ∨ … ∨ ¬pm ∨ qj) *)
+    let negs =
+      List.map (fun s -> -code s) (Symbol.Set.elements (Clause.antecedent c))
+    in
+    List.map
+      (fun q -> negs @ [ code q ])
+      (Symbol.Set.elements (Clause.consequent c))
+  in
+  let premise = List.concat_map clause_cnf clauses in
+  let antecedent_units =
+    List.map (fun s -> [ code s ]) (Symbol.Set.elements (Clause.antecedent goal))
+  in
+  let negated_consequent =
+    [ List.map (fun s -> -code s) (Symbol.Set.elements (Clause.consequent goal)) ]
+  in
+  if Symbol.Set.is_empty (Clause.consequent goal) then true
+  else
+    match solve (premise @ antecedent_units @ negated_consequent) with
+    | Unsat -> true
+    | Sat _ -> false

@@ -1,0 +1,19 @@
+(** A small DPLL SAT solver over integer-coded CNF, used to decide
+    entailment by refutation: [F ⊨ (X → Y)] iff [F ∧ X ∧ ¬Y] is
+    unsatisfiable. Provides the third, independent decision procedure for
+    the closure ablation (forward chaining vs truth tables vs DPLL). *)
+
+type literal = int
+(** Non-zero; negative encodes negation, as in DIMACS. *)
+
+type cnf = literal list list
+
+type outcome = Sat of literal list | Unsat
+(** [Sat model] carries one satisfying assignment (a consistent literal
+    list covering all mentioned variables). *)
+
+val solve : cnf -> outcome
+
+(** [entails clauses goal] decides ILFD implication by refutation. Agrees
+    with {!Infer.entails} and {!Semantics.entails} (tested). *)
+val entails : Clause.t list -> Clause.t -> bool

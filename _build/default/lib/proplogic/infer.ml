@@ -1,0 +1,95 @@
+let closure_naive clauses xs =
+  let step acc =
+    List.fold_left
+      (fun acc c ->
+        if Symbol.Set.subset (Clause.antecedent c) acc then
+          Symbol.Set.union acc (Clause.consequent c)
+        else acc)
+      acc clauses
+  in
+  let rec fix acc =
+    let next = step acc in
+    if Symbol.Set.equal next acc then acc else fix next
+  in
+  fix xs
+
+(* Linear-time closure: count unsatisfied antecedent symbols per clause;
+   when a clause's count hits zero, fire it and enqueue its consequents. *)
+let closure clauses xs =
+  let clauses = Array.of_list clauses in
+  let waiting = Hashtbl.create 64 in
+  let count = Array.make (Array.length clauses) 0 in
+  Array.iteri
+    (fun i c ->
+      let ante = Clause.antecedent c in
+      count.(i) <- Symbol.Set.cardinal ante;
+      Symbol.Set.iter
+        (fun s ->
+          Hashtbl.replace waiting s
+            (i
+            ::
+            (match Hashtbl.find_opt waiting s with
+            | Some l -> l
+            | None -> [])))
+        ante)
+    clauses;
+  let result = ref Symbol.Set.empty in
+  let queue = Queue.create () in
+  let enqueue s =
+    if not (Symbol.Set.mem s !result) then begin
+      result := Symbol.Set.add s !result;
+      Queue.add s queue
+    end
+  in
+  (* Clauses with empty antecedents fire immediately. *)
+  Array.iteri
+    (fun i c -> if count.(i) = 0 then Symbol.Set.iter enqueue (Clause.consequent c))
+    clauses;
+  Symbol.Set.iter enqueue xs;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    match Hashtbl.find_opt waiting s with
+    | None -> ()
+    | Some is ->
+        Hashtbl.remove waiting s;
+        List.iter
+          (fun i ->
+            count.(i) <- count.(i) - 1;
+            if count.(i) = 0 then
+              Symbol.Set.iter enqueue (Clause.consequent clauses.(i)))
+          is
+  done;
+  !result
+
+let entails clauses c =
+  Symbol.Set.subset (Clause.consequent c) (closure clauses (Clause.antecedent c))
+
+let redundant clauses c =
+  let others = List.filter (fun d -> not (Clause.equal d c)) clauses in
+  entails others c
+
+let consequences clauses xs =
+  let rec loop acc known remaining =
+    let fired, rest =
+      List.partition
+        (fun c -> Symbol.Set.subset (Clause.antecedent c) known)
+        remaining
+    in
+    let useful =
+      List.filter_map
+        (fun c ->
+          let fresh = Symbol.Set.diff (Clause.consequent c) known in
+          if Symbol.Set.is_empty fresh then None else Some (c, fresh))
+        fired
+    in
+    match useful with
+    | [] -> List.rev acc
+    | _ :: _ ->
+        let known =
+          List.fold_left
+            (fun k (_, fresh) -> Symbol.Set.union k fresh)
+            known useful
+        in
+        loop (List.rev_append useful acc) known rest
+  in
+  loop [] xs clauses

@@ -1,0 +1,27 @@
+(** Syntactic inference: the closure [X⁺_F] and implication testing.
+
+    The paper notes (end of Section 5) that the closure of a symbol set
+    with respect to a set of ILFDs is computed exactly like the attribute
+    closure under FDs. This is that algorithm: forward chaining to a fixed
+    point, O(|F| · |symbols|) with the standard counting optimisation. *)
+
+(** [closure clauses xs] is [X⁺_F]: all symbols derivable from [xs] using
+    [clauses] under Armstrong's axioms for ILFDs. *)
+val closure : Clause.t list -> Symbol.Set.t -> Symbol.Set.t
+
+(** [entails clauses c] decides [F ⊨ (X → Y)] syntactically:
+    [Y ⊆ closure F X]. Sound and complete by Theorem 1. *)
+val entails : Clause.t list -> Clause.t -> bool
+
+(** [redundant clauses c] — [c] follows from the {e other} clauses. *)
+val redundant : Clause.t list -> Clause.t -> bool
+
+(** [closure_naive clauses xs] is the textbook quadratic fixpoint; kept as
+    an oracle for property tests and the closure ablation bench. *)
+val closure_naive : Clause.t list -> Symbol.Set.t -> Symbol.Set.t
+
+(** [consequences clauses xs] lists, in derivation order, the pairs
+    (clause used, symbols added) — a trace of the forward chaining used by
+    explanation output. *)
+val consequences :
+  Clause.t list -> Symbol.Set.t -> (Clause.t * Symbol.Set.t) list

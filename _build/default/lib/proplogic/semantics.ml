@@ -1,0 +1,22 @@
+let universe clauses extra =
+  List.fold_left
+    (fun acc c -> Symbol.Set.union acc (Clause.symbols c))
+    extra clauses
+
+let valuations symbols =
+  Symbol.Set.fold
+    (fun s acc -> List.concat_map (fun v -> [ v; Symbol.Set.add s v ]) acc)
+    symbols
+    [ Symbol.Set.empty ]
+
+let is_model valuation clauses =
+  List.for_all (Clause.satisfied_by valuation) clauses
+
+let models clauses symbols =
+  List.filter (fun v -> is_model v clauses) (valuations symbols)
+
+let entails clauses goal =
+  let symbols = universe clauses (Clause.symbols goal) in
+  List.for_all
+    (fun v -> Clause.satisfied_by v goal)
+    (models clauses symbols)

@@ -1,0 +1,21 @@
+(** Model-theoretic semantics: valuations, satisfaction, brute-force
+    entailment. Exponential in the number of symbols; used as the oracle
+    against which the syntactic engines are verified (Theorem 1 states
+    they must agree). *)
+
+(** [universe clauses extra] — all symbols mentioned. *)
+val universe : Clause.t list -> Symbol.Set.t -> Symbol.Set.t
+
+(** [valuations symbols] enumerates all subsets of [symbols] (the
+    valuations assigning true exactly to the subset). *)
+val valuations : Symbol.Set.t -> Symbol.Set.t list
+
+(** [is_model valuation clauses] — the valuation satisfies every clause. *)
+val is_model : Symbol.Set.t -> Clause.t list -> bool
+
+(** [models clauses symbols] — every model over the universe [symbols]. *)
+val models : Clause.t list -> Symbol.Set.t -> Symbol.Set.t list
+
+(** [entails clauses goal] — every model of [clauses] over the combined
+    universe satisfies [goal]. *)
+val entails : Clause.t list -> Clause.t -> bool

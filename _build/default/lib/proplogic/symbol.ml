@@ -1,0 +1,18 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+let set_of_list = Set.of_list
+let set_to_list = Set.elements
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp)
+    (Set.elements s)

@@ -1,0 +1,21 @@
+(** Propositional symbols.
+
+    The paper reduces ILFD reasoning to propositional logic by treating
+    each boolean condition [(A = a)] as a symbol (Section 5). This module
+    provides the symbol type and symbol sets; the [ilfd] library performs
+    the (attribute, value) ↔ symbol encoding. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(** [set_of_list xs] builds a set. *)
+val set_of_list : t list -> Set.t
+
+val set_to_list : Set.t -> t list
+val pp_set : Format.formatter -> Set.t -> unit

@@ -1,0 +1,1 @@
+lib/prototype/bridge.ml: Buffer Char Entity_id Ilfd List Printf Prolog Relational String

@@ -1,0 +1,1 @@
+lib/prototype/bridge.mli: Entity_id Ilfd Prolog Relational

@@ -1,0 +1,1 @@
+lib/prototype/session.ml: Bridge Buffer Entity_id Format List Option Printf Prolog Relational String

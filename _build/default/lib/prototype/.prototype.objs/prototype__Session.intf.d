@@ -1,0 +1,1 @@
+lib/prototype/session.mli: Entity_id Ilfd Relational

@@ -1,0 +1,196 @@
+module V = Relational.Value
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module T = Prolog.Term
+
+let sanitize_string s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as l -> Buffer.add_char buf l
+      | _ -> Buffer.add_char buf '_')
+    s;
+  let out = Buffer.contents buf in
+  if out = "" then "x" else out
+
+let atomize ?(sanitize = false) v =
+  match v with
+  | V.Null -> T.atom "null"
+  | _ ->
+      let s = V.to_string v in
+      T.atom (if sanitize then sanitize_string s else s)
+
+let pred prefix attr = prefix ^ "_" ^ attr
+
+let tuple_id prefix i = T.atom (Printf.sprintf "%s%d" prefix (i + 1))
+
+let facts_of_relation ?sanitize ~prefix rel =
+  let schema = Relation.schema rel in
+  List.concat
+    (List.mapi
+       (fun i t ->
+         List.filter_map
+           (fun a ->
+             let v = Tuple.get schema t a in
+             if V.is_null v then None
+             else
+               Some
+                 (Prolog.Database.fact
+                    (T.compound (pred prefix a)
+                       [ tuple_id prefix i; atomize ?sanitize v ])))
+           (Schema.names schema))
+       (Relation.tuples rel))
+
+let rules_of_ilfds ?sanitize ~prefix ilfds =
+  (* Only rules whose antecedent attributes are reachable (base or
+     derivable) may be generated — otherwise the body would call a
+     predicate that does not exist. Reachability is the caller's concern;
+     here we translate faithfully. *)
+  let id_var = T.var "Id" in
+  List.concat_map
+    (fun i ->
+      let body =
+        List.map
+          (fun (c : Ilfd.condition) ->
+            T.compound (pred prefix c.attribute)
+              [ id_var; atomize ?sanitize c.value ])
+          (Ilfd.antecedent i)
+        @ [ T.atom "!" ]
+      in
+      List.map
+        (fun (c : Ilfd.condition) ->
+          {
+            Prolog.Database.head =
+              T.compound (pred prefix c.attribute)
+                [ id_var; atomize ?sanitize c.value ];
+            body;
+          })
+        (Ilfd.consequent i))
+    ilfds
+
+let null_defaults ~prefix attrs =
+  List.map
+    (fun a ->
+      Prolog.Database.fact
+        (T.compound (pred prefix a) [ T.var "_Any"; T.atom "null" ]))
+    attrs
+
+(* The Appendix's helpers: non_null_eq and the two-clause cut idiom for
+   if_then_else. *)
+let support_clauses =
+  Prolog.Parser.program
+    {|
+      non_null_eq(A, B) :- \+ A = null, \+ B = null, A = B.
+      if_then_else(P, Q, _R) :- call(P), !, call(Q).
+      if_then_else(_P, _Q, R) :- call(R).
+    |}
+
+let attrs_available rel ilfds =
+  Schema.names (Relation.schema rel)
+  @ Ilfd.Apply.derivable_attributes (Relation.schema rel) ilfds
+
+let usable_rules rel ilfds =
+  let available = attrs_available rel ilfds in
+  let schema_attrs = Schema.names (Relation.schema rel) in
+  List.filter
+    (fun i ->
+      List.for_all
+        (fun (c : Ilfd.condition) -> List.mem c.attribute available)
+        (Ilfd.antecedent i)
+      && List.for_all
+           (fun (c : Ilfd.condition) ->
+             not (List.mem c.attribute schema_attrs))
+           (Ilfd.consequent i))
+    ilfds
+
+let matchtable_clause ~r ~s ~key =
+  let kext = Entity_id.Extended_key.attributes key in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let r_var a = T.var ("R_" ^ sanitize_string a) in
+  let s_var a = T.var ("S_" ^ sanitize_string a) in
+  let dedup l = List.sort_uniq String.compare l in
+  (* Base-schema attributes must come first in the body: their facts bind
+     the tuple id before any derived predicate (whose ILFD rules end in a
+     cut) runs — calling a cut-carrying rule with an unbound id would
+     truncate the enumeration to a single tuple. *)
+  let ordered rel attrs =
+    let schema = Relation.schema rel in
+    let base, extended = List.partition (Schema.mem schema) attrs in
+    base @ extended
+  in
+  let r_attrs = ordered r (dedup (kext @ r_key))
+  and s_attrs = ordered s (dedup (kext @ s_key)) in
+  let head =
+    T.compound "matchtable"
+      (List.map r_var r_key @ List.map s_var s_key)
+  in
+  let body =
+    List.map
+      (fun a -> T.compound (pred "r" a) [ T.var "R"; r_var a ])
+      r_attrs
+    @ List.map
+        (fun a -> T.compound (pred "s" a) [ T.var "S"; s_var a ])
+        s_attrs
+    @ List.map
+        (fun a -> T.compound "non_null_eq" [ r_var a; s_var a ])
+        kext
+  in
+  { Prolog.Database.head; body }
+
+let program ?sanitize ~r ~s ~key ilfds =
+  let kext = Entity_id.Extended_key.attributes key in
+  let missing rel =
+    List.filter
+      (fun a -> not (Schema.mem (Relation.schema rel) a))
+      kext
+  in
+  let clauses =
+    facts_of_relation ?sanitize ~prefix:"r" r
+    @ facts_of_relation ?sanitize ~prefix:"s" s
+    @ rules_of_ilfds ?sanitize ~prefix:"r" (usable_rules r ilfds)
+    @ rules_of_ilfds ?sanitize ~prefix:"s" (usable_rules s ilfds)
+    @ null_defaults ~prefix:"r" (missing r)
+    @ null_defaults ~prefix:"s" (missing s)
+    @ support_clauses
+    @ [ matchtable_clause ~r ~s ~key ]
+  in
+  Prolog.Database.of_clauses clauses
+
+let matching_table ~r ~s ~key ilfds =
+  let db = program ~r ~s ~key ilfds in
+  let engine = Prolog.Solve.make ~out:ignore db in
+  let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let nr = List.length r_key and ns = List.length s_key in
+  let vars = List.init (nr + ns) (fun i -> Printf.sprintf "X%d" i) in
+  let goal = T.compound "matchtable" (List.map T.var vars) in
+  let solutions = Prolog.Solve.query engine [ goal ] in
+  let value_of_term = function
+    | T.Atom "null" -> V.Null
+    | T.Atom a -> V.of_csv_string a
+    | T.Int i -> V.Int i
+    | t -> V.String (T.to_string t)
+  in
+  let entries =
+    List.map
+      (fun bindings ->
+        let values = List.map (fun v -> value_of_term (List.assoc v bindings)) vars in
+        let rec split n l =
+          if n = 0 then ([], l)
+          else
+            match l with
+            | [] -> ([], [])
+            | x :: rest ->
+                let a, b = split (n - 1) rest in
+                (x :: a, b)
+        in
+        let r_vals, s_vals = split nr values in
+        {
+          Entity_id.Matching_table.r_key =
+            Tuple.make (Schema.of_names r_key) r_vals;
+          s_key = Tuple.make (Schema.of_names s_key) s_vals;
+        })
+      solutions
+  in
+  Entity_id.Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key entries

@@ -1,0 +1,70 @@
+(** Bridge between the OCaml engine and the Prolog prototype
+    (Section 6): compile relations and ILFDs to a Prolog program of the
+    Appendix's exact shape, run the matching-table rule under SLD
+    resolution, and read the result back. Used both to replicate the
+    paper's session and as an end-to-end cross-check that the two
+    implementations agree. *)
+
+(** [sanitize_string s] — lowercased with non-alphanumerics as [_]. *)
+val sanitize_string : string -> string
+
+(** [atomize ?sanitize v] — a Prolog atom for a value. With [sanitize]
+    (default false) the paper's session style is used: lowercased, with
+    non-alphanumerics mapped to [_] (["Co.B2" → co_b2]); otherwise the
+    printable value is kept verbatim (lossless, for cross-checks). *)
+val atomize : ?sanitize:bool -> Relational.Value.t -> Prolog.Term.t
+
+(** [facts_of_relation ?sanitize ~prefix rel] — each tuple [i] becomes
+    binary facts [<prefix>_<attr>(<prefix><i+1>, <value>)], exactly the
+    Appendix representation ([r_name(r1, twincities).] …). NULL cells
+    produce no fact. *)
+val facts_of_relation :
+  ?sanitize:bool ->
+  prefix:string ->
+  Relational.Relation.t ->
+  Prolog.Database.clause list
+
+(** [rules_of_ilfds ?sanitize ~prefix ilfds] — each ILFD becomes a rule
+    deriving a [<prefix>_<attr>] predicate with a terminating cut:
+    [s_cui(Id, chinese) :- s_spec(Id, hunan), !.] *)
+val rules_of_ilfds :
+  ?sanitize:bool ->
+  prefix:string ->
+  Ilfd.t list ->
+  Prolog.Database.clause list
+
+(** [null_defaults ~prefix attrs] — the trailing default facts
+    [<prefix>_<attr>(_, null).] for extended attributes. *)
+val null_defaults : prefix:string -> string list -> Prolog.Database.clause list
+
+(** [support_clauses] — [non_null_eq/2] and the Appendix helpers. *)
+val support_clauses : Prolog.Database.clause list
+
+(** [matchtable_clause ~r ~s ~key] — the dynamically generated rule
+    defining [matchtable(R_k1…, S_k1…)] over the two relations' key
+    attributes, joining on the extended key with [non_null_eq]. *)
+val matchtable_clause :
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Entity_id.Extended_key.t ->
+  Prolog.Database.clause
+
+(** [program ?sanitize ~r ~s ~key ilfds] — the complete Prolog program. *)
+val program :
+  ?sanitize:bool ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Entity_id.Extended_key.t ->
+  Ilfd.t list ->
+  Prolog.Database.t
+
+(** [matching_table ~r ~s ~key ilfds] — runs [matchtable] under the
+    engine (lossless atoms) and decodes the solutions into a
+    {!Entity_id.Matching_table.t} for comparison with
+    {!Entity_id.Identify.run}. *)
+val matching_table :
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Entity_id.Extended_key.t ->
+  Ilfd.t list ->
+  Entity_id.Matching_table.t

@@ -1,0 +1,51 @@
+(** Rendering in the style of the paper's Section 6 Prolog session:
+    15-column left-padded fields, lowercase sanitised atoms, ["null"] for
+    missing values, and the [setup_extkey] / verification transcript. *)
+
+(** [atom_string v] — the session's display form of a value. *)
+val atom_string : Relational.Value.t -> string
+
+(** [render_table ~title ~header rows] — e.g.
+    {v
+    matching table
+    ----------------
+    r_name         r_cui          ...
+    v} *)
+val render_table :
+  title:string -> header:string list -> string list list -> string
+
+(** [abbrev mapping a] — attribute display name ([cuisine ↦ cui] in the
+    paper); identity for unmapped attributes. *)
+val abbrev : (string * string) list -> string -> string
+
+(** [setup_extkey_transcript ?abbrev ~r ~s ~key ilfds] — the candidate
+    list, the generated matchtable rule, and the verification message,
+    replicating the [?- setup_extkey.] interaction for the given
+    selection. *)
+val setup_extkey_transcript :
+  ?abbrev:(string * string) list ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Entity_id.Extended_key.t ->
+  Ilfd.t list ->
+  string
+
+(** [matchtable_session ?abbrev ~r ~s ~key ilfds] — the
+    [?- print_matchtable.] output. *)
+val matchtable_session :
+  ?abbrev:(string * string) list ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Entity_id.Extended_key.t ->
+  Ilfd.t list ->
+  string
+
+(** [integrated_session ?abbrev ~r ~s ~key ilfds] — the
+    [?- print_integ_table.] output. *)
+val integrated_session :
+  ?abbrev:(string * string) list ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Entity_id.Extended_key.t ->
+  Ilfd.t list ->
+  string

@@ -1,0 +1,1 @@
+lib/relational/aggregate.ml: Hashtbl List Printf Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Hashtbl List Option Predicate Printf Relation Schema String Tuple Value

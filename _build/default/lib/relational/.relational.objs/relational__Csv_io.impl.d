@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Buffer Fun In_channel List Printf Relation Schema String Tuple Value

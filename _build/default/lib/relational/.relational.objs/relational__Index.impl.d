@@ -1,0 +1,1 @@
+lib/relational/index.ml: List Map Option Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/key_tools.ml: Hashtbl Int List Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/relational/key_tools.mli: Relation Tuple

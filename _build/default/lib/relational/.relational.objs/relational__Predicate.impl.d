@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Format List Option String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/pretty.ml: Array Buffer List Relation Schema String Tuple Value

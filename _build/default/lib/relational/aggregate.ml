@@ -1,0 +1,92 @@
+type func =
+  | Count
+  | Count_distinct of string
+  | Sum of string
+  | Min of string
+  | Max of string
+
+let numeric_add acc v =
+  match acc, v with
+  | Value.Int a, Value.Int b -> Value.Int (a + b)
+  | Value.Float a, Value.Float b -> Value.Float (a +. b)
+  | Value.Int a, Value.Float b | Value.Float b, Value.Int a ->
+      Value.Float (float_of_int a +. b)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Aggregate.Sum: non-numeric value %s"
+           (Value.to_string v))
+
+let apply schema rows = function
+  | Count -> Value.Int (List.length rows)
+  | Count_distinct attr ->
+      let vs =
+        List.filter_map
+          (fun t ->
+            let v = Tuple.get schema t attr in
+            if Value.is_null v then None else Some v)
+          rows
+      in
+      Value.Int (List.length (List.sort_uniq Value.compare vs))
+  | Sum attr ->
+      List.fold_left
+        (fun acc t ->
+          let v = Tuple.get schema t attr in
+          if Value.is_null v then acc else numeric_add acc v)
+        (Value.Int 0) rows
+  | Min attr ->
+      List.fold_left
+        (fun acc t ->
+          let v = Tuple.get schema t attr in
+          if Value.is_null v then acc
+          else
+            match acc with
+            | Value.Null -> v
+            | _ -> if Value.compare v acc < 0 then v else acc)
+        Value.Null rows
+  | Max attr ->
+      List.fold_left
+        (fun acc t ->
+          let v = Tuple.get schema t attr in
+          if Value.is_null v then acc
+          else
+            match acc with
+            | Value.Null -> v
+            | _ -> if Value.compare v acc > 0 then v else acc)
+        Value.Null rows
+
+let group_by ~by aggregates r =
+  let schema = Relation.schema r in
+  List.iter (fun a -> ignore (Schema.index_of schema a)) by;
+  let groups = Hashtbl.create 32 in
+  let order = ref [] in
+  Relation.iter
+    (fun t ->
+      let key = Tuple.values (Tuple.project schema t by) in
+      match Hashtbl.find_opt groups key with
+      | Some rows -> Hashtbl.replace groups key (t :: rows)
+      | None ->
+          order := key :: !order;
+          Hashtbl.add groups key [ t ])
+    r;
+  let out_schema =
+    Schema.of_names (by @ List.map fst aggregates)
+  in
+  let rows =
+    List.rev_map
+      (fun key ->
+        let members = List.rev (Hashtbl.find groups key) in
+        key @ List.map (fun (_, f) -> apply schema members f) aggregates)
+      !order
+  in
+  Relation.create out_schema rows
+
+let count_rows = Relation.cardinality
+
+let distinct_values r attr =
+  let schema = Relation.schema r in
+  Relation.fold
+    (fun acc t ->
+      let v = Tuple.get schema t attr in
+      if Value.is_null v then acc else v :: acc)
+    [] r
+  |> List.sort_uniq Value.compare

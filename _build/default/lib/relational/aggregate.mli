@@ -1,0 +1,28 @@
+(** Grouping and aggregation over relations — the analysis layer used by
+    the workload metrics and benches (e.g. matches per cuisine, NMT size
+    per rule). *)
+
+type func =
+  | Count  (** rows in the group *)
+  | Count_distinct of string
+  | Sum of string  (** numeric; NULLs skipped *)
+  | Min of string
+  | Max of string
+
+(** [group_by ~by aggregates r] — one output row per distinct [by]
+    projection (NULLs group together, as in SQL's GROUP BY), with one
+    column per aggregate, named [name]. Output order follows first
+    occurrence.
+    @raise Schema.Unknown_attribute for unknown columns.
+    @raise Invalid_argument when [Sum] meets a non-numeric value. *)
+val group_by :
+  by:string list ->
+  (string * func) list ->
+  Relation.t ->
+  Relation.t
+
+(** [count_rows r] = cardinality (sugar). *)
+val count_rows : Relation.t -> int
+
+(** [distinct_values r attr] — sorted distinct non-NULL values. *)
+val distinct_values : Relation.t -> string -> Value.t list

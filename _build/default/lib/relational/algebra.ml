@@ -1,0 +1,170 @@
+exception Incompatible_schemas of string
+
+let select pred r =
+  let schema = Relation.schema r in
+  Relation.of_tuples schema
+    (List.filter (Predicate.holds schema pred) (Relation.tuples r))
+
+let project names r =
+  let schema = Relation.schema r in
+  let out_schema = Schema.project schema names in
+  Relation.of_tuples out_schema
+    (List.map (fun t -> Tuple.project schema t names) (Relation.tuples r))
+
+let rename mapping r =
+  let schema = Relation.schema r in
+  let out_schema = Schema.rename schema mapping in
+  let ren name = Option.value (List.assoc_opt name mapping) ~default:name in
+  let keys = List.map (List.map ren) (Relation.declared_keys r) in
+  Relation.of_tuples out_schema ~keys (Relation.tuples r)
+
+let prefix p r =
+  let mapping =
+    List.map (fun n -> (n, p ^ n)) (Schema.names (Relation.schema r))
+  in
+  rename mapping r
+
+let check_disjoint a b =
+  match Schema.common (Relation.schema a) (Relation.schema b) with
+  | [] -> ()
+  | clash :: _ ->
+      raise
+        (Incompatible_schemas
+           (Printf.sprintf "attribute %s appears on both sides" clash))
+
+let product a b =
+  check_disjoint a b;
+  let out_schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let rows =
+    List.concat_map
+      (fun ta -> List.map (fun tb -> Tuple.concat ta tb) (Relation.tuples b))
+      (Relation.tuples a)
+  in
+  Relation.of_tuples out_schema rows
+
+let theta_join pred a b = select pred (product a b)
+
+(* Hash-join machinery: bucket the right side by its join-key projection,
+   skipping tuples with a NULL key (NULL never joins). *)
+let build_buckets schema key_names rel =
+  let buckets = Hashtbl.create (max 16 (Relation.cardinality rel)) in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.project schema t key_names in
+      if not (Tuple.has_null k) then
+        Hashtbl.replace buckets (Tuple.values k)
+          (t
+          ::
+          (match Hashtbl.find_opt buckets (Tuple.values k) with
+          | Some l -> l
+          | None -> [])))
+    rel;
+  buckets
+
+let equi_join_generic ~on ~keep_left ~keep_right a b =
+  check_disjoint a b;
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let a_keys = List.map fst on and b_keys = List.map snd on in
+  List.iter (fun k -> ignore (Schema.index_of sa k)) a_keys;
+  List.iter (fun k -> ignore (Schema.index_of sb k)) b_keys;
+  let out_schema = Schema.concat sa sb in
+  let buckets = build_buckets sb b_keys b in
+  let null_b = Array.make (Schema.arity sb) Value.Null in
+  let null_a = Array.make (Schema.arity sa) Value.Null in
+  let matched_b = Hashtbl.create 64 in
+  let rows = ref [] in
+  let emit row = rows := row :: !rows in
+  Relation.iter
+    (fun ta ->
+      let k = Tuple.project sa ta a_keys in
+      let partners =
+        if Tuple.has_null k then []
+        else
+          match Hashtbl.find_opt buckets (Tuple.values k) with
+          | Some l -> l
+          | None -> []
+      in
+      match partners with
+      | [] -> if keep_left then emit (Tuple.concat ta (Tuple.of_array sb null_b))
+      | _ :: _ ->
+          List.iter
+            (fun tb ->
+              Hashtbl.replace matched_b (Tuple.values tb) ();
+              emit (Tuple.concat ta tb))
+            partners)
+    a;
+  if keep_right then
+    Relation.iter
+      (fun tb ->
+        if not (Hashtbl.mem matched_b (Tuple.values tb)) then
+          emit (Tuple.concat (Tuple.of_array sa null_a) tb))
+      b;
+  Relation.of_tuples out_schema (List.rev !rows)
+
+let equi_join ~on a b =
+  equi_join_generic ~on ~keep_left:false ~keep_right:false a b
+
+let left_outer_join ~on a b =
+  equi_join_generic ~on ~keep_left:true ~keep_right:false a b
+
+let right_outer_join ~on a b =
+  equi_join_generic ~on ~keep_left:false ~keep_right:true a b
+
+let full_outer_join ~on a b =
+  equi_join_generic ~on ~keep_left:true ~keep_right:true a b
+
+let natural_join a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let shared = Schema.common sa sb in
+  if shared = [] then product a b
+  else begin
+    (* Rename shared attributes on the right, equi-join, then drop them. *)
+    let fresh n = "__nj_" ^ n in
+    let b' = rename (List.map (fun n -> (n, fresh n)) shared) b in
+    let joined =
+      equi_join ~on:(List.map (fun n -> (n, fresh n)) shared) a b'
+    in
+    let keep =
+      List.filter
+        (fun n -> not (List.mem n (List.map fresh shared)))
+        (Schema.names (Relation.schema joined))
+    in
+    project keep joined
+  end
+
+let check_same_names a b =
+  let na = Schema.names (Relation.schema a)
+  and nb = Schema.names (Relation.schema b) in
+  if na <> nb then
+    raise
+      (Incompatible_schemas
+         (Printf.sprintf "union-compatible schemas required: (%s) vs (%s)"
+            (String.concat ", " na) (String.concat ", " nb)))
+
+let union a b =
+  check_same_names a b;
+  Relation.of_tuples (Relation.schema a) (Relation.tuples a @ Relation.tuples b)
+
+let inter a b =
+  check_same_names a b;
+  Relation.of_tuples (Relation.schema a)
+    (List.filter (Relation.mem b) (Relation.tuples a))
+
+let diff a b =
+  check_same_names a b;
+  Relation.of_tuples (Relation.schema a)
+    (List.filter (fun t -> not (Relation.mem b t)) (Relation.tuples a))
+
+let sort_by names r =
+  let schema = Relation.schema r in
+  let cmp t1 t2 =
+    let c =
+      Tuple.compare (Tuple.project schema t1 names)
+        (Tuple.project schema t2 names)
+    in
+    if c <> 0 then c else Tuple.compare t1 t2
+  in
+  Relation.of_tuples schema ~keys:(Relation.declared_keys r)
+    (List.sort cmp (Relation.tuples r))
+
+let count = Relation.cardinality

@@ -1,0 +1,66 @@
+(** Relational algebra over {!Relation.t}.
+
+    All operations have set semantics. Join conditions use non-NULL
+    equality ([Value.non_null_eq]): a NULL never joins with anything,
+    matching both SQL and the paper's prototype, where the matching-table
+    rule compares extended-key attributes with [non_null_eq]. Result
+    relations carry no declared candidate key unless stated. *)
+
+exception Incompatible_schemas of string
+
+(** [select pred r] keeps tuples on which [pred] evaluates to [True]. *)
+val select : Predicate.t -> Relation.t -> Relation.t
+
+(** [project names r] — π; duplicates collapse (set semantics). *)
+val project : string list -> Relation.t -> Relation.t
+
+(** [rename mapping r] — ρ; declared candidate keys are renamed along. *)
+val rename : (string * string) list -> Relation.t -> Relation.t
+
+(** [prefix p r] renames every attribute [a] to [p ^ a] — convenient for
+    building the paper's [r_name]/[s_name]-style integrated schemas. *)
+val prefix : string -> Relation.t -> Relation.t
+
+(** [product a b] — ×. @raise Incompatible_schemas on a name clash. *)
+val product : Relation.t -> Relation.t -> Relation.t
+
+(** [theta_join pred a b] = σ_pred (a × b), nested-loop.
+    @raise Incompatible_schemas on a name clash. *)
+val theta_join : Predicate.t -> Relation.t -> Relation.t -> Relation.t
+
+(** [equi_join ~on a b] hash join on pairs [(a_attr, b_attr)]; both sides'
+    attributes are kept (schemas must not clash). NULL keys never join. *)
+val equi_join :
+  on:(string * string) list -> Relation.t -> Relation.t -> Relation.t
+
+(** [natural_join a b] equi-joins on the common attribute names and keeps
+    one copy of each common attribute. *)
+val natural_join : Relation.t -> Relation.t -> Relation.t
+
+(** [left_outer_join ~on a b] keeps unmatched [a]-tuples padded with NULLs
+    on [b]'s attributes. *)
+val left_outer_join :
+  on:(string * string) list -> Relation.t -> Relation.t -> Relation.t
+
+val right_outer_join :
+  on:(string * string) list -> Relation.t -> Relation.t -> Relation.t
+
+(** [full_outer_join ~on a b] keeps unmatched tuples from both sides —
+    the operator the paper uses to build the integrated table T_RS. *)
+val full_outer_join :
+  on:(string * string) list -> Relation.t -> Relation.t -> Relation.t
+
+(** Set operations; schemas must agree on names (types are not compared).
+    @raise Incompatible_schemas otherwise. *)
+val union : Relation.t -> Relation.t -> Relation.t
+
+val inter : Relation.t -> Relation.t -> Relation.t
+val diff : Relation.t -> Relation.t -> Relation.t
+
+(** [sort_by names r] orders tuples by the named attributes
+    ([Value.compare], NULL first); ties broken by full-tuple order. *)
+val sort_by : string list -> Relation.t -> Relation.t
+
+(** [count r] = cardinality (sugar for symmetry with the paper's Prolog
+    [length] checks). *)
+val count : Relation.t -> int

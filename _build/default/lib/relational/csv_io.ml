@@ -1,0 +1,126 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+(* A hand-rolled state machine handling quoted fields, escaped quotes
+   ("") and both \n and \r\n record separators. *)
+let parse_string s =
+  let n = String.length s in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let line = ref 1 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !fields <> [] then flush_record ()
+    end
+    else
+      match s.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\n' ->
+          flush_record ();
+          incr line;
+          plain (i + 1)
+      | '\r' ->
+          if i + 1 < n && s.[i + 1] = '\n' then begin
+            flush_record ();
+            incr line;
+            plain (i + 2)
+          end
+          else plain (i + 1)
+      | '"' ->
+          if Buffer.length buf = 0 then quoted (i + 1)
+          else begin
+            Buffer.add_char buf '"';
+            plain (i + 1)
+          end
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then fail !line "unterminated quoted field"
+    else
+      match s.[i] with
+      | '"' ->
+          if i + 1 < n && s.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            quoted (i + 2)
+          end
+          else plain (i + 1)
+      | '\n' ->
+          incr line;
+          Buffer.add_char buf '\n';
+          quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !records
+
+let relation_of_string ?(keys = []) s =
+  match parse_string s with
+  | [] -> fail 1 "empty CSV: missing header row"
+  | header :: rows ->
+      let schema = Schema.of_names (List.map String.trim header) in
+      let arity = Schema.arity schema in
+      let parse_row i cells =
+        if List.length cells <> arity then
+          fail (i + 2)
+            (Printf.sprintf "expected %d cells, got %d" arity
+               (List.length cells))
+        else Tuple.make schema (List.map Value.of_csv_string cells)
+      in
+      Relation.of_tuples schema ~keys (List.mapi parse_row rows)
+
+let load ?(keys = []) path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> relation_of_string ~keys (In_channel.input_all ic))
+
+let escape_cell s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quote then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let cell_of_value = function
+  | Value.Null -> ""
+  | v -> escape_cell (Value.to_string v)
+
+let to_string r =
+  let buf = Buffer.create 256 in
+  let add_row cells = Buffer.add_string buf (String.concat "," cells ^ "\n") in
+  add_row (List.map escape_cell (Schema.names (Relation.schema r)));
+  Relation.iter
+    (fun t -> add_row (List.map cell_of_value (Tuple.values t)))
+    r;
+  Buffer.contents buf
+
+let save r path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string r))

@@ -1,0 +1,51 @@
+module Vmap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+type t = {
+  attrs : string list;
+  buckets : Tuple.t list Vmap.t;  (** reverse insertion order *)
+  size : int;
+}
+
+let attributes t = t.attrs
+
+let add_tuple buckets schema attrs tuple =
+  let key = Tuple.project schema tuple attrs in
+  if Tuple.has_null key then None
+  else
+    let k = Tuple.values key in
+    let existing = Option.value (Vmap.find_opt k buckets) ~default:[] in
+    Some (Vmap.add k (tuple :: existing) buckets)
+
+let build r attrs =
+  let schema = Relation.schema r in
+  List.iter (fun a -> ignore (Schema.index_of schema a)) attrs;
+  let buckets, size =
+    Relation.fold
+      (fun (buckets, size) tuple ->
+        match add_tuple buckets schema attrs tuple with
+        | Some buckets -> (buckets, size + 1)
+        | None -> (buckets, size))
+      (Vmap.empty, 0) r
+  in
+  { attrs; buckets; size }
+
+let lookup t values =
+  if List.exists Value.is_null values then []
+  else
+    match Vmap.find_opt values t.buckets with
+    | Some l -> List.rev l
+    | None -> []
+
+let lookup_tuple t schema tuple =
+  lookup t (Tuple.values (Tuple.project schema tuple t.attrs))
+
+let add t schema tuple =
+  match add_tuple t.buckets schema t.attrs tuple with
+  | Some buckets -> { t with buckets; size = t.size + 1 }
+  | None -> t
+
+let cardinality t = t.size

@@ -1,0 +1,56 @@
+let violating_pair r attrs =
+  let schema = Relation.schema r in
+  let seen = Hashtbl.create (Relation.cardinality r) in
+  let rec loop = function
+    | [] -> None
+    | t :: rest ->
+        let proj = Tuple.project schema t attrs in
+        if Tuple.has_null proj then
+          (* A NULL key value cannot identify the tuple: pair it with
+             itself as the witness. *)
+          Some (t, t)
+        else
+          let k = Tuple.values proj in
+          (match Hashtbl.find_opt seen k with
+          | Some other -> Some (other, t)
+          | None ->
+              Hashtbl.add seen k t;
+              loop rest)
+  in
+  loop (Relation.tuples r)
+
+let is_superkey r attrs = violating_pair r attrs = None
+
+let subsets_smaller attrs =
+  (* All proper subsets obtained by dropping one attribute. *)
+  List.map (fun a -> List.filter (fun b -> b <> a) attrs) attrs
+
+let is_candidate_key r attrs =
+  attrs <> []
+  && is_superkey r attrs
+  && List.for_all
+       (fun sub -> sub = [] || not (is_superkey r sub))
+       (subsets_smaller attrs)
+
+let minimal_keys r =
+  let names = Schema.names (Relation.schema r) in
+  let rec power = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let sub = power rest in
+        sub @ List.map (fun s -> x :: s) sub
+  in
+  let candidates =
+    power names
+    |> List.filter (fun s -> s <> [])
+    |> List.sort (fun a b ->
+           let c = Int.compare (List.length a) (List.length b) in
+           if c <> 0 then c else compare a b)
+  in
+  let is_subset a b = List.for_all (fun x -> List.mem x b) a in
+  List.fold_left
+    (fun minimal attrs ->
+      if List.exists (fun k -> is_subset k attrs) minimal then minimal
+      else if is_superkey r attrs then minimal @ [ attrs ]
+      else minimal)
+    [] candidates

@@ -1,0 +1,21 @@
+(** Candidate-key analysis on relation instances.
+
+    These checks operate on the {e instance} (the current tuple set), which
+    is how the paper's prototype verifies extended keys: an attribute set
+    is accepted when no two distinct tuples agree on it. *)
+
+(** [is_superkey r attrs] — no two distinct tuples of [r] agree (non-NULL
+    equality) on all of [attrs], and no tuple is NULL on any of them. *)
+val is_superkey : Relation.t -> string list -> bool
+
+(** [is_candidate_key r attrs] — a superkey no proper subset of which is a
+    superkey. *)
+val is_candidate_key : Relation.t -> string list -> bool
+
+(** [minimal_keys r] — all minimal keys of the instance, smallest first
+    (exponential in arity; meant for the small schemas of this domain). *)
+val minimal_keys : Relation.t -> string list list
+
+(** [violating_pair r attrs] — a witness pair of distinct tuples agreeing
+    on [attrs], if any. *)
+val violating_pair : Relation.t -> string list -> (Tuple.t * Tuple.t) option

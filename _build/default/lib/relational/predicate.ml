@@ -1,0 +1,110 @@
+type operand = Attr of string | Const of Value.t
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of operand * op * operand
+  | Non_null_eq of operand * operand
+  | Is_null of string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Const_truth of Value.truth
+
+let tt = Const_truth Value.True
+let ff = Const_truth Value.False
+
+let conj = function
+  | [] -> tt
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let eq a v = Cmp (Attr a, Eq, Const v)
+let eq_attr a b = Cmp (Attr a, Eq, Attr b)
+
+let op_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let operand_value schema tuple = function
+  | Attr name -> Tuple.get schema tuple name
+  | Const v -> v
+
+let apply_op op a b =
+  match op with
+  | Eq -> Value.eq3 a b
+  | Ne -> Value.ne3 a b
+  | Lt -> Value.lt3 a b
+  | Le -> Value.le3 a b
+  | Gt -> Value.gt3 a b
+  | Ge -> Value.ge3 a b
+
+let rec eval schema pred tuple =
+  match pred with
+  | Cmp (l, op, r) ->
+      apply_op op (operand_value schema tuple l) (operand_value schema tuple r)
+  | Non_null_eq (l, r) ->
+      Value.truth_of_bool
+        (Value.non_null_eq
+           (operand_value schema tuple l)
+           (operand_value schema tuple r))
+  | Is_null name ->
+      Value.truth_of_bool (Value.is_null (Tuple.get schema tuple name))
+  | And (p, q) -> Value.and3 (eval schema p tuple) (eval schema q tuple)
+  | Or (p, q) -> Value.or3 (eval schema p tuple) (eval schema q tuple)
+  | Not p -> Value.not3 (eval schema p tuple)
+  | Const_truth v -> v
+
+let holds schema pred tuple = Value.is_true (eval schema pred tuple)
+
+let attributes pred =
+  let add acc = function Attr a -> a :: acc | Const _ -> acc in
+  let rec go acc = function
+    | Cmp (l, _, r) -> add (add acc l) r
+    | Non_null_eq (l, r) -> add (add acc l) r
+    | Is_null a -> a :: acc
+    | And (p, q) | Or (p, q) -> go (go acc p) q
+    | Not p -> go acc p
+    | Const_truth _ -> acc
+  in
+  List.sort_uniq String.compare (go [] pred)
+
+let rename pred mapping =
+  let ren name = Option.value (List.assoc_opt name mapping) ~default:name in
+  let ren_operand = function
+    | Attr a -> Attr (ren a)
+    | Const _ as c -> c
+  in
+  let rec go = function
+    | Cmp (l, op, r) -> Cmp (ren_operand l, op, ren_operand r)
+    | Non_null_eq (l, r) -> Non_null_eq (ren_operand l, ren_operand r)
+    | Is_null a -> Is_null (ren a)
+    | And (p, q) -> And (go p, go q)
+    | Or (p, q) -> Or (go p, go q)
+    | Not p -> Not (go p)
+    | Const_truth _ as c -> c
+  in
+  go pred
+
+let rec pp ppf = function
+  | Cmp (l, op, r) ->
+      Format.fprintf ppf "%a %s %a" pp_operand l (op_to_string op) pp_operand r
+  | Non_null_eq (l, r) ->
+      Format.fprintf ppf "non_null_eq(%a, %a)" pp_operand l pp_operand r
+  | Is_null a -> Format.fprintf ppf "%s is null" a
+  | And (p, q) -> Format.fprintf ppf "(%a and %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf ppf "(%a or %a)" pp p pp q
+  | Not p -> Format.fprintf ppf "not %a" pp p
+  | Const_truth v -> Value.pp_truth ppf v
+
+and pp_operand ppf = function
+  | Attr a -> Format.pp_print_string ppf a
+  | Const v -> (
+      match v with
+      | Value.String s -> Format.fprintf ppf "%S" s
+      | _ -> Value.pp ppf v)
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,48 @@
+(** Row predicates with three-valued evaluation, used by selection and
+    theta joins, and reused by the rules layer for rule antecedents. *)
+
+type operand = Attr of string | Const of Value.t
+
+(** The comparison operators the paper allows in identity and distinctness
+    rules: {m =, \neq, <, \leq, >, \geq}. *)
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of operand * op * operand
+  | Non_null_eq of operand * operand
+      (** Both sides non-NULL and equal — the prototype's [non_null_eq]. *)
+  | Is_null of string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Const_truth of Value.truth
+
+val tt : t
+val ff : t
+
+(** [conj ps] folds [And] over the list ([tt] when empty). *)
+val conj : t list -> t
+
+val eq : string -> Value.t -> t
+(** [eq a v] is [Cmp (Attr a, Eq, Const v)]. *)
+
+val eq_attr : string -> string -> t
+(** [eq_attr a b] is [Cmp (Attr a, Eq, Attr b)]. *)
+
+val op_to_string : op -> string
+
+(** [eval schema pred tuple] under Kleene three-valued logic; comparisons
+    involving NULL are [Unknown]. *)
+val eval : Schema.t -> t -> Tuple.t -> Value.truth
+
+(** [holds schema pred tuple] is [true] iff {!eval} is [True]. *)
+val holds : Schema.t -> t -> Tuple.t -> bool
+
+(** Attribute names mentioned by the predicate. *)
+val attributes : t -> string list
+
+(** [rename p mapping] renames mentioned attributes per association list. *)
+val rename : t -> (string * string) list -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

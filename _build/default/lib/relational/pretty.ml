@@ -1,0 +1,46 @@
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let render_rows ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row cells =
+    let padded =
+      List.mapi (fun i cell -> pad widths.(i) cell) cells
+    in
+    String.concat "  " padded
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (render_row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let render ?title r =
+  let header = Schema.names (Relation.schema r) in
+  let rows =
+    List.map
+      (fun t -> List.map Value.to_string (Tuple.values t))
+      (Relation.tuples r)
+  in
+  let body = render_rows ~header rows in
+  match title with
+  | None -> body
+  | Some t -> t ^ "\n" ^ String.make (String.length t) '=' ^ "\n" ^ body
+
+let print ?title r = print_string (render ?title r)

@@ -1,0 +1,12 @@
+(** ASCII table rendering in the style of the paper's Prolog session
+    output (Section 6): a title, a dashed rule, left-aligned columns. *)
+
+(** [render ?title r] formats the relation as an aligned text table.
+    NULLs print as ["null"], exactly as in the prototype. *)
+val render : ?title:string -> Relation.t -> string
+
+val print : ?title:string -> Relation.t -> unit
+
+(** [render_rows ~header rows] renders raw string rows (used by the bench
+    harness for paper-vs-measured summaries). *)
+val render_rows : header:string list -> string list list -> string

@@ -1,0 +1,104 @@
+type t = {
+  schema : Schema.t;
+  keys : string list list;
+  rows : Tuple.t array;
+}
+
+exception Key_violation of { key : string list; tuple : Tuple.t }
+
+module Tset = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+let check_key schema key rows =
+  let seen = Hashtbl.create 64 in
+  let rec loop = function
+    | [] -> Ok ()
+    | row :: rest ->
+        let proj = Tuple.project schema row key in
+        if Tuple.has_null proj then Error row
+        else
+          let k = Tuple.values proj in
+          if Hashtbl.mem seen k then Error row
+          else begin
+            Hashtbl.add seen k ();
+            loop rest
+          end
+  in
+  loop rows
+
+let default_keys schema keys =
+  match keys with [] -> [ Schema.names schema ] | _ :: _ -> keys
+
+let validate_keys schema keys rows =
+  List.iter
+    (fun key ->
+      List.iter (fun a -> ignore (Schema.index_of schema a)) key;
+      match check_key schema key rows with
+      | Ok () -> ()
+      | Error tuple -> raise (Key_violation { key; tuple }))
+    keys
+
+let of_tuples schema ?(keys = []) tuple_list =
+  (* Set semantics: collapse exact duplicates, preserving first-seen order. *)
+  let _, distinct =
+    List.fold_left
+      (fun (seen, acc) row ->
+        if Tset.mem row seen then (seen, acc)
+        else (Tset.add row seen, row :: acc))
+      (Tset.empty, []) tuple_list
+  in
+  let distinct = List.rev distinct in
+  validate_keys schema keys distinct;
+  { schema; keys; rows = Array.of_list distinct }
+
+let create schema ?(keys = []) value_rows =
+  of_tuples schema ~keys (List.map (Tuple.make schema) value_rows)
+
+let empty schema ?(keys = []) () = of_tuples schema ~keys []
+
+let schema r = r.schema
+let keys r = default_keys r.schema r.keys
+let declared_keys r = r.keys
+
+let primary_key r =
+  match r.keys with key :: _ -> key | [] -> Schema.names r.schema
+
+let cardinality r = Array.length r.rows
+let is_empty r = cardinality r = 0
+let tuples r = Array.to_list r.rows
+let iter f r = Array.iter f r.rows
+let fold f init r = Array.fold_left f init r.rows
+let exists p r = Array.exists p r.rows
+let for_all p r = Array.for_all p r.rows
+
+let find_opt p r =
+  let n = Array.length r.rows in
+  let rec loop i =
+    if i = n then None
+    else if p r.rows.(i) then Some r.rows.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let mem r tuple = exists (Tuple.equal tuple) r
+
+let add r tuple = of_tuples r.schema ~keys:r.keys (tuples r @ [ tuple ])
+
+let value r tuple name = Tuple.get r.schema tuple name
+
+let key_of r tuple = Tuple.project r.schema tuple (primary_key r)
+
+let with_keys r keys = of_tuples r.schema ~keys (tuples r)
+
+let equal a b =
+  Schema.equal a.schema b.schema
+  && cardinality a = cardinality b
+  && Tset.equal (Tset.of_list (tuples a)) (Tset.of_list (tuples b))
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Tuple.pp)
+    (tuples r)

@@ -1,0 +1,57 @@
+(** Relation schemas: an ordered list of named, optionally typed attributes.
+
+    Attribute names within a schema are unique. Synonym resolution (mapping
+    semantically equivalent attributes in two databases to a common name) is
+    assumed done at schema-integration time, as in the paper; the entity-id
+    layer therefore addresses attributes purely by name. *)
+
+type attribute = { name : string; ty : Value.ty option }
+
+type t
+
+exception Duplicate_attribute of string
+exception Unknown_attribute of string
+
+(** [make attrs] builds a schema. @raise Duplicate_attribute on repeats. *)
+val make : attribute list -> t
+
+(** [of_names names] builds an untyped schema. *)
+val of_names : string list -> t
+
+val attr : ?ty:Value.ty -> string -> attribute
+
+val attributes : t -> attribute list
+val names : t -> string list
+val arity : t -> int
+val mem : t -> string -> bool
+
+(** [index_of s name] is the position of [name].
+    @raise Unknown_attribute if absent. *)
+val index_of : t -> string -> int
+
+val index_of_opt : t -> string -> int option
+val ty_of : t -> string -> Value.ty option
+
+(** [project s names] is the sub-schema in the order of [names].
+    @raise Unknown_attribute if any is absent. *)
+val project : t -> string list -> t
+
+(** [concat a b] appends the attributes of [b] to [a].
+    @raise Duplicate_attribute on a name clash. *)
+val concat : t -> t -> t
+
+(** [rename s mapping] renames attributes per the association list; names
+    absent from [mapping] are kept.
+    @raise Unknown_attribute if a source name is absent.
+    @raise Duplicate_attribute if renaming creates a clash. *)
+val rename : t -> (string * string) list -> t
+
+(** [restrict_away s names] drops the given attributes. *)
+val restrict_away : t -> string list -> t
+
+(** [common a b] lists attribute names present in both, in [a]'s order. *)
+val common : t -> t -> string list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,77 @@
+type t = Value.t array
+
+exception Arity_mismatch of { expected : int; got : int }
+
+let check_types schema arr =
+  List.iteri
+    (fun i (a : Schema.attribute) ->
+      match a.ty with
+      | None -> ()
+      | Some ty ->
+          if not (Value.conforms arr.(i) ty) then
+            invalid_arg
+              (Printf.sprintf "Tuple.make: attribute %s expects %s, got %s"
+                 a.name (Value.ty_to_string ty) (Value.to_string arr.(i))))
+    (Schema.attributes schema)
+
+let of_array schema arr =
+  let expected = Schema.arity schema in
+  if Array.length arr <> expected then
+    raise (Arity_mismatch { expected; got = Array.length arr });
+  check_types schema arr;
+  Array.copy arr
+
+let make schema values = of_array schema (Array.of_list values)
+
+let arity = Array.length
+let nth t i = t.(i)
+let get schema t name = t.(Schema.index_of schema name)
+let get_opt schema t name =
+  Option.map (fun i -> t.(i)) (Schema.index_of_opt schema name)
+
+let values = Array.to_list
+let to_array t = Array.copy t
+
+let set schema t name v =
+  let copy = Array.copy t in
+  copy.(Schema.index_of schema name) <- v;
+  copy
+
+let project schema t names =
+  Array.of_list (List.map (fun n -> t.(Schema.index_of schema n)) names)
+
+let concat = Array.append
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 Value.equal a b
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i = Array.length a then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let has_null t = Array.exists Value.is_null t
+
+let agree sa a sb b names =
+  List.for_all
+    (fun n -> Value.non_null_eq (get sa a n) (get sb b n))
+    names
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (values t)
+
+let to_string t = Format.asprintf "%a" pp t

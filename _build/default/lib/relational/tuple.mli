@@ -1,0 +1,53 @@
+(** Tuples: immutable value arrays interpreted against a {!Schema.t}.
+
+    A tuple does not carry its schema; the owning {!Relation.t} does. All
+    positional accessors take the schema explicitly so that projection and
+    concatenation stay cheap. *)
+
+type t
+
+exception Arity_mismatch of { expected : int; got : int }
+
+(** [make schema values] checks arity and (where the schema is typed)
+    domain conformance. @raise Arity_mismatch on wrong length.
+    @raise Invalid_argument on a type violation. *)
+val make : Schema.t -> Value.t list -> t
+
+val of_array : Schema.t -> Value.t array -> t
+val arity : t -> int
+
+(** [get schema tuple name] is the value of attribute [name].
+    @raise Schema.Unknown_attribute if absent. *)
+val get : Schema.t -> t -> string -> Value.t
+
+val get_opt : Schema.t -> t -> string -> Value.t option
+val nth : t -> int -> Value.t
+val values : t -> Value.t list
+val to_array : t -> Value.t array
+
+(** [set schema tuple name v] is a copy with attribute [name] set to [v]. *)
+val set : Schema.t -> t -> string -> Value.t -> t
+
+(** [project schema tuple names] keeps the named attributes in the given
+    order (the resulting tuple conforms to [Schema.project schema names]). *)
+val project : Schema.t -> t -> string list -> t
+
+(** [concat a b] appends values of [b] after those of [a]. *)
+val concat : t -> t -> t
+
+(** Structural equality with [Null] equal to [Null] (set semantics). *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [has_null tuple] holds if any attribute is [Null]. *)
+val has_null : t -> bool
+
+(** [agree schema_a a schema_b b names] holds when [a] and [b] have
+    non-NULL equal values on every attribute in [names] — the paper's
+    extended-key join condition ([non_null_eq] on each K_Ext attribute). *)
+val agree : Schema.t -> t -> Schema.t -> t -> string list -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

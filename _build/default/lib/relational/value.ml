@@ -1,0 +1,142 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+
+type truth = True | False | Unknown
+
+let null = Null
+let int i = Int i
+let float f = Float f
+let bool b = Bool b
+let string s = String s
+
+let is_null = function Null -> true | Int _ | Float _ | Bool _ | String _ -> false
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | String x, String y -> String.equal x y
+  | (Null | Int _ | Float _ | Bool _ | String _), _ -> false
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | String x, String y -> String.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | _, _ -> Int.compare (rank a) (rank b)
+
+let truth_of_bool b = if b then True else False
+
+(* Numeric comparison across Int/Float is meaningful; other cross-type
+   comparisons are Unknown so that a mistyped predicate cannot silently
+   match. *)
+let cmp3 a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | String x, String y -> Some (String.compare x y)
+  | (Int _ | Float _ | Bool _ | String _), _ -> None
+
+let eq3 a b =
+  match a, b with
+  | Null, _ | _, Null -> Unknown
+  | _ -> ( match cmp3 a b with Some c -> truth_of_bool (c = 0) | None -> False)
+
+let not3 = function True -> False | False -> True | Unknown -> Unknown
+let ne3 a b = not3 (eq3 a b)
+
+let rel3 f a b = match cmp3 a b with Some c -> truth_of_bool (f c 0) | None -> Unknown
+
+let lt3 a b = rel3 ( < ) a b
+let le3 a b = rel3 ( <= ) a b
+let gt3 a b = rel3 ( > ) a b
+let ge3 a b = rel3 ( >= ) a b
+
+let non_null_eq a b =
+  (not (is_null a)) && (not (is_null b)) && eq3 a b = True
+
+let and3 a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let or3 a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let is_true = function True -> true | False | Unknown -> false
+
+let to_string = function
+  | Null -> "null"
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Bool b -> string_of_bool b
+  | String s -> s
+
+let of_csv_string s =
+  let s = String.trim s in
+  if s = "" || String.lowercase_ascii s = "null" then Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> (
+            match String.lowercase_ascii s with
+            | "true" -> Bool true
+            | "false" -> Bool false
+            | _ -> String s))
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let truth_to_string = function True -> "true" | False -> "false" | Unknown -> "unknown"
+let pp_truth ppf t = Format.pp_print_string ppf (truth_to_string t)
+
+type ty = TInt | TFloat | TBool | TString
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Bool _ -> Some TBool
+  | String _ -> Some TString
+
+let ty_to_string = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TBool -> "bool"
+  | TString -> "string"
+
+let conforms v ty = match type_of v with None -> true | Some t -> t = ty
+
+let hash = function
+  | Null -> 0
+  | Int i -> Hashtbl.hash (1, i)
+  | Float f -> Hashtbl.hash (2, f)
+  | Bool b -> Hashtbl.hash (3, b)
+  | String s -> Hashtbl.hash (4, s)

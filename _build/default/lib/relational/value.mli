@@ -1,0 +1,84 @@
+(** Atomic attribute values with SQL-style [Null] and three-valued logic.
+
+    Every cell of a tuple holds a [Value.t]. Comparisons involving [Null]
+    are {e unknown} under three-valued logic, which the paper relies on: a
+    NULL extended-key attribute must never be equated with another NULL
+    (the Prolog prototype's [non_null_eq] predicate). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+
+(** Truth values of three-valued (Kleene) logic. *)
+type truth = True | False | Unknown
+
+val null : t
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+val string : string -> t
+
+val is_null : t -> bool
+
+(** [equal a b] is structural equality treating [Null] as equal to [Null].
+    This is the {e tuple-identity} notion used for set operations, not the
+    matching notion; use {!eq3} for matching semantics. *)
+val equal : t -> t -> bool
+
+(** Total order used for sorting and set operations. [Null] sorts first;
+    values of different constructors are ordered by constructor. *)
+val compare : t -> t -> int
+
+(** Three-valued equality: [Unknown] whenever either side is [Null]. *)
+val eq3 : t -> t -> truth
+
+(** Three-valued comparison for [<, <=, >, >=]; [Unknown] on [Null] or on
+    incomparable constructors. *)
+val lt3 : t -> t -> truth
+
+val le3 : t -> t -> truth
+val gt3 : t -> t -> truth
+val ge3 : t -> t -> truth
+
+(** Three-valued inequality, the negation of {!eq3}. *)
+val ne3 : t -> t -> truth
+
+(** [non_null_eq a b] is [true] iff both values are non-NULL and equal:
+    the paper prototype's [non_null_eq] predicate. *)
+val non_null_eq : t -> t -> bool
+
+val and3 : truth -> truth -> truth
+val or3 : truth -> truth -> truth
+val not3 : truth -> truth
+
+(** [is_true t] is [true] only for [True] (SQL WHERE semantics). *)
+val is_true : truth -> bool
+
+val truth_of_bool : bool -> truth
+
+(** Renders [Null] as ["null"], strings verbatim, numbers in OCaml syntax. *)
+val to_string : t -> string
+
+(** Parses a CSV cell: ["null"]/[""] → [Null], then int, float, bool, else
+    string. *)
+val of_csv_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+val pp_truth : Format.formatter -> truth -> unit
+val truth_to_string : truth -> string
+
+(** Type tags used by {!Schema} to describe attribute domains. *)
+type ty = TInt | TFloat | TBool | TString
+
+val type_of : t -> ty option
+(** [type_of v] is [None] for [Null]. *)
+
+val ty_to_string : ty -> string
+
+(** [conforms v ty] holds when [v] is [Null] or has type [ty]. *)
+val conforms : t -> ty -> bool
+
+val hash : t -> int

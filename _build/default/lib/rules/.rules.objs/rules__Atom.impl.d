@@ -1,0 +1,1 @@
+lib/rules/atom.ml: Format List Option Relational

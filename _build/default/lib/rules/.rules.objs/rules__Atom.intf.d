@@ -1,0 +1,1 @@
+lib/rules/atom.mli: Format Relational

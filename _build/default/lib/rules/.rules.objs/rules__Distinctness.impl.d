@@ -1,0 +1,1 @@
+lib/rules/distinctness.ml: Atom Format List String

@@ -1,0 +1,1 @@
+lib/rules/distinctness.mli: Atom Format Relational

@@ -1,0 +1,1 @@
+lib/rules/identity.ml: Atom Format Hashtbl List Printf Relational String

@@ -1,0 +1,1 @@
+lib/rules/identity.mli: Atom Format Relational

@@ -1,0 +1,67 @@
+module V = Relational.Value
+module P = Relational.Predicate
+
+type side = Left | Right
+
+type operand = Attr of side * string | Const of V.t
+
+type t = { lhs : operand; op : P.op; rhs : operand }
+
+let attr side name = Attr (side, name)
+let const v = Const v
+
+let make lhs op rhs = { lhs; op; rhs }
+
+let eq_attrs name = make (attr Left name) P.Eq (attr Right name)
+
+(* An attribute the relation does not model evaluates to NULL: the tuple
+   does not record that property, so any comparison on it is Unknown —
+   the paper's missing-data case. *)
+let operand_value s1 t1 s2 t2 = function
+  | Const v -> v
+  | Attr (Left, a) ->
+      Option.value (Relational.Tuple.get_opt s1 t1 a) ~default:V.Null
+  | Attr (Right, a) ->
+      Option.value (Relational.Tuple.get_opt s2 t2 a) ~default:V.Null
+
+let apply op a b =
+  match op with
+  | P.Eq -> V.eq3 a b
+  | P.Ne -> V.ne3 a b
+  | P.Lt -> V.lt3 a b
+  | P.Le -> V.le3 a b
+  | P.Gt -> V.gt3 a b
+  | P.Ge -> V.ge3 a b
+
+let eval s1 t1 s2 t2 atom =
+  apply atom.op
+    (operand_value s1 t1 s2 t2 atom.lhs)
+    (operand_value s1 t1 s2 t2 atom.rhs)
+
+let attributes atom =
+  let side_attrs target =
+    List.filter_map
+      (function
+        | Attr (s, a) when s = target -> Some a
+        | Attr _ | Const _ -> None)
+      [ atom.lhs; atom.rhs ]
+  in
+  (side_attrs Left, side_attrs Right)
+
+let eval_all s1 t1 s2 t2 atoms =
+  List.fold_left
+    (fun acc atom -> V.and3 acc (eval s1 t1 s2 t2 atom))
+    V.True atoms
+
+let pp_operand ppf = function
+  | Attr (Left, a) -> Format.fprintf ppf "e1.%s" a
+  | Attr (Right, a) -> Format.fprintf ppf "e2.%s" a
+  | Const (V.String s) -> Format.fprintf ppf "%S" s
+  | Const v -> V.pp ppf v
+
+let pp ppf atom =
+  Format.fprintf ppf "%a %s %a" pp_operand atom.lhs
+    (P.op_to_string atom.op)
+    pp_operand atom.rhs
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,45 @@
+(** Atoms of identity/distinctness rules: comparisons over a pair of
+    entities [(e1, e2)].
+
+    Per the paper, each predicate is of the form
+    [ei.attribute op ej.attribute] or [ei.attribute op value], with
+    [op ∈ {=, <, >, ≤, ≥, ≠}]. *)
+
+type side = Left | Right
+
+type operand = Attr of side * string | Const of Relational.Value.t
+
+type t = { lhs : operand; op : Relational.Predicate.op; rhs : operand }
+
+val attr : side -> string -> operand
+val const : Relational.Value.t -> operand
+
+(** [eq_attrs name] is the atom [e1.name = e2.name]. *)
+val eq_attrs : string -> t
+
+val make : operand -> Relational.Predicate.op -> operand -> t
+
+(** [eval schema1 t1 schema2 t2 atom] — three-valued; NULL or an
+    attribute missing from the schema ⇒ [Unknown]. *)
+val eval :
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  t ->
+  Relational.Value.truth
+
+(** Attributes of each side mentioned by the atom: [(left, right)]. *)
+val attributes : t -> string list * string list
+
+(** [eval_all s1 t1 s2 t2 atoms] — three-valued conjunction. *)
+val eval_all :
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  t list ->
+  Relational.Value.truth
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

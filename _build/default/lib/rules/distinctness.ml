@@ -1,0 +1,33 @@
+type t = { name : string; atoms : Atom.t list }
+
+exception Ill_formed of string
+
+let validate atoms =
+  match atoms with
+  | [] -> Error "a distinctness rule needs at least one predicate"
+  | _ :: _ ->
+      let ls, rs = List.split (List.map Atom.attributes atoms) in
+      if List.concat ls = [] then
+        Error "the predicates involve no attribute of e1"
+      else if List.concat rs = [] then
+        Error "the predicates involve no attribute of e2"
+      else Ok ()
+
+let make ~name atoms =
+  match validate atoms with
+  | Ok () -> { name; atoms }
+  | Error reason -> raise (Ill_formed (name ^ ": " ^ reason))
+
+let applies rule s1 t1 s2 t2 = Atom.eval_all s1 t1 s2 t2 rule.atoms
+
+let attributes rule =
+  let ls, rs = List.split (List.map Atom.attributes rule.atoms) in
+  ( List.sort_uniq String.compare (List.concat ls),
+    List.sort_uniq String.compare (List.concat rs) )
+
+let pp ppf rule =
+  Format.fprintf ppf "%s: %a -> (e1 <> e2)" rule.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+       Atom.pp)
+    rule.atoms

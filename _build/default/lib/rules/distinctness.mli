@@ -1,0 +1,29 @@
+(** Distinctness rules:
+    [∀ e1,e2 ∈ E, P(e1.A1,…,e2.B1,…) → (e1 ≢ e2)].
+
+    Well-formedness (paper, Section 3.2): [P] must involve at least one
+    attribute from {e each} of [e1] and [e2]. The paper's example r3:
+    [(e1.speciality = "Mughalai") ∧ (e2.cuisine ≠ "Indian") → (e1 ≢ e2)]. *)
+
+type t = private { name : string; atoms : Atom.t list }
+
+exception Ill_formed of string
+
+(** @raise Ill_formed if no attribute of [e1] (or of [e2]) is involved. *)
+val make : name:string -> Atom.t list -> t
+
+val validate : Atom.t list -> (unit, string) result
+
+(** [applies rule s1 t1 s2 t2] — [True] when every atom holds, meaning
+    the pair is declared {e not} matching. *)
+val applies :
+  t ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  Relational.Value.truth
+
+val attributes : t -> string list * string list
+
+val pp : Format.formatter -> t -> unit

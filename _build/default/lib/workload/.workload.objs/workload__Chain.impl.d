@@ -1,0 +1,1 @@
+lib/workload/chain.ml: Entity_id Fun Ilfd List Printf Relational Rng

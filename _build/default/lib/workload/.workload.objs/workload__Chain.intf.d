@@ -1,0 +1,1 @@
+lib/workload/chain.mli: Entity_id Ilfd Relational

@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: Entity_id Format List Printf Relational

@@ -1,0 +1,1 @@
+lib/workload/restaurant.ml: Array Bytes Entity_id Hashtbl Ilfd List Pools Relational Rng String

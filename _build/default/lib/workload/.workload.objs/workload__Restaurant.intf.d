@@ -1,0 +1,1 @@
+lib/workload/restaurant.mli: Entity_id Ilfd Relational Rng

@@ -1,0 +1,71 @@
+module R = Relational
+module V = R.Value
+
+type config = {
+  n_entities : int;
+  depth : int;
+  ilfd_coverage : float;
+  seed : int;
+}
+
+let default = { n_entities = 100; depth = 3; ilfd_coverage = 1.0; seed = 7 }
+
+type instance = {
+  r : R.Relation.t;
+  s : R.Relation.t;
+  key : Entity_id.Extended_key.t;
+  ilfds : Ilfd.t list;
+  truth : Entity_id.Matching_table.entry list;
+}
+
+let attr i = Printf.sprintf "a%d" i
+
+let level_value level entity = Printf.sprintf "v%d_%d" level entity
+
+let generate config =
+  if config.depth < 1 then invalid_arg "Chain.generate: depth must be >= 1";
+  let rng = Rng.create config.seed in
+  let n = config.n_entities in
+  let a0 = attr 0 and ad = attr config.depth in
+  let r_schema = R.Schema.of_names [ a0 ] in
+  let s_schema = R.Schema.of_names [ ad ] in
+  let r =
+    R.Relation.create r_schema ~keys:[ [ a0 ] ]
+      (List.init n (fun e -> [ V.string (level_value 0 e) ]))
+  in
+  let s =
+    R.Relation.create s_schema ~keys:[ [ ad ] ]
+      (List.init n (fun e -> [ V.string (level_value config.depth e) ]))
+  in
+  let ilfds =
+    List.concat
+      (List.init config.depth (fun level ->
+           List.filter_map
+             (fun e ->
+               if Rng.bool rng config.ilfd_coverage then
+                 Some
+                   (Ilfd.make1
+                      [
+                        Ilfd.condition (attr level)
+                          (V.string (level_value level e));
+                      ]
+                      (attr (level + 1))
+                      (V.string (level_value (level + 1) e)))
+               else None)
+             (List.init n Fun.id)))
+  in
+  let truth =
+    List.init n (fun e ->
+        {
+          Entity_id.Matching_table.r_key =
+            R.Tuple.make r_schema [ V.string (level_value 0 e) ];
+          s_key = R.Tuple.make s_schema [ V.string (level_value config.depth e) ];
+        })
+  in
+  {
+    r;
+    s;
+    key = Entity_id.Extended_key.make [ ad ];
+    ilfds;
+    truth;
+  }

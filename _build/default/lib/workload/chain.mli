@@ -1,0 +1,29 @@
+(** The chain workload: entity identification that requires {e chained}
+    ILFD derivations of configurable depth.
+
+    Each entity carries attributes [a0 … ad] linked by hidden bijections
+    [ai = fi(a(i-1))]. Database R models only [a0] (its key); S models
+    only [ad] (its key); the extended key is [{ad}]. To match, the engine
+    must compose [d] ILFD steps — depth 1 is ordinary single-rule
+    derivation, larger depths exercise the recursive engine and the
+    {!Ilfd.Theory.saturate} preprocessing of the algebraic pipeline. *)
+
+type config = {
+  n_entities : int;
+  depth : int;  (** d ≥ 1 *)
+  ilfd_coverage : float;  (** fraction of links revealed per level *)
+  seed : int;
+}
+
+val default : config
+(** 100 entities, depth 3, full coverage, seed 7. *)
+
+type instance = {
+  r : Relational.Relation.t;  (** R(a0), key a0 *)
+  s : Relational.Relation.t;  (** S(ad), key ad *)
+  key : Entity_id.Extended_key.t;  (** {ad} *)
+  ilfds : Ilfd.t list;
+  truth : Entity_id.Matching_table.entry list;
+}
+
+val generate : config -> instance

@@ -1,0 +1,55 @@
+module Tuple = Relational.Tuple
+
+type t = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  declared : int;
+  correct : int;
+  truth_size : int;
+}
+
+let entry_equal (a : Entity_id.Matching_table.entry)
+    (b : Entity_id.Matching_table.entry) =
+  Tuple.equal a.r_key b.r_key && Tuple.equal a.s_key b.s_key
+
+let evaluate ~truth mt =
+  let declared_entries = Entity_id.Matching_table.entries mt in
+  let declared = List.length declared_entries in
+  let correct =
+    List.length
+      (List.filter
+         (fun e -> List.exists (entry_equal e) truth)
+         declared_entries)
+  in
+  let truth_size = List.length truth in
+  let precision =
+    if declared = 0 then 1.0 else float_of_int correct /. float_of_int declared
+  in
+  let recall =
+    if truth_size = 0 then 1.0
+    else float_of_int correct /. float_of_int truth_size
+  in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  { precision; recall; f1; declared; correct; truth_size }
+
+let soundness_violations ~truth mt =
+  List.filter
+    (fun e -> not (List.exists (entry_equal e) truth))
+    (Entity_id.Matching_table.entries mt)
+
+let pp ppf m =
+  Format.fprintf ppf "P=%.3f R=%.3f F1=%.3f (%d declared, %d correct, %d true)"
+    m.precision m.recall m.f1 m.declared m.correct m.truth_size
+
+let to_row m =
+  [
+    Printf.sprintf "%.3f" m.precision;
+    Printf.sprintf "%.3f" m.recall;
+    Printf.sprintf "%.3f" m.f1;
+    string_of_int m.declared;
+    string_of_int m.correct;
+  ]

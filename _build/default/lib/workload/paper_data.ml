@@ -1,0 +1,100 @@
+module R = Relational
+
+let v = R.Value.string
+
+let relation names keys rows =
+  R.Relation.create (R.Schema.of_names names) ~keys
+    (List.map (List.map v) rows)
+
+let table1_r =
+  relation
+    [ "name"; "street"; "cuisine" ]
+    [ [ "name"; "street" ] ]
+    [
+      [ "VillageWok"; "Wash.Ave."; "Chinese" ];
+      [ "Ching"; "Co.B Rd."; "Chinese" ];
+      [ "OldCountry"; "Co.B2 Rd."; "American" ];
+    ]
+
+let table1_s =
+  relation
+    [ "name"; "city"; "manager" ]
+    [ [ "name"; "city" ] ]
+    [
+      [ "VillageWok"; "Mpls"; "Hwang" ];
+      [ "OldCountry"; "Roseville"; "Libby" ];
+      [ "ExpressCafe"; "Burnsville"; "Tom" ];
+    ]
+
+let table2_r =
+  relation
+    [ "name"; "cuisine"; "street" ]
+    [ [ "name"; "cuisine" ] ]
+    [
+      [ "TwinCities"; "Chinese"; "Wash.Ave." ];
+      [ "TwinCities"; "Indian"; "Univ.Ave." ];
+    ]
+
+let table2_s =
+  relation
+    [ "name"; "speciality"; "city" ]
+    [ [ "name"; "speciality" ] ]
+    [ [ "TwinCities"; "Mughalai"; "St. Paul" ] ]
+
+let example2_key = Entity_id.Extended_key.make [ "name"; "cuisine" ]
+
+let example2_ilfd = Ilfd.parse "speciality = Mughalai -> cuisine = Indian"
+
+let table5_r =
+  relation
+    [ "name"; "cuisine"; "street" ]
+    [ [ "name"; "cuisine" ] ]
+    [
+      [ "TwinCities"; "Chinese"; "Co.B2" ];
+      [ "TwinCities"; "Indian"; "Co.B3" ];
+      [ "It'sGreek"; "Greek"; "FrontAve." ];
+      [ "Anjuman"; "Indian"; "LeSalleAve." ];
+      [ "VillageWok"; "Chinese"; "Wash.Ave." ];
+    ]
+
+let table5_s =
+  relation
+    [ "name"; "speciality"; "county" ]
+    [ [ "name"; "speciality" ] ]
+    [
+      [ "TwinCities"; "Hunan"; "Roseville" ];
+      [ "TwinCities"; "Sichuan"; "Hennepin" ];
+      [ "It'sGreek"; "Gyros"; "Ramsey" ];
+      [ "Anjuman"; "Mughalai"; "Mpls." ];
+    ]
+
+let ilfds_i1_i8 =
+  List.map Ilfd.parse
+    [
+      "speciality = Hunan -> cuisine = Chinese";
+      "speciality = Sichuan -> cuisine = Chinese";
+      "speciality = Gyros -> cuisine = Greek";
+      "speciality = Mughalai -> cuisine = Indian";
+      "name = TwinCities & street = Co.B2 -> speciality = Hunan";
+      "name = Anjuman & street = LeSalleAve. -> speciality = Mughalai";
+      "street = FrontAve. -> county = Ramsey";
+      "name = It'sGreek & county = Ramsey -> speciality = Gyros";
+    ]
+
+let ilfd_i9 =
+  Ilfd.parse "name = It'sGreek & street = FrontAve. -> speciality = Gyros"
+
+let example3_key =
+  Entity_id.Extended_key.make [ "name"; "cuisine"; "speciality" ]
+
+let figure2_r =
+  relation
+    [ "name"; "cuisine" ]
+    [ [ "name"; "cuisine" ] ]
+    [ [ "VillageWok"; "Chinese" ] ]
+
+let figure2_s =
+  relation
+    [ "name"; "cuisine" ]
+    [ [ "name"; "cuisine" ] ]
+    [ [ "VillageWok"; "Chinese" ] ]

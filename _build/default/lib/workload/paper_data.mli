@@ -1,0 +1,44 @@
+(** The paper's running datasets, verbatim: Tables 1, 2, 5, the ILFDs
+    I1–I8 (and derived I9) of Example 3, and the extended keys used in
+    Examples 2 and 3. Every reproduction bench and example starts here. *)
+
+(** Table 1 — [R(name, street, cuisine)], key (name, street). *)
+val table1_r : Relational.Relation.t
+
+(** Table 1 — [S(name, city, manager)], key (name, city). *)
+val table1_s : Relational.Relation.t
+
+(** Table 2 — [R(name, cuisine, street)], key (name, cuisine). *)
+val table2_r : Relational.Relation.t
+
+(** Table 2 — [S(name, speciality, city)], key (name, speciality). *)
+val table2_s : Relational.Relation.t
+
+(** Example 2's extended key {name, cuisine}. *)
+val example2_key : Entity_id.Extended_key.t
+
+(** Example 2's single ILFD: speciality=Mughalai → cuisine=Indian. *)
+val example2_ilfd : Ilfd.t
+
+(** Table 5 — [R(name, cuisine, street)], key (name, cuisine), 5 rows. *)
+val table5_r : Relational.Relation.t
+
+(** Table 5 — [S(name, speciality, county)], key (name, speciality). *)
+val table5_s : Relational.Relation.t
+
+(** Example 3's ILFDs I1–I8, in paper order. *)
+val ilfds_i1_i8 : Ilfd.t list
+
+(** The derived I9: name=It'sGreek ∧ street=FrontAve. → speciality=Gyros. *)
+val ilfd_i9 : Ilfd.t
+
+(** Example 3's extended key {name, cuisine, speciality}. *)
+val example3_key : Entity_id.Extended_key.t
+
+(** Figure 2's two single-tuple relations R(name,cuisine) and
+    S(name,cuisine) with identical attribute values modelling distinct
+    entities, plus the street values that distinguish them in the
+    integrated world (Wash.Ave. vs Co.B2.Rd.). *)
+val figure2_r : Relational.Relation.t
+
+val figure2_s : Relational.Relation.t

@@ -1,0 +1,53 @@
+let cuisines =
+  [| "Chinese"; "Indian"; "Greek"; "American"; "Italian"; "Thai";
+     "Mexican"; "Ethiopian"; "Japanese"; "French" |]
+
+let speciality_cuisine =
+  [|
+    ("Hunan", "Chinese"); ("Sichuan", "Chinese"); ("Cantonese", "Chinese");
+    ("Mughalai", "Indian"); ("Dosa", "Indian"); ("Tandoori", "Indian");
+    ("Gyros", "Greek"); ("Souvlaki", "Greek");
+    ("Burgers", "American"); ("Barbecue", "American");
+    ("Pasta", "Italian"); ("Pizza", "Italian");
+    ("PadThai", "Thai"); ("Curry", "Thai");
+    ("Tacos", "Mexican"); ("Mole", "Mexican");
+    ("Injera", "Ethiopian"); ("Tibs", "Ethiopian");
+    ("Sushi", "Japanese"); ("Ramen", "Japanese");
+    ("Crepes", "French"); ("Bisque", "French");
+  |]
+
+let counties =
+  [| "Hennepin"; "Ramsey"; "Dakota"; "Anoka"; "Washington"; "Scott";
+     "Carver"; "Wright"; "Sherburne"; "Stearns"; "Olmsted"; "StLouis" |]
+
+let managers =
+  [| "Hwang"; "Libby"; "Tom"; "Asha"; "Mario"; "Niran"; "Rosa"; "Abebe";
+     "Yuki"; "Claire"; "Dmitri"; "Fatima" |]
+
+let name_prefixes =
+  [| "Village"; "Golden"; "Royal"; "Lucky"; "Twin"; "North"; "South";
+     "Grand"; "Silver"; "Blue"; "Red"; "Green"; "Old"; "New"; "Lake";
+     "River"; "Park"; "Star"; "Sun"; "Moon" |]
+
+let name_suffixes =
+  [| "Wok"; "Garden"; "Palace"; "House"; "Kitchen"; "Table"; "Corner";
+     "Grill"; "Cafe"; "Bistro"; "Diner"; "Express"; "Spot"; "Room";
+     "Court"; "Deck"; "Hall"; "Terrace"; "Pavilion"; "Lounge" |]
+
+let name n =
+  let np = Array.length name_prefixes and ns = Array.length name_suffixes in
+  let base = name_prefixes.(n mod np) ^ name_suffixes.(n / np mod ns) in
+  let round = n / (np * ns) in
+  if round = 0 then base else Printf.sprintf "%s%d" base round
+
+let street_names =
+  [| "Wash"; "Univ"; "Penn"; "Lake"; "Snelling"; "Grand"; "Lyndale";
+     "Hennepin"; "Central"; "Como"; "Rice"; "Summit"; "Cedar"; "Nicollet";
+     "Franklin"; "Broadway" |]
+
+let street n =
+  let base = Array.length street_names in
+  if n < base then street_names.(n) ^ ".Ave."
+  else Printf.sprintf "%s.Ave.%d" street_names.(n mod base) (n / base)
+
+let city_of_county county = county ^ "City"

@@ -1,0 +1,22 @@
+(** Value pools for the restaurant domain generators. The speciality →
+    cuisine map is the hidden semantic constraint the generated ILFDs are
+    drawn from, so generated rules are {e true} in the generated world —
+    exactly the paper's premise that ILFDs are valid integrated-world
+    constraints. *)
+
+val cuisines : string array
+
+(** [(speciality, cuisine)] pairs; specialities are unique. *)
+val speciality_cuisine : (string * string) array
+
+val counties : string array
+val managers : string array
+
+(** [name n] — the n-th synthetic restaurant name (readable, unbounded). *)
+val name : int -> string
+
+(** [street n] — the n-th synthetic street (unbounded). *)
+val street : int -> string
+
+(** [city_of_county county] — a deterministic city per county. *)
+val city_of_county : string -> string

@@ -1,0 +1,286 @@
+module R = Relational
+module V = R.Value
+
+type config = {
+  n_entities : int;
+  r_coverage : float;
+  s_coverage : float;
+  homonym_rate : float;
+  spec_ilfd_coverage : float;
+  entity_ilfd_coverage : float;
+  street_ilfd_coverage : float;
+  null_street_rate : float;
+  typo_rate : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_entities = 200;
+    r_coverage = 0.8;
+    s_coverage = 0.8;
+    homonym_rate = 0.1;
+    spec_ilfd_coverage = 1.0;
+    entity_ilfd_coverage = 1.0;
+    street_ilfd_coverage = 1.0;
+    null_street_rate = 0.0;
+    typo_rate = 0.0;
+    seed = 42;
+  }
+
+type entity = {
+  name : string;
+  cuisine : string;
+  speciality : string;
+  street : string;
+  county : string;
+  manager : string;
+  in_r : bool;
+  in_s : bool;
+}
+
+type instance = {
+  r : R.Relation.t;
+  s : R.Relation.t;
+  key : Entity_id.Extended_key.t;
+  ilfds : Ilfd.t list;
+  truth : Entity_id.Matching_table.entry list;
+  world : R.Relation.t;
+}
+
+let pick_speciality rng avoid_cuisines used_specs =
+  (* A speciality whose cuisine avoids the given set and which is not
+     already used under this name (keeps (name, speciality) a key). *)
+  let options =
+    Array.to_list Pools.speciality_cuisine
+    |> List.filter (fun (sp, cu) ->
+           (not (List.mem cu avoid_cuisines)) && not (List.mem sp used_specs))
+  in
+  match options with
+  | [] -> None
+  | l -> Some (List.nth l (Rng.below rng (List.length l)))
+
+let generate config =
+  let rng = Rng.create config.seed in
+  (* Streets: entity i gets street i (unique), with a hidden functional
+     county assignment. *)
+  let county_of_street = Hashtbl.create config.n_entities in
+  let entities = ref [] in
+  let by_name : (string, (string * string) list) Hashtbl.t =
+    Hashtbl.create config.n_entities
+  in
+  let fresh_name_counter = ref 0 in
+  let next_fresh_name () =
+    let n = Pools.name !fresh_name_counter in
+    incr fresh_name_counter;
+    n
+  in
+  for i = 0 to config.n_entities - 1 do
+    let street = Pools.street i in
+    let county = Rng.choice rng Pools.counties in
+    Hashtbl.replace county_of_street street county;
+    (* Homonym: reuse an already-used name when allowed and possible. *)
+    let reuse =
+      Rng.bool rng config.homonym_rate && Hashtbl.length by_name > 0
+    in
+    let name, speciality, cuisine =
+      let try_reuse () =
+        let names =
+          Hashtbl.fold (fun n _ acc -> n :: acc) by_name []
+          |> List.sort String.compare
+        in
+        let candidate = List.nth names (Rng.below rng (List.length names)) in
+        let used = Hashtbl.find by_name candidate in
+        let avoid_cuisines = List.map snd used in
+        let used_specs = List.map fst used in
+        match pick_speciality rng avoid_cuisines used_specs with
+        | Some (sp, cu) -> Some (candidate, sp, cu)
+        | None -> None
+      in
+      match (if reuse then try_reuse () else None) with
+      | Some chosen -> chosen
+      | None ->
+          let name = next_fresh_name () in
+          let sp, cu = Rng.choice rng Pools.speciality_cuisine in
+          (name, sp, cu)
+    in
+    Hashtbl.replace by_name name
+      ((speciality, cuisine)
+      :: (match Hashtbl.find_opt by_name name with Some l -> l | None -> []));
+    let in_r = Rng.bool rng config.r_coverage in
+    let in_s = Rng.bool rng config.s_coverage in
+    entities :=
+      {
+        name;
+        cuisine;
+        speciality;
+        street;
+        county;
+        manager = Rng.choice rng Pools.managers;
+        in_r;
+        in_s;
+      }
+      :: !entities
+  done;
+  let entities = List.rev !entities in
+  let world_schema =
+    R.Schema.of_names
+      [ "name"; "cuisine"; "speciality"; "street"; "county"; "manager" ]
+  in
+  let world =
+    R.Relation.create world_schema
+      ~keys:[ [ "name"; "speciality" ]; [ "street" ] ]
+      (List.map
+         (fun e ->
+           List.map V.string
+             [ e.name; e.cuisine; e.speciality; e.street; e.county; e.manager ])
+         entities)
+  in
+  let r_schema = R.Schema.of_names [ "name"; "cuisine"; "street" ] in
+  let s_schema = R.Schema.of_names [ "name"; "speciality"; "county" ] in
+  (* One-character transposition, deterministic per call order. *)
+  let typo rng s =
+    if String.length s < 3 then s ^ "x"
+    else begin
+      let i = 1 + Rng.below rng (String.length s - 2) in
+      let b = Bytes.of_string s in
+      let c = Bytes.get b i in
+      Bytes.set b i (Bytes.get b (i + 1));
+      Bytes.set b (i + 1) c;
+      Bytes.to_string b
+    end
+  in
+  (* The R-side name may be corrupted; the ground truth must reference
+     the name as stored, so decide it here and reuse it below. A typo
+     that would collide with an existing (name, cuisine) key keeps the
+     clean name instead. *)
+  let used_r_keys = Hashtbl.create config.n_entities in
+  List.iter
+    (fun e ->
+      if e.in_r then Hashtbl.replace used_r_keys (e.name, e.cuisine) ())
+    entities;
+  let r_entities =
+    List.filter_map
+      (fun e ->
+        if not e.in_r then None
+        else
+          let street =
+            if Rng.bool rng config.null_street_rate then V.Null
+            else V.string e.street
+          in
+          let name =
+            if Rng.bool rng config.typo_rate then begin
+              let candidate = typo rng e.name in
+              if Hashtbl.mem used_r_keys (candidate, e.cuisine) then e.name
+              else begin
+                Hashtbl.replace used_r_keys (candidate, e.cuisine) ();
+                candidate
+              end
+            end
+            else e.name
+          in
+          Some (e, name, street))
+      entities
+  in
+  let r_rows =
+    List.map
+      (fun ((e : entity), name, street) ->
+        [ V.string name; V.string e.cuisine; street ])
+      r_entities
+  in
+  let s_rows =
+    List.filter_map
+      (fun e ->
+        if not e.in_s then None
+        else Some [ V.string e.name; V.string e.speciality; V.string e.county ])
+      entities
+  in
+  let r =
+    R.Relation.create r_schema ~keys:[ [ "name"; "cuisine" ] ] r_rows
+  in
+  let s =
+    R.Relation.create s_schema ~keys:[ [ "name"; "speciality" ] ] s_rows
+  in
+  (* ILFDs revealed to the matcher, drawn from the hidden structure. *)
+  let spec_rules =
+    Array.to_list Pools.speciality_cuisine
+    |> List.filter_map (fun (sp, cu) ->
+           if Rng.bool rng config.spec_ilfd_coverage then
+             Some
+               (Ilfd.make1
+                  [ Ilfd.condition "speciality" (V.string sp) ]
+                  "cuisine" (V.string cu))
+           else None)
+  in
+  let entity_rules =
+    List.filter_map
+      (fun e ->
+        if Rng.bool rng config.entity_ilfd_coverage then
+          Some
+            (Ilfd.make1
+               [
+                 Ilfd.condition "name" (V.string e.name);
+                 Ilfd.condition "street" (V.string e.street);
+               ]
+               "speciality" (V.string e.speciality))
+        else None)
+      entities
+  in
+  let street_rules =
+    Hashtbl.fold
+      (fun street county acc ->
+        if Rng.bool rng config.street_ilfd_coverage then
+          Ilfd.make1
+            [ Ilfd.condition "street" (V.string street) ]
+            "county" (V.string county)
+          :: acc
+        else acc)
+      county_of_street []
+  in
+  let truth =
+    List.filter_map
+      (fun ((e : entity), r_name, _street) ->
+        if e.in_s then
+          Some
+            {
+              Entity_id.Matching_table.r_key =
+                R.Tuple.make
+                  (R.Schema.of_names [ "name"; "cuisine" ])
+                  [ V.string r_name; V.string e.cuisine ];
+              s_key =
+                R.Tuple.make
+                  (R.Schema.of_names [ "name"; "speciality" ])
+                  [ V.string e.name; V.string e.speciality ];
+            }
+        else None)
+      r_entities
+  in
+  {
+    r;
+    s;
+    key = Entity_id.Extended_key.make [ "name"; "cuisine"; "speciality" ];
+    ilfds = spec_rules @ entity_rules @ street_rules;
+    truth;
+    world;
+  }
+
+let noisy_rules instance rng ~noise =
+  let good =
+    List.map (fun i -> (i, 0.8 +. (Rng.float rng *. 0.2))) instance.ilfds
+  in
+  let bad =
+    List.init noise (fun _ ->
+        let sp, cu = Rng.choice rng Pools.speciality_cuisine in
+        let rec wrong_cuisine () =
+          let c = Rng.choice rng Pools.cuisines in
+          if String.equal c cu then wrong_cuisine () else c
+        in
+        let wrong = wrong_cuisine () in
+        ( Ilfd.make1
+            [ Ilfd.condition "speciality" (R.Value.string sp) ]
+            "cuisine" (R.Value.string wrong),
+          0.6 +. (Rng.float rng *. 0.2) ))
+  in
+  (* Noise rules first: a heuristic matcher takes the first applicable
+     rule, so mis-ordered noise actually bites. *)
+  bad @ good

@@ -1,0 +1,63 @@
+(** The scalable restaurant workload — Example 3's shape at any size.
+
+    A synthetic integrated world of restaurant entities is generated with
+    hidden semantic structure (speciality determines cuisine; street
+    determines county; (name, street) identifies the entity), then
+    projected into two databases with different schemas and keys:
+
+    - [R(name, cuisine, street)], key (name, cuisine)
+    - [S(name, speciality, county)], key (name, speciality)
+
+    so they share {e no common candidate key} (the paper's setting).
+    ILFDs consistent with the hidden structure are emitted with
+    configurable coverage; since they are true in the generated world,
+    ILFD-based matching is sound by construction and its {e recall}
+    varies with coverage — the dimension the sweep benches explore.
+    Homonyms (same name, different entity) are injected at a configurable
+    rate to punish attribute-equivalence baselines. *)
+
+type config = {
+  n_entities : int;
+  r_coverage : float;  (** probability an entity is modelled in R *)
+  s_coverage : float;
+  homonym_rate : float;
+      (** fraction of entities reusing an existing name (with a
+          different cuisine and speciality, keeping keys valid) *)
+  spec_ilfd_coverage : float;
+      (** fraction of speciality→cuisine rules revealed to the matcher *)
+  entity_ilfd_coverage : float;
+      (** fraction of (name,street)→speciality rules revealed *)
+  street_ilfd_coverage : float;
+      (** fraction of street→county rules revealed *)
+  null_street_rate : float;  (** R.street nulled out at this rate *)
+  typo_rate : float;
+      (** R.name corrupted by one character transposition at this rate —
+          dirty data that defeats exact value matching (and hence the
+          ILFD rules referencing the clean name) while leaving
+          string-similarity baselines a fighting chance *)
+  seed : int;
+}
+
+val default : config
+(** 200 entities, 0.8/0.8 coverage, 0.1 homonyms, full ILFD coverage, no
+    NULLs, no typos, seed 42. *)
+
+type instance = {
+  r : Relational.Relation.t;
+  s : Relational.Relation.t;
+  key : Entity_id.Extended_key.t;  (** (name, cuisine, speciality) *)
+  ilfds : Ilfd.t list;
+  truth : Entity_id.Matching_table.entry list;
+      (** key pairs that truly co-model an entity *)
+  world : Relational.Relation.t;
+      (** the full integrated world, for inspection *)
+}
+
+val generate : config -> instance
+
+(** [noisy_rules instance rng ~noise] — the instance's ILFDs paired with
+    confidences in [0.8, 1.0), plus [noise] {e false} rules
+    (speciality→wrong cuisine, lower confidence) modelling the
+    Wang–Madnick setting where the knowledge base is only mostly right.
+    Callers wrap these into [Baselines.Heuristic.rule]s. *)
+val noisy_rules : instance -> Rng.t -> noise:int -> (Ilfd.t * float) list

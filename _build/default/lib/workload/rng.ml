@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 (Steele, Lea, Flood 2014). *)
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Drop to 62 bits so the value always fits OCaml's int non-negatively. *)
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let below t n =
+  if n <= 0 then invalid_arg "Rng.below: bound must be positive";
+  next t mod n
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next64 t) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+let bool t p = float t < p
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(below t (Array.length arr))
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = below t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let sample t arr k =
+  if k > Array.length arr then invalid_arg "Rng.sample: k too large";
+  List.filteri (fun i _ -> i < k) (shuffle t (Array.to_list arr))

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random numbers (SplitMix64) so every workload is
+    reproducible from its seed — the benches print the seeds they use. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val copy : t -> t
+
+(** [next t] — next 64-bit state as a non-negative int. *)
+val next : t -> int
+
+(** [below t n] — uniform in [0, n). @raise Invalid_argument if n ≤ 0. *)
+val below : t -> int -> int
+
+(** [float t] — uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] — true with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [choice t arr] — uniform element. @raise Invalid_argument on empty. *)
+val choice : t -> 'a array -> 'a
+
+(** [sample t arr k] — [k] distinct elements (k ≤ length). *)
+val sample : t -> 'a array -> int -> 'a list
+
+(** [shuffle t l] — a permuted copy. *)
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Entity_id Ilfd List Proplogic QCheck2 QCheck_alcotest Relational String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Entity_id Float Helpers List Option QCheck2 Relational Result Workload

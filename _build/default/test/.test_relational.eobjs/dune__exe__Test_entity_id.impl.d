@@ -1,0 +1,1 @@
+test/test_entity_id.ml: Alcotest Baselines Entity_id Helpers Ilfd List Option QCheck2 Relational Rules Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Entity_id Float Helpers Ilfd List Option Printf QCheck2 Relational String Workload

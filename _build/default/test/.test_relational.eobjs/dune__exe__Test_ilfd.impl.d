@@ -1,0 +1,1 @@
+test/test_ilfd.ml: Alcotest Entity_id Helpers Ilfd List Option Printf Proplogic QCheck2 Relational Result Rules String Workload

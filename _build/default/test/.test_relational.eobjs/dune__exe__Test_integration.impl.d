@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Entity_id Helpers Ilfd List Prolog Prototype QCheck2 Relational String Workload

@@ -1,0 +1,1 @@
+test/test_prolog.ml: Alcotest Buffer Helpers List Option Prolog QCheck2

@@ -1,0 +1,1 @@
+test/test_proplogic.ml: Alcotest Helpers List Proplogic QCheck2

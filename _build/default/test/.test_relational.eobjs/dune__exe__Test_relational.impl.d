@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Filename Fun Helpers List Option QCheck2 Relational String Sys

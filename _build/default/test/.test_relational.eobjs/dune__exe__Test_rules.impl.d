@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Helpers List Relational Result Rules

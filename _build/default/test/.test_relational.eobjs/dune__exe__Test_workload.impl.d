@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Entity_id Helpers Ilfd List QCheck2 Relational String Workload

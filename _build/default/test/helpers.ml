@@ -1,0 +1,90 @@
+(* Shared test utilities: generators, relation builders, comparators. *)
+
+module R = Relational
+
+let v = R.Value.string
+let vi = R.Value.int
+
+let relation names keys rows =
+  R.Relation.create (R.Schema.of_names names) ~keys
+    (List.map (List.map v) rows)
+
+(* A tiny pool of symbols for random propositional/ILFD structures; small
+   alphabets make collisions (the interesting cases) likely. *)
+let symbol_gen = QCheck2.Gen.oneofl [ "p"; "q"; "r"; "s"; "t"; "u" ]
+
+let symbol_set_gen =
+  QCheck2.Gen.(map Proplogic.Symbol.set_of_list (list_size (1 -- 3) symbol_gen))
+
+let clause_gen =
+  QCheck2.Gen.(
+    map2
+      (fun a c -> Proplogic.Clause.of_sets a c)
+      symbol_set_gen symbol_set_gen)
+
+let clauses_gen = QCheck2.Gen.(list_size (0 -- 6) clause_gen)
+
+(* Random ILFDs over a small attribute/value alphabet. *)
+let attr_gen = QCheck2.Gen.oneofl [ "a"; "b"; "c"; "d" ]
+let value_gen = QCheck2.Gen.oneofl [ "x"; "y"; "z" ]
+
+let condition_gen =
+  QCheck2.Gen.(
+    map2 (fun a w -> Ilfd.condition a (v w)) attr_gen value_gen)
+
+(* Conditions with distinct attributes (Ilfd.make rejects conflicts). *)
+let conditions_gen n =
+  QCheck2.Gen.(
+    let* conds = list_size (1 -- n) condition_gen in
+    let distinct =
+      List.fold_left
+        (fun acc (c : Ilfd.condition) ->
+          if
+            List.exists
+              (fun (d : Ilfd.condition) ->
+                String.equal d.attribute c.attribute)
+              acc
+          then acc
+          else c :: acc)
+        [] conds
+    in
+    return (List.rev distinct))
+
+let ilfd_gen =
+  QCheck2.Gen.(
+    let* ante = conditions_gen 2 in
+    let* cons = conditions_gen 1 in
+    (* Avoid ante/cons clashing on an attribute with different values. *)
+    let cons =
+      List.filter
+        (fun (c : Ilfd.condition) ->
+          not
+            (List.exists
+               (fun (a : Ilfd.condition) ->
+                 String.equal a.attribute c.attribute
+                 && not (R.Value.equal a.value c.value))
+               ante))
+        cons
+    in
+    match cons with
+    | [] -> return (Ilfd.make ante [ Ilfd.condition "e" (v "x") ])
+    | _ -> return (Ilfd.make ante cons))
+
+let ilfds_gen = QCheck2.Gen.(list_size (0 -- 6) ilfd_gen)
+
+let mt_entries_equal a b =
+  Entity_id.Matching_table.cardinality a
+  = Entity_id.Matching_table.cardinality b
+  && List.for_all
+       (Entity_id.Matching_table.mem a)
+       (Entity_id.Matching_table.entries b)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let check_raises_any name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception _ -> ())

@@ -1,0 +1,351 @@
+(* Tests for the Section 2.2 baseline techniques: string distances, key
+   equivalence (including the paper's Example 1 failure mode),
+   user-specified equivalence, probabilistic key and attribute
+   equivalence, and heuristic rules. *)
+
+module R = Relational
+module V = R.Value
+module B = Baselines
+module E = Entity_id
+module PD = Workload.Paper_data
+open Helpers
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ---- string distances ---- *)
+
+let word_gen =
+  QCheck2.Gen.(string_size ~gen:(char_range 'a' 'e') (0 -- 8))
+
+let strdist_tests =
+  [
+    case "levenshtein known values" (fun () ->
+        Alcotest.(check int) "" 3 (B.Strdist.levenshtein "kitten" "sitting");
+        Alcotest.(check int) "" 0 (B.Strdist.levenshtein "abc" "abc");
+        Alcotest.(check int) "" 3 (B.Strdist.levenshtein "" "abc"));
+    case "jaro known value (MARTHA/MARHTA)" (fun () ->
+        let j = B.Strdist.jaro "MARTHA" "MARHTA" in
+        Alcotest.(check bool) "" true (Float.abs (j -. 0.944444) < 1e-3));
+    case "jaro of disjoint strings is 0" (fun () ->
+        Alcotest.(check (float 0.0001)) "" 0.0 (B.Strdist.jaro "abc" "xyz"));
+    case "jaro_winkler boosts common prefixes" (fun () ->
+        let jw = B.Strdist.jaro_winkler "village" "villa" in
+        let j = B.Strdist.jaro "village" "villa" in
+        Alcotest.(check bool) "" true (jw > j));
+    case "subfields tokenise" (fun () ->
+        Alcotest.(check (list string)) ""
+          [ "village"; "wok"; "2" ]
+          (B.Strdist.subfields "Village  Wok-2"));
+    case "subfield_overlap" (fun () ->
+        Alcotest.(check (float 0.0001)) "" 1.0
+          (B.Strdist.subfield_overlap "Village Wok" "The Village Wok");
+        Alcotest.(check (float 0.0001)) "" 0.0
+          (B.Strdist.subfield_overlap "Alpha" "Beta"));
+    qtest "levenshtein symmetric"
+      QCheck2.Gen.(pair word_gen word_gen)
+      (fun (a, b) -> B.Strdist.levenshtein a b = B.Strdist.levenshtein b a);
+    qtest "levenshtein triangle inequality"
+      QCheck2.Gen.(triple word_gen word_gen word_gen)
+      (fun (a, b, c) ->
+        B.Strdist.levenshtein a c
+        <= B.Strdist.levenshtein a b + B.Strdist.levenshtein b c);
+    qtest "similarities stay in [0,1]"
+      QCheck2.Gen.(pair word_gen word_gen)
+      (fun (a, b) ->
+        let in01 x = x >= 0.0 && x <= 1.0 in
+        in01 (B.Strdist.levenshtein_similarity a b)
+        && in01 (B.Strdist.jaro a b)
+        && in01 (B.Strdist.jaro_winkler a b)
+        && in01 (B.Strdist.subfield_similarity a b));
+    qtest "identical strings score 1"
+      word_gen
+      (fun a ->
+        B.Strdist.jaro a a = 1.0 || a = ""
+        (* jaro "" "" = 1.0 as well, so really: *)
+        );
+  ]
+
+(* ---- key equivalence ---- *)
+
+let key_equiv_tests =
+  [
+    case "Example 1 / Table 1: no common candidate key" (fun () ->
+        Alcotest.(check bool) "" true
+          (B.Key_equiv.common_candidate_key PD.table1_r PD.table1_s = None);
+        Alcotest.(check bool) "" true
+          (Result.is_error (B.Key_equiv.run PD.table1_r PD.table1_s)));
+    case "common key found regardless of attribute order" (fun () ->
+        let a = relation [ "x"; "y" ] [ [ "x"; "y" ] ] [ [ "1"; "2" ] ] in
+        let b = relation [ "y"; "x" ] [ [ "y"; "x" ] ] [ [ "2"; "1" ] ] in
+        Alcotest.(check bool) "" true
+          (Option.is_some (B.Key_equiv.common_candidate_key a b));
+        match B.Key_equiv.run a b with
+        | Ok mt -> Alcotest.(check int) "" 1 (E.Matching_table.cardinality mt)
+        | Error e -> Alcotest.fail e);
+    case "Example 1: matching on name alone becomes ambiguous" (fun () ->
+        (* Insert (VillageWok, Penn.Ave.) into R, as the paper does: one
+           S tuple then matches two R tuples. *)
+        let r' =
+          R.Relation.add PD.table1_r
+            (R.Tuple.make
+               (R.Relation.schema PD.table1_r)
+               [ v "VillageWok"; v "Penn.Ave."; v "Chinese" ])
+        in
+        let mt =
+          B.Key_equiv.run_on_attributes ~attrs:[ "name" ] r' PD.table1_s
+        in
+        Alcotest.(check bool) "uniqueness violated" false
+          (E.Matching_table.satisfies_uniqueness mt));
+    case "null key values never match" (fun () ->
+        let a =
+          R.Relation.create (R.Schema.of_names [ "k" ]) [ [ V.Null ] ]
+        in
+        let b =
+          R.Relation.create (R.Schema.of_names [ "k" ]) [ [ V.Null ] ]
+        in
+        let mt = B.Key_equiv.run_on_attributes ~attrs:[ "k" ] a b in
+        Alcotest.(check int) "" 0 (E.Matching_table.cardinality mt));
+  ]
+
+(* ---- user map ---- *)
+
+let user_map_tests =
+  [
+    case "run matches via shared global ids" (fun () ->
+        let m = B.User_map.empty in
+        let m = B.User_map.assign_r m ~global:"g1" [ v "VillageWok"; v "Wash.Ave." ] in
+        let m = B.User_map.assign_s m ~global:"g1" [ v "VillageWok"; v "Mpls" ] in
+        let mt = B.User_map.run m PD.table1_r PD.table1_s in
+        Alcotest.(check int) "" 1 (E.Matching_table.cardinality mt));
+    case "unmapped tuples stay out" (fun () ->
+        let mt = B.User_map.run B.User_map.empty PD.table1_r PD.table1_s in
+        Alcotest.(check int) "" 0 (E.Matching_table.cardinality mt));
+    check_raises_any "double assignment rejected" (fun () ->
+        let m = B.User_map.assign_r B.User_map.empty ~global:"g1" [ v "k" ] in
+        B.User_map.assign_r m ~global:"g2" [ v "k" ]);
+    case "of_truth gives perfect matching and linear size" (fun () ->
+        let inst =
+          Workload.Restaurant.generate
+            { Workload.Restaurant.default with n_entities = 30; seed = 5 }
+        in
+        let m = B.User_map.of_truth inst.truth in
+        let mt = B.User_map.run m inst.r inst.s in
+        let metrics = Workload.Metrics.evaluate ~truth:inst.truth mt in
+        Alcotest.(check (float 0.0001)) "precision" 1.0 metrics.precision;
+        Alcotest.(check (float 0.0001)) "recall" 1.0 metrics.recall;
+        Alcotest.(check int) "two entries per matched entity"
+          (2 * List.length inst.truth)
+          (B.User_map.size m));
+  ]
+
+(* ---- probabilistic key ---- *)
+
+let prob_key_tests =
+  [
+    case "requires a common candidate key" (fun () ->
+        Alcotest.(check bool) "" true
+          (Result.is_error (B.Prob_key.run PD.table1_r PD.table1_s)));
+    case "near-identical keys match above threshold" (fun () ->
+        let a = relation [ "k" ] [ [ "k" ] ] [ [ "Village Wok" ] ] in
+        let b = relation [ "k" ] [ [ "k" ] ] [ [ "VillageWok" ] ] in
+        match B.Prob_key.run ~threshold:0.8 a b with
+        | Ok o -> Alcotest.(check int) "" 1
+                    (E.Matching_table.cardinality o.matched)
+        | Error e -> Alcotest.fail e);
+    case "dissimilar keys stay unmatched" (fun () ->
+        let a = relation [ "k" ] [ [ "k" ] ] [ [ "Village Wok" ] ] in
+        let b = relation [ "k" ] [ [ "k" ] ] [ [ "Burger Barn" ] ] in
+        match B.Prob_key.run a b with
+        | Ok o -> Alcotest.(check int) "" 0
+                    (E.Matching_table.cardinality o.matched)
+        | Error e -> Alcotest.fail e);
+    case "erroneous match is possible (the paper's caveat)" (fun () ->
+        (* Distinct real-world entities with near-identical names. *)
+        let a = relation [ "k" ] [ [ "k" ] ] [ [ "Twin City Grill" ] ] in
+        let b = relation [ "k" ] [ [ "k" ] ] [ [ "Twin Cities Grill" ] ] in
+        match B.Prob_key.run ~threshold:0.8 a b with
+        | Ok o ->
+            Alcotest.(check int) "matched though distinct" 1
+              (E.Matching_table.cardinality o.matched)
+        | Error e -> Alcotest.fail e);
+    case "greedy one-to-one keeps best score" (fun () ->
+        let a = relation [ "k" ] [ [ "k" ] ] [ [ "VillageWok" ] ] in
+        let b =
+          relation [ "k" ] [ [ "k" ] ]
+            [ [ "VillageWok" ]; [ "Village Wok2" ] ]
+        in
+        match B.Prob_key.run ~threshold:0.5 a b with
+        | Ok o -> (
+            Alcotest.(check int) "" 1 (E.Matching_table.cardinality o.matched);
+            match E.Matching_table.entries o.matched with
+            | [ e ] ->
+                Alcotest.(check string) "" "VillageWok"
+                  (V.to_string (R.Tuple.nth e.s_key 0))
+            | _ -> Alcotest.fail "one entry")
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* ---- probabilistic attribute ---- *)
+
+let prob_attr_tests =
+  [
+    case "Figure 2: identical attributes force a false match" (fun () ->
+        let o = B.Prob_attr.run PD.figure2_r PD.figure2_s in
+        Alcotest.(check int) "" 1 (E.Matching_table.cardinality o.matched);
+        (* The ground truth is that they are different entities. *)
+        let c = E.Verify.against_truth ~truth:[] o.matched in
+        Alcotest.(check int) "false matches" 1 c.false_matches);
+    case "thresholds partition into three sets" (fun () ->
+        let a =
+          relation [ "name"; "cuisine" ] []
+            [ [ "Alpha"; "Chinese" ]; [ "Beta"; "Greek" ] ]
+        in
+        let b =
+          relation [ "name"; "cuisine" ] []
+            [ [ "Alpha"; "Chinese" ]; [ "Alpha"; "Greek" ] ]
+        in
+        let o =
+          B.Prob_attr.run
+            ~config:{ B.Prob_attr.default_config with one_to_one = false }
+            a b
+        in
+        Alcotest.(check int) "total pairs" 4
+          (E.Matching_table.cardinality o.matched
+          + E.Matching_table.cardinality o.not_matched
+          + o.undetermined_count));
+    case "no common attribute: everything undetermined" (fun () ->
+        let a = relation [ "x" ] [] [ [ "1" ] ] in
+        let b = relation [ "y" ] [] [ [ "1" ] ] in
+        let o = B.Prob_attr.run a b in
+        Alcotest.(check int) "" 1 o.undetermined_count;
+        Alcotest.(check int) "" 0 (E.Matching_table.cardinality o.matched));
+    case "weights shift the comparison value" (fun () ->
+        let a = relation [ "name"; "cuisine" ] [] [ [ "Alpha"; "Chinese" ] ] in
+        let b = relation [ "name"; "cuisine" ] [] [ [ "Alpha"; "Greek" ] ] in
+        let unweighted = B.Prob_attr.run a b in
+        let weighted =
+          B.Prob_attr.run
+            ~config:
+              {
+                B.Prob_attr.default_config with
+                weights = [ ("name", 10.0) ];
+              }
+            a b
+        in
+        let cv o =
+          match o.B.Prob_attr.comparison_values with
+          | (_, cv) :: _ -> cv
+          | [] -> Alcotest.fail "no comparison value"
+        in
+        Alcotest.(check bool) "" true (cv weighted > cv unweighted));
+    case "nulls renormalise rather than poison" (fun () ->
+        let a =
+          R.Relation.create
+            (R.Schema.of_names [ "name"; "cuisine" ])
+            [ [ v "Alpha"; V.Null ] ]
+        in
+        let b = relation [ "name"; "cuisine" ] [] [ [ "Alpha"; "Greek" ] ] in
+        let o = B.Prob_attr.run a b in
+        Alcotest.(check int) "matches on name alone" 1
+          (E.Matching_table.cardinality o.matched));
+  ]
+
+(* ---- heuristic rules ---- *)
+
+let heuristic_tests =
+  [
+    case "perfect confident rules reproduce the ILFD result" (fun () ->
+        let rules =
+          List.map (fun i -> B.Heuristic.rule ~confidence:1.0 i)
+            PD.ilfds_i1_i8
+        in
+        let o =
+          B.Heuristic.run ~threshold:0.9 ~r:PD.table5_r ~s:PD.table5_s
+            ~key:PD.example3_key rules
+        in
+        Alcotest.(check int) "" 3 (E.Matching_table.cardinality o.matched));
+    case "low threshold admits low-confidence matches" (fun () ->
+        let rules =
+          List.map (fun i -> B.Heuristic.rule ~confidence:0.6 i)
+            PD.ilfds_i1_i8
+        in
+        let strict =
+          B.Heuristic.run ~threshold:0.9 ~r:PD.table5_r ~s:PD.table5_s
+            ~key:PD.example3_key rules
+        in
+        let lax =
+          B.Heuristic.run ~threshold:0.2 ~r:PD.table5_r ~s:PD.table5_s
+            ~key:PD.example3_key rules
+        in
+        Alcotest.(check bool) "" true
+          (E.Matching_table.cardinality lax.matched
+          > E.Matching_table.cardinality strict.matched));
+    case "confidence decays along chains" (fun () ->
+        let rules =
+          List.map (fun i -> B.Heuristic.rule ~confidence:0.8 i)
+            PD.ilfds_i1_i8
+        in
+        let o =
+          B.Heuristic.run ~threshold:0.0 ~r:PD.table5_r ~s:PD.table5_s
+            ~key:PD.example3_key rules
+        in
+        (* It'sGreek needs a two-rule chain on the R side: its joint
+           confidence must be strictly below a single-rule pair's. *)
+        let conf name =
+          List.find_map
+            (fun (sp : B.Heuristic.scored_pair) ->
+              if
+                V.to_string (R.Tuple.nth sp.entry.E.Matching_table.r_key 0)
+                = name
+              then Some sp.confidence
+              else None)
+            o.scores
+        in
+        match conf "It'sGreek", conf "Anjuman" with
+        | Some greek, Some anjuman ->
+            Alcotest.(check bool) "" true (greek < anjuman)
+        | _ -> Alcotest.fail "scores missing");
+    case "bad rules produce unsound matches (Wang-Madnick caveat)" (fun () ->
+        let inst =
+          Workload.Restaurant.generate
+            {
+              Workload.Restaurant.default with
+              n_entities = 40;
+              seed = 11;
+              homonym_rate = 0.35;
+            }
+        in
+        let rng = Workload.Rng.create 99 in
+        let noisy = Workload.Restaurant.noisy_rules inst rng ~noise:25 in
+        let rules =
+          List.map
+            (fun (i, c) -> B.Heuristic.rule ~confidence:c i)
+            noisy
+        in
+        let o =
+          B.Heuristic.run ~threshold:0.3 ~r:inst.r ~s:inst.s ~key:inst.key
+            rules
+        in
+        let sound =
+          E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
+        in
+        let m_h = Workload.Metrics.evaluate ~truth:inst.truth o.matched in
+        let m_s =
+          Workload.Metrics.evaluate ~truth:inst.truth sound.matching_table
+        in
+        Alcotest.(check (float 0.0001)) "ILFD precision is 1" 1.0
+          m_s.precision;
+        Alcotest.(check bool) "heuristic can do no better" true
+          (m_h.precision <= 1.0));
+  ]
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ("strdist", strdist_tests);
+      ("key-equiv", key_equiv_tests);
+      ("user-map", user_map_tests);
+      ("prob-key", prob_key_tests);
+      ("prob-attr", prob_attr_tests);
+      ("heuristic", heuristic_tests);
+    ]

@@ -1,0 +1,736 @@
+(* Tests for the paper's core contribution: extended keys, the
+   three-valued decision function, matching/negative tables with their
+   uniqueness and consistency constraints, the Identify pipeline against
+   the paper's own tables (2, 3, 4, 5, 6, 7), the integrated table, the
+   monotonic engine (Figure 3), the algebraic construction (Section 4.2),
+   and the Figure 2 soundness scenario. *)
+
+module R = Relational
+module V = R.Value
+module E = Entity_id
+module PD = Workload.Paper_data
+open Helpers
+
+let case name f = Alcotest.test_case name `Quick f
+
+let get schema t a = V.to_string (R.Tuple.get schema t a)
+
+(* ---- Match_result ---- *)
+
+let match_result_tests =
+  [
+    case "refines lattice" (fun () ->
+        let open E.Match_result in
+        Alcotest.(check bool) "" true (refines Undetermined Match);
+        Alcotest.(check bool) "" true (refines Undetermined No_match);
+        Alcotest.(check bool) "" true (refines Match Match);
+        Alcotest.(check bool) "" false (refines Match No_match);
+        Alcotest.(check bool) "" false (refines No_match Undetermined));
+    case "of_truth" (fun () ->
+        let open E.Match_result in
+        Alcotest.(check bool) "" true (equal (of_truth V.True) Match);
+        Alcotest.(check bool) "" true (equal (of_truth V.False) No_match);
+        Alcotest.(check bool) "" true
+          (equal (of_truth V.Unknown) Undetermined));
+  ]
+
+(* ---- Extended_key ---- *)
+
+let extended_key_tests =
+  [
+    check_raises_any "empty key rejected" (fun () -> E.Extended_key.make []);
+    check_raises_any "duplicate attrs rejected" (fun () ->
+        E.Extended_key.make [ "a"; "a" ]);
+    case "equivalence rule is a valid identity rule" (fun () ->
+        let rule =
+          E.Extended_key.equivalence_rule (E.Extended_key.make [ "a"; "b" ])
+        in
+        Alcotest.(check int) "" 2 (List.length rule.Rules.Identity.atoms));
+    case "candidate attributes include derivable" (fun () ->
+        let cands =
+          E.Extended_key.candidate_attributes PD.table5_r PD.table5_s
+            PD.ilfds_i1_i8
+        in
+        Alcotest.(check bool) "name" true (List.mem "name" cands);
+        Alcotest.(check bool) "cuisine (derived in S)" true
+          (List.mem "cuisine" cands);
+        Alcotest.(check bool) "speciality (derived in R)" true
+          (List.mem "speciality" cands);
+        Alcotest.(check bool) "street is R-only" false
+          (List.mem "street" cands));
+    case "covers_keys" (fun () ->
+        let k = E.Extended_key.make [ "name"; "cuisine"; "speciality" ] in
+        Alcotest.(check bool) "" true
+          (E.Extended_key.covers_keys k ~r_key:[ "name"; "cuisine" ]
+             ~s_key:[ "name"; "speciality" ]);
+        Alcotest.(check bool) "" false
+          (E.Extended_key.covers_keys k ~r_key:[ "street" ] ~s_key:[]));
+    case "is_minimal_for instance" (fun () ->
+        let world =
+          relation [ "a"; "b"; "c" ] []
+            [ [ "1"; "x"; "p" ]; [ "1"; "y"; "q" ]; [ "2"; "x"; "q" ] ]
+        in
+        Alcotest.(check bool) "ab minimal" true
+          (E.Extended_key.is_minimal_for (E.Extended_key.make [ "a"; "b" ])
+             world);
+        Alcotest.(check bool) "abc not minimal" false
+          (E.Extended_key.is_minimal_for
+             (E.Extended_key.make [ "a"; "b"; "c" ])
+             world));
+  ]
+
+(* ---- Decision ---- *)
+
+let decision_tests =
+  let schema = R.Schema.of_names [ "name"; "cuisine"; "speciality" ] in
+  let tup vals = R.Tuple.make schema (List.map v vals) in
+  let ek = E.Extended_key.make [ "name"; "cuisine" ] in
+  let identity = [ E.Extended_key.equivalence_rule ek ] in
+  let distinctness =
+    Ilfd.Props.distinctness_rules_of_ilfd
+      (Ilfd.parse "speciality = Mughalai -> cuisine = Indian")
+  in
+  [
+    case "match via identity rule" (fun () ->
+        let verdict =
+          E.Decision.decide ~identity ~distinctness schema
+            (tup [ "A"; "Chinese"; "Hunan" ])
+            schema
+            (tup [ "A"; "Chinese"; "Hunan" ])
+        in
+        Alcotest.(check bool) "" true
+          (E.Match_result.equal verdict.result E.Match_result.Match);
+        Alcotest.(check bool) "witness rule" true
+          (Option.is_some verdict.identity));
+    case "no-match via distinctness rule" (fun () ->
+        let verdict =
+          E.Decision.decide ~identity ~distinctness schema
+            (tup [ "A"; "Indian"; "Mughalai" ])
+            schema
+            (tup [ "B"; "Greek"; "Gyros" ])
+        in
+        Alcotest.(check bool) "" true
+          (E.Match_result.equal verdict.result E.Match_result.No_match));
+    case "distinctness applies in swapped orientation" (fun () ->
+        let verdict =
+          E.Decision.decide ~identity ~distinctness schema
+            (tup [ "B"; "Greek"; "Gyros" ])
+            schema
+            (tup [ "A"; "Indian"; "Mughalai" ])
+        in
+        Alcotest.(check bool) "" true
+          (E.Match_result.equal verdict.result E.Match_result.No_match));
+    case "undetermined without applicable rule" (fun () ->
+        let verdict =
+          E.Decision.decide ~identity ~distinctness schema
+            (tup [ "A"; "Chinese"; "Hunan" ])
+            schema
+            (tup [ "B"; "Greek"; "Gyros" ])
+        in
+        Alcotest.(check bool) "" true
+          (E.Match_result.equal verdict.result E.Match_result.Undetermined));
+    case "inconsistent rules raise" (fun () ->
+        (* An identity rule and a distinctness rule both firing. *)
+        let bad_distinct =
+          Rules.Distinctness.make ~name:"bad"
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left "name")
+                R.Predicate.Eq
+                (Rules.Atom.attr Rules.Atom.Right "name");
+            ]
+        in
+        Alcotest.(check bool) "" true
+          (match
+             E.Decision.decide ~identity ~distinctness:[ bad_distinct ]
+               schema
+               (tup [ "A"; "Chinese"; "Hunan" ])
+               schema
+               (tup [ "A"; "Chinese"; "Hunan" ])
+           with
+          | _ -> false
+          | exception E.Decision.Inconsistent _ -> true));
+    case "partition is a partition" (fun () ->
+        let r =
+          relation [ "name"; "cuisine"; "speciality" ] []
+            [ [ "A"; "Chinese"; "Hunan" ]; [ "B"; "Indian"; "Mughalai" ] ]
+        in
+        let s =
+          relation [ "name"; "cuisine"; "speciality" ] []
+            [ [ "A"; "Chinese"; "Hunan" ]; [ "C"; "Greek"; "Gyros" ] ]
+        in
+        let m, d, u = E.Decision.partition ~identity ~distinctness r s in
+        Alcotest.(check int) "total" 4
+          (List.length m + List.length d + List.length u);
+        Alcotest.(check int) "matched" 1 (List.length m);
+        (* B(Mughalai) is provably distinct from both Chinese A and
+           Greek C. *)
+        Alcotest.(check int) "distinct" 2 (List.length d));
+  ]
+
+(* ---- Matching_table ---- *)
+
+let ktup names vals =
+  R.Tuple.make (R.Schema.of_names names) (List.map v vals)
+
+let entry r s =
+  {
+    E.Matching_table.r_key = ktup [ "rk" ] [ r ];
+    s_key = ktup [ "sk" ] [ s ];
+  }
+
+let matching_table_tests =
+  [
+    case "duplicates collapse" (fun () ->
+        let mt =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ]
+            [ entry "1" "a"; entry "1" "a"; entry "2" "b" ]
+        in
+        Alcotest.(check int) "" 2 (E.Matching_table.cardinality mt));
+    case "add is idempotent" (fun () ->
+        let mt =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ] []
+        in
+        let mt = E.Matching_table.add mt (entry "1" "a") in
+        let mt = E.Matching_table.add mt (entry "1" "a") in
+        Alcotest.(check int) "" 1 (E.Matching_table.cardinality mt));
+    case "uniqueness violations on both sides" (fun () ->
+        let mt =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ]
+            [ entry "1" "a"; entry "1" "b"; entry "2" "b" ]
+        in
+        let vs = E.Matching_table.uniqueness_violations mt in
+        Alcotest.(check int) "one per side" 2 (List.length vs);
+        Alcotest.(check bool) "" false (E.Matching_table.satisfies_uniqueness mt));
+    case "consistency constraint" (fun () ->
+        let mt =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ]
+            [ entry "1" "a" ]
+        in
+        let nmt_ok =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ]
+            [ entry "1" "b" ]
+        in
+        let nmt_bad =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ]
+            [ entry "1" "a" ]
+        in
+        Alcotest.(check bool) "" true (E.Matching_table.consistent mt nmt_ok);
+        Alcotest.(check bool) "" false (E.Matching_table.consistent mt nmt_bad));
+    case "to_relation prefixes and sorts" (fun () ->
+        let mt =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ]
+            [ entry "2" "b"; entry "1" "a" ]
+        in
+        let rel = E.Matching_table.to_relation mt in
+        Alcotest.(check (list string)) "" [ "r_rk"; "s_sk" ]
+          (R.Schema.names (R.Relation.schema rel));
+        match R.Relation.tuples rel with
+        | [ first; _ ] ->
+            Alcotest.(check string) "sorted" "1"
+              (V.to_string (R.Tuple.nth first 0))
+        | _ -> Alcotest.fail "two rows expected");
+  ]
+
+(* ---- Identify on the paper's tables ---- *)
+
+let identify_tests =
+  [
+    case "Example 2 / Table 3: the TwinCities pair" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table2_r ~s:PD.table2_s ~key:PD.example2_key
+            [ PD.example2_ilfd ]
+        in
+        Alcotest.(check int) "" 1
+          (E.Matching_table.cardinality o.matching_table);
+        match E.Matching_table.entries o.matching_table with
+        | [ e ] ->
+            Alcotest.(check string) "r name" "TwinCities"
+              (V.to_string (R.Tuple.nth e.r_key 0));
+            Alcotest.(check string) "r cuisine" "Indian"
+              (V.to_string (R.Tuple.nth e.r_key 1))
+        | _ -> Alcotest.fail "one entry");
+    case "Example 3 / Table 7: three pairs" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        Alcotest.(check int) "" 3
+          (E.Matching_table.cardinality o.matching_table);
+        Alcotest.(check bool) "verified" true (E.Identify.is_verified o));
+    case "Table 6: extended relations carry derived values" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        let rs = R.Relation.schema o.r_extended in
+        let row name cuisine =
+          Option.get
+            (R.Relation.find_opt
+               (fun t ->
+                 get rs t "name" = name && get rs t "cuisine" = cuisine)
+               o.r_extended)
+        in
+        Alcotest.(check string) "TwinCities Chinese -> Hunan" "Hunan"
+          (get rs (row "TwinCities" "Chinese") "speciality");
+        Alcotest.(check string) "It'sGreek -> Gyros via chain" "Gyros"
+          (get rs (row "It'sGreek" "Greek") "speciality");
+        Alcotest.(check string) "TwinCities Indian stays null" "null"
+          (get rs (row "TwinCities" "Indian") "speciality");
+        let ss = R.Relation.schema o.s_extended in
+        Alcotest.(check bool) "every S cuisine derived" true
+          (R.Relation.for_all
+             (fun t -> not (V.is_null (R.Tuple.get ss t "cuisine")))
+             o.s_extended));
+    case "no ILFDs: nothing matches (missing key attrs stay null)" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key []
+        in
+        Alcotest.(check int) "" 0
+          (E.Matching_table.cardinality o.matching_table));
+    case "name-only extended key is unsound on Table 5" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s
+            ~key:(E.Extended_key.make [ "name" ])
+            PD.ilfds_i1_i8
+        in
+        Alcotest.(check bool) "" false (E.Identify.is_verified o);
+        Alcotest.(check bool) "" (true)
+          (List.length o.violations > 0));
+    case "empty relations yield empty table" (fun () ->
+        let empty_r =
+          R.Relation.empty (R.Schema.of_names [ "name"; "cuisine" ]) ()
+        in
+        let empty_s =
+          R.Relation.empty (R.Schema.of_names [ "name"; "speciality" ]) ()
+        in
+        let o =
+          E.Identify.run ~r:empty_r ~s:empty_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        Alcotest.(check int) "" 0
+          (E.Matching_table.cardinality o.matching_table));
+    case "extension_schema appends missing key attrs in order" (fun () ->
+        let s = E.Identify.extension_schema PD.table5_r PD.example3_key in
+        Alcotest.(check (list string)) ""
+          [ "name"; "cuisine"; "street"; "speciality" ]
+          (R.Schema.names s));
+    case "run_rules with extended-key rule equals run" (fun () ->
+        let rule = E.Extended_key.equivalence_rule PD.example3_key in
+        let via_rules =
+          E.Identify.run_rules ~identity:[ rule ] ~r:PD.table5_r
+            ~s:PD.table5_s ~key:PD.example3_key PD.ilfds_i1_i8
+        in
+        let direct =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        Alcotest.(check bool) "" true
+          (mt_entries_equal via_rules.matching_table direct.matching_table));
+    case "run_rules accepts extra identity rules (paper's r1 shape)" (fun () ->
+        (* A one-Chinese-restaurant-per-database world: cuisine equality
+           alone identifies. *)
+        let r =
+          relation [ "name"; "cuisine" ] [ [ "name" ] ]
+            [ [ "WokA"; "Chinese" ] ]
+        in
+        let s =
+          relation [ "name"; "cuisine" ] [ [ "name" ] ]
+            [ [ "WokB"; "Chinese" ] ]
+        in
+        let r1 =
+          Rules.Identity.make ~name:"r1"
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left "cuisine")
+                R.Predicate.Eq
+                (Rules.Atom.const (v "Chinese"));
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Right "cuisine")
+                R.Predicate.Eq
+                (Rules.Atom.const (v "Chinese"));
+            ]
+        in
+        let o =
+          E.Identify.run_rules ~identity:[ r1 ] ~r ~s
+            ~key:(E.Extended_key.make [ "cuisine" ]) []
+        in
+        Alcotest.(check int) "" 1
+          (E.Matching_table.cardinality o.matching_table));
+    case "pairs agree with matching table" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        Alcotest.(check int) "" (List.length o.pairs)
+          (E.Matching_table.cardinality o.matching_table));
+  ]
+
+(* ---- Negative ---- *)
+
+let negative_tests =
+  [
+    case "Table 4: Example 2's provably-distinct pair" (fun () ->
+        (* (TwinCities, Chinese) in R vs (TwinCities, Mughalai) in S:
+           Mughalai implies Indian, and Chinese ≠ Indian. *)
+        let nmt =
+          E.Negative.of_ilfds ~r:PD.table2_r ~s:PD.table2_s
+            [ PD.example2_ilfd ]
+        in
+        Alcotest.(check int) "" 1 (E.Matching_table.cardinality nmt);
+        match E.Matching_table.entries nmt with
+        | [ e ] ->
+            Alcotest.(check string) "" "Chinese"
+              (V.to_string (R.Tuple.nth e.r_key 1))
+        | _ -> Alcotest.fail "one entry");
+    case "MT and NMT are consistent on Example 3" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        let nmt =
+          E.Negative.of_ilfds ~r:o.r_extended ~s:o.s_extended PD.ilfds_i1_i8
+        in
+        Alcotest.(check bool) "" true
+          (E.Matching_table.consistent o.matching_table nmt));
+    case "prop-1 rules from ilfds skip empty antecedents" (fun () ->
+        let rules =
+          E.Negative.distinctness_rules_of_ilfds
+            [ Ilfd.make [] [ Ilfd.condition "a" (v "x") ] ]
+        in
+        Alcotest.(check int) "" 0 (List.length rules));
+  ]
+
+(* ---- Integrate ---- *)
+
+let integrate_tests =
+  [
+    case "row count = matches + unmatched both sides" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        let t = E.Integrate.integrated_table ~key:PD.example3_key o in
+        (* 3 merged + 2 R-only + 1 S-only = 6 rows, as in the session. *)
+        Alcotest.(check int) "" 6 (R.Relation.cardinality t);
+        Alcotest.(check int) "unmatched R" 2
+          (List.length (E.Integrate.unmatched_r o));
+        Alcotest.(check int) "unmatched S" 1
+          (List.length (E.Integrate.unmatched_s o)));
+    case "column layout: kext blocks first" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        let t = E.Integrate.integrated_table ~key:PD.example3_key o in
+        Alcotest.(check (list string)) ""
+          [ "r_name"; "r_cuisine"; "r_speciality"; "s_name"; "s_cuisine";
+            "s_speciality"; "r_street"; "s_county" ]
+          (R.Schema.names (R.Relation.schema t)));
+    case "merged rows agree on extended key" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        let t = E.Integrate.integrated_table ~key:PD.example3_key o in
+        let schema = R.Relation.schema t in
+        R.Relation.iter
+          (fun row ->
+            let merged =
+              (not (V.is_null (R.Tuple.get schema row "r_name")))
+              && not (V.is_null (R.Tuple.get schema row "s_name"))
+            in
+            if merged then
+              List.iter
+                (fun a ->
+                  Alcotest.(check string)
+                    a
+                    (get schema row ("r_" ^ a))
+                    (get schema row ("s_" ^ a)))
+                (E.Extended_key.attributes PD.example3_key))
+          t);
+    case "possibly_same respects non-null conflicts" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        let t = E.Integrate.integrated_table ~key:PD.example3_key o in
+        let schema = R.Relation.schema t in
+        let rows = R.Relation.tuples t in
+        let sichuan =
+          List.find (fun r -> get schema r "s_speciality" = "Sichuan") rows
+        in
+        let twincities_indian =
+          List.find
+            (fun r ->
+              get schema r "r_name" = "TwinCities"
+              && get schema r "r_cuisine" = "Indian")
+            rows
+        in
+        let anjuman =
+          List.find (fun r -> get schema r "r_name" = "Anjuman") rows
+        in
+        Alcotest.(check bool) "row compatible with itself" true
+          (E.Integrate.possibly_same ~key:PD.example3_key schema sichuan
+             sichuan);
+        Alcotest.(check bool) "TwinCities-Indian vs Sichuan: cuisines clash"
+          false
+          (E.Integrate.possibly_same ~key:PD.example3_key schema
+             twincities_indian sichuan);
+        Alcotest.(check bool) "Anjuman/Sichuan conflict" false
+          (E.Integrate.possibly_same ~key:PD.example3_key schema anjuman
+             sichuan));
+  ]
+
+(* ---- Monotonic (Figure 3) ---- *)
+
+let monotonic_tests =
+  [
+    case "adding ILFDs is monotone on Example 3" (fun () ->
+        let state =
+          E.Monotonic.create ~r:PD.table5_r ~s:PD.table5_s
+            ~key:PD.example3_key ()
+        in
+        let rec feed state previous = function
+          | [] -> ()
+          | ilfd :: rest ->
+              let state = E.Monotonic.add_ilfd state ilfd in
+              let current = E.Monotonic.snapshot state in
+              Alcotest.(check bool) "monotone" true
+                (E.Monotonic.monotone_step previous current);
+              feed state current rest
+        in
+        let initial =
+          E.Monotonic.snapshot
+            (E.Monotonic.create ~r:PD.table5_r ~s:PD.table5_s
+               ~key:PD.example3_key ())
+        in
+        feed state initial PD.ilfds_i1_i8);
+    case "snapshot partition sums to total" (fun () ->
+        let state =
+          E.Monotonic.add_ilfds
+            (E.Monotonic.create ~r:PD.table5_r ~s:PD.table5_s
+               ~key:PD.example3_key ())
+            PD.ilfds_i1_i8
+        in
+        let snap = E.Monotonic.snapshot state in
+        Alcotest.(check int) "" snap.total_pairs
+          (E.Matching_table.cardinality snap.matched
+          + E.Matching_table.cardinality snap.not_matched
+          + snap.undetermined_count);
+        Alcotest.(check int) "20 pairs" 20 snap.total_pairs;
+        Alcotest.(check int) "3 matched" 3
+          (E.Matching_table.cardinality snap.matched));
+    qtest ~count:8 "any ILFD prefix chain is monotone (random instances)"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let inst =
+          Workload.Restaurant.generate
+            {
+              Workload.Restaurant.default with
+              n_entities = 12;
+              seed;
+              homonym_rate = 0.2;
+            }
+        in
+        let state =
+          E.Monotonic.create ~r:inst.r ~s:inst.s ~key:inst.key ()
+        in
+        let rec monotone state previous = function
+          | [] -> true
+          | ilfd :: rest ->
+              let state = E.Monotonic.add_ilfd state ilfd in
+              let snap = E.Monotonic.snapshot state in
+              E.Monotonic.monotone_step previous snap
+              && monotone state snap rest
+        in
+        (* A prefix of the rule set, in generation order. *)
+        let prefix =
+          List.filteri (fun i _ -> i mod 2 = 0) inst.ilfds
+        in
+        monotone state (E.Monotonic.snapshot state) prefix);
+    case "user distinctness rules join the negative side" (fun () ->
+        let rule =
+          Rules.Distinctness.make ~name:"never"
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left "name")
+                R.Predicate.Eq
+                (Rules.Atom.const (v "VillageWok"));
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Right "name")
+                R.Predicate.Ne
+                (Rules.Atom.const (v "VillageWok"));
+            ]
+        in
+        let state =
+          E.Monotonic.add_distinctness
+            (E.Monotonic.create ~r:PD.table5_r ~s:PD.table5_s
+               ~key:PD.example3_key ())
+            rule
+        in
+        let snap = E.Monotonic.snapshot state in
+        (* VillageWok in R vs all 4 S tuples (none named VillageWok). *)
+        Alcotest.(check int) "" 4
+          (E.Matching_table.cardinality snap.not_matched));
+  ]
+
+(* ---- Algebraic (Section 4.2 / Figure 4) ---- *)
+
+let algebraic_tests =
+  [
+    case "agrees with engine on Example 2" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table2_r ~s:PD.table2_s ~key:PD.example2_key
+            [ PD.example2_ilfd ]
+        in
+        let plan =
+          E.Algebraic.run ~r:PD.table2_r ~s:PD.table2_s ~key:PD.example2_key
+            [ PD.example2_ilfd ]
+        in
+        Alcotest.(check bool) "" true (E.Algebraic.agrees plan o));
+    case "agrees with engine on Example 3 (needs saturation)" (fun () ->
+        let o =
+          E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        let plan =
+          E.Algebraic.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        Alcotest.(check bool) "" true (E.Algebraic.agrees plan o));
+    case "r_prime matches Table 6 contents" (fun () ->
+        let plan =
+          E.Algebraic.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
+            PD.ilfds_i1_i8
+        in
+        let schema = R.Relation.schema plan.r_prime in
+        let gyros =
+          R.Relation.find_opt
+            (fun t -> get schema t "name" = "It'sGreek")
+            plan.r_prime
+        in
+        match gyros with
+        | Some t ->
+            Alcotest.(check string) "" "Gyros" (get schema t "speciality")
+        | None -> Alcotest.fail "It'sGreek row missing");
+    case "agrees on chain workloads (depth 3)" (fun () ->
+        let inst =
+          Workload.Chain.generate
+            { Workload.Chain.default with n_entities = 12; depth = 3 }
+        in
+        let o =
+          E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
+        in
+        let plan =
+          E.Algebraic.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
+        in
+        Alcotest.(check bool) "" true (E.Algebraic.agrees plan o));
+    qtest ~count:10 "agrees on random restaurant instances"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let inst =
+          Workload.Restaurant.generate
+            {
+              Workload.Restaurant.default with
+              n_entities = 25;
+              seed;
+              homonym_rate = 0.2;
+            }
+        in
+        let o =
+          E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
+        in
+        let plan =
+          E.Algebraic.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
+        in
+        E.Algebraic.agrees plan o);
+  ]
+
+(* ---- Verify & Figure 2 ---- *)
+
+let verify_tests =
+  [
+    case "check flags unsound tables" (fun () ->
+        let mt =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ]
+            [ entry "1" "a"; entry "1" "b" ]
+        in
+        let report = E.Verify.check mt in
+        Alcotest.(check bool) "" false
+          (E.Verify.is_sound_wrt_constraints report));
+    case "against_truth counts" (fun () ->
+        let mt =
+          E.Matching_table.make ~r_key_attrs:[ "rk" ] ~s_key_attrs:[ "sk" ]
+            [ entry "1" "a"; entry "2" "wrong" ]
+        in
+        let truth = [ entry "1" "a"; entry "3" "missed" ] in
+        let c = E.Verify.against_truth ~truth mt in
+        Alcotest.(check int) "tm" 1 c.true_matches;
+        Alcotest.(check int) "fm" 1 c.false_matches;
+        Alcotest.(check int) "miss" 1 c.missed_matches;
+        Alcotest.(check bool) "" false (E.Verify.sound_wrt_truth c));
+    case "Figure 2: identical attributes, different entities" (fun () ->
+        (* Without a domain attribute, attribute-value equivalence
+           declares r1 ≡ s1 — unsound w.r.t. the integrated world where
+           they are different restaurants (different streets). *)
+        let naive =
+          Baselines.Key_equiv.run_on_attributes ~attrs:[ "name"; "cuisine" ]
+            PD.figure2_r PD.figure2_s
+        in
+        Alcotest.(check int) "naive matches the pair" 1
+          (E.Matching_table.cardinality naive);
+        let truth = [] in
+        let c = E.Verify.against_truth ~truth naive in
+        Alcotest.(check bool) "soundness violated" false
+          (E.Verify.sound_wrt_truth c);
+        (* With the domain attribute the pair becomes distinguishable:
+           a distinctness rule on the domains blocks the match. *)
+        let r_tagged =
+          E.Verify.add_domain_attribute "domain" (v "DB1") PD.figure2_r
+        in
+        let s_tagged =
+          E.Verify.add_domain_attribute "domain" (v "DB2") PD.figure2_s
+        in
+        let domain_rule =
+          Rules.Distinctness.make ~name:"different subsets"
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left "domain")
+                R.Predicate.Eq
+                (Rules.Atom.const (v "DB1"));
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Right "domain")
+                R.Predicate.Eq
+                (Rules.Atom.const (v "DB2"));
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left "name")
+                R.Predicate.Eq
+                (Rules.Atom.attr Rules.Atom.Right "name");
+            ]
+        in
+        let nmt = E.Negative.of_rules ~r:r_tagged ~s:s_tagged [ domain_rule ] in
+        Alcotest.(check int) "pair now provably distinct" 1
+          (E.Matching_table.cardinality nmt));
+    case "add_domain_attribute widens schema" (fun () ->
+        let tagged =
+          E.Verify.add_domain_attribute "domain" (v "DB1") PD.figure2_r
+        in
+        Alcotest.(check bool) "" true
+          (R.Schema.mem (R.Relation.schema tagged) "domain"));
+  ]
+
+let () =
+  Alcotest.run "entity_id"
+    [
+      ("match-result", match_result_tests);
+      ("extended-key", extended_key_tests);
+      ("decision", decision_tests);
+      ("matching-table", matching_table_tests);
+      ("identify", identify_tests);
+      ("negative", negative_tests);
+      ("integrate", integrate_tests);
+      ("monotonic", monotonic_tests);
+      ("algebraic", algebraic_tests);
+      ("verify", verify_tests);
+    ]

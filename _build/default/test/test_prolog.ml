@@ -1,0 +1,386 @@
+(* Tests for the mini-Prolog engine: terms, unification, the parser, and
+   SLD resolution with cut / negation-as-failure — the behaviours the
+   paper's prototype depends on (ILFD rules with cut, default NULL facts,
+   setof/bagof-based verification). *)
+
+module T = Prolog.Term
+open Helpers
+
+let case name f = Alcotest.test_case name `Quick f
+
+let engine src = Prolog.Solve.make ~out:ignore
+    (Prolog.Database.of_clauses (Prolog.Parser.program src))
+
+let query e src = Prolog.Solve.query e (Prolog.Parser.goals src)
+
+let solutions src goal = List.length (query (engine src) goal)
+
+let first_binding e goal var =
+  match query e goal with
+  | bindings :: _ -> Some (T.to_string (List.assoc var bindings))
+  | [] -> None
+
+(* ---- terms ---- *)
+
+let term_tests =
+  [
+    case "list round-trip" (fun () ->
+        let l = T.list_of [ T.atom "a"; T.int 1 ] in
+        match T.to_list l with
+        | Some [ T.Atom "a"; T.Int 1 ] -> ()
+        | _ -> Alcotest.fail "bad decode");
+    case "partial list not a list" (fun () ->
+        Alcotest.(check bool) "" true
+          (T.to_list (T.cons (T.atom "a") (T.var "T")) = None));
+    case "variables in first-occurrence order" (fun () ->
+        let t = T.compound "f" [ T.var "B"; T.var "A"; T.var "B" ] in
+        Alcotest.(check (list string)) "" [ "B"; "A" ] (T.variables t));
+    case "rename suffixes variables" (fun () ->
+        let t = T.rename "#1" (T.compound "f" [ T.var "X"; T.atom "a" ]) in
+        Alcotest.(check (list string)) "" [ "X#1" ] (T.variables t));
+    case "standard order: Var < Int < Atom < Compound" (fun () ->
+        Alcotest.(check bool) "" true (T.compare (T.var "X") (T.int 0) < 0);
+        Alcotest.(check bool) "" true (T.compare (T.int 9) (T.atom "a") < 0);
+        Alcotest.(check bool) "" true
+          (T.compare (T.atom "z") (T.compound "f" [ T.int 1 ]) < 0));
+    case "pp prints lists" (fun () ->
+        Alcotest.(check string) "" "[a, 1]"
+          (T.to_string (T.list_of [ T.atom "a"; T.int 1 ])));
+    case "pp prints partial lists" (fun () ->
+        Alcotest.(check string) "" "[a|T]"
+          (T.to_string (T.cons (T.atom "a") (T.var "T"))));
+  ]
+
+(* ---- unification ---- *)
+
+let unify_tests =
+  [
+    case "unify binds variable" (fun () ->
+        match Prolog.Unify.unify Prolog.Subst.empty (T.var "X") (T.atom "a") with
+        | Some s ->
+            Alcotest.(check string) "" "a"
+              (T.to_string (Prolog.Subst.resolve s (T.var "X")))
+        | None -> Alcotest.fail "should unify");
+    case "unify compound args" (fun () ->
+        let a = T.compound "f" [ T.var "X"; T.atom "b" ] in
+        let b = T.compound "f" [ T.atom "a"; T.var "Y" ] in
+        match Prolog.Unify.unify Prolog.Subst.empty a b with
+        | Some s ->
+            Alcotest.(check string) "" "f(a, b)"
+              (T.to_string (Prolog.Subst.resolve s a))
+        | None -> Alcotest.fail "should unify");
+    case "occurs check blocks X = f(X)" (fun () ->
+        Alcotest.(check bool) "" true
+          (Prolog.Unify.unify Prolog.Subst.empty (T.var "X")
+             (T.compound "f" [ T.var "X" ])
+          = None));
+    case "clash fails" (fun () ->
+        Alcotest.(check bool) "" true
+          (Prolog.Unify.unify Prolog.Subst.empty (T.atom "a") (T.atom "b")
+          = None));
+    case "unifier makes terms equal" (fun () ->
+        let a = T.compound "f" [ T.var "X"; T.compound "g" [ T.var "X" ] ] in
+        let b = T.compound "f" [ T.atom "c"; T.var "Z" ] in
+        match Prolog.Unify.unify Prolog.Subst.empty a b with
+        | Some s ->
+            Alcotest.(check bool) "" true
+              (T.equal (Prolog.Subst.resolve s a) (Prolog.Subst.resolve s b))
+        | None -> Alcotest.fail "should unify");
+  ]
+
+(* ---- parser ---- *)
+
+let parser_tests =
+  [
+    case "facts and rules" (fun () ->
+        let cs = Prolog.Parser.program "f(a). g(X) :- f(X)." in
+        Alcotest.(check int) "" 2 (List.length cs));
+    case "comments ignored" (fun () ->
+        let cs =
+          Prolog.Parser.program
+            "% line comment\nf(a). /* block\ncomment */ f(b)."
+        in
+        Alcotest.(check int) "" 2 (List.length cs));
+    case "quoted atoms keep case and spaces" (fun () ->
+        match Prolog.Parser.term "'It''s Greek'" with
+        | T.Atom a -> Alcotest.(check string) "" "It's Greek" a
+        | _ -> Alcotest.fail "expected atom");
+    case "lists with tail" (fun () ->
+        match Prolog.Parser.term "[a, b|T]" with
+        | T.Compound
+            (".", [ T.Atom "a"; T.Compound (".", [ T.Atom "b"; T.Var "T" ]) ])
+          -> ()
+        | t -> Alcotest.fail (T.to_string t));
+    case "arithmetic precedence" (fun () ->
+        match Prolog.Parser.term "1 + 2 * 3" with
+        | T.Compound ("+", [ T.Int 1; T.Compound ("*", [ T.Int 2; T.Int 3 ]) ])
+          -> ()
+        | t -> Alcotest.fail (T.to_string t));
+    case "is parses as infix" (fun () ->
+        match Prolog.Parser.term "X is N + 1" with
+        | T.Compound ("is", [ T.Var "X"; T.Compound ("+", _) ]) -> ()
+        | t -> Alcotest.fail (T.to_string t));
+    case "negative integer literal" (fun () ->
+        match Prolog.Parser.term "-42" with
+        | T.Int (-42) -> ()
+        | t -> Alcotest.fail (T.to_string t));
+    case "cut and negation in bodies" (fun () ->
+        let cs = Prolog.Parser.program "f(X) :- g(X), !, \\+ h(X)." in
+        match cs with
+        | [ { body = [ _; T.Atom "!"; T.Compound ("\\+", _) ]; _ } ] -> ()
+        | _ -> Alcotest.fail "bad body");
+    case "syntax error carries line" (fun () ->
+        match Prolog.Parser.program "f(a).\ng(" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Prolog.Parser.Syntax_error { line; _ } ->
+            Alcotest.(check int) "" 2 line);
+    check_raises_any "dot inside term rejected" (fun () ->
+        Prolog.Parser.program "f(a.b).");
+  ]
+
+(* ---- solving ---- *)
+
+let family =
+  {|
+  parent(tom, bob). parent(tom, liz).
+  parent(bob, ann). parent(bob, pat).
+  grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+  sibling(X, Y) :- parent(P, X), parent(P, Y), \+ X = Y.
+|}
+
+let solve_tests =
+  [
+    case "fact enumeration" (fun () ->
+        Alcotest.(check int) "" 4 (solutions family "parent(X, Y)"));
+    case "conjunction joins" (fun () ->
+        Alcotest.(check int) "" 2 (solutions family "grandparent(tom, Z)"));
+    case "negation as failure" (fun () ->
+        Alcotest.(check int) "" 1 (solutions family "sibling(ann, X)");
+        Alcotest.(check int) "" 1 (solutions family "sibling(ann, pat)");
+        Alcotest.(check int) "" 0 (solutions family "sibling(ann, ann)"));
+    case "cut commits to first clause" (fun () ->
+        let src = "max(X, Y, X) :- X >= Y, !. max(_X, Y, Y)." in
+        let e = engine src in
+        Alcotest.(check (option string)) "" (Some "3")
+          (first_binding e "max(3, 2, M)" "M");
+        Alcotest.(check int) "exactly one solution" 1
+          (List.length (query e "max(3, 2, M)")));
+    case "cut prunes alternatives (once idiom)" (fun () ->
+        let src = "p(1). p(2). p(3). once_p(X) :- p(X), !." in
+        Alcotest.(check int) "" 1 (solutions src "once_p(X)"));
+    case "cut is local to the called predicate" (fun () ->
+        let src = "p(1). p(2). q(a). q(b). both(X, Y) :- q(X), r(Y).\n\
+                   r(Y) :- p(Y), !." in
+        (* r yields only 1, but q still backtracks: 2 solutions. *)
+        Alcotest.(check int) "" 2 (solutions src "both(X, Y)"));
+    case "if_then_else idiom" (fun () ->
+        let src =
+          "ite(P, Q, _R) :- call(P), !, call(Q). ite(_P, _Q, R) :- call(R).\n\
+           flag(yes)."
+        in
+        let e = engine src in
+        Alcotest.(check int) "then" 1
+          (List.length (query e "ite(flag(yes), flag(Y), fail)"));
+        Alcotest.(check int) "else" 1
+          (List.length (query e "ite(flag(no), fail, flag(Y))")));
+    case "arithmetic is and comparisons" (fun () ->
+        let e = engine "double(X, Y) :- Y is X * 2." in
+        Alcotest.(check (option string)) "" (Some "14")
+          (first_binding e "double(7, Y)" "Y");
+        Alcotest.(check int) "" 1
+          (solutions "" "3 < 4, 4 =< 4, 5 =:= 5, 6 =\\= 7");
+        Alcotest.(check int) "" 0 (solutions "" "3 > 4"));
+    case "mod and division" (fun () ->
+        let e = engine "" in
+        Alcotest.(check (option string)) "" (Some "2")
+          (first_binding e "X is 17 mod 5" "X");
+        Alcotest.(check (option string)) "" (Some "3")
+          (first_binding e "X is 17 // 5" "X"));
+    case "division by zero raises" (fun () ->
+        Alcotest.(check bool) "" true
+          (match solutions "" "X is 1 / 0" with
+          | _ -> false
+          | exception Prolog.Solve.Prolog_error _ -> true));
+    case "structural == vs unifying =" (fun () ->
+        Alcotest.(check int) "" 1 (solutions "" "X = a, X == a");
+        Alcotest.(check int) "" 0 (solutions "" "X == a");
+        Alcotest.(check int) "" 1 (solutions "" "X \\== a"));
+    case "var / nonvar / atom / integer" (fun () ->
+        Alcotest.(check int) "" 1 (solutions "" "var(X)");
+        Alcotest.(check int) "" 1 (solutions "" "X = a, nonvar(X), atom(X)");
+        Alcotest.(check int) "" 1 (solutions "" "integer(3)");
+        Alcotest.(check int) "" 0 (solutions "" "atom(3)"));
+    case "findall collects all" (fun () ->
+        let e = engine "p(1). p(2). p(3)." in
+        Alcotest.(check (option string)) "" (Some "[1, 2, 3]")
+          (first_binding e "findall(X, p(X), L)" "L"));
+    case "findall on empty gives []" (fun () ->
+        let e = engine "q(0)." in
+        Alcotest.(check (option string)) "" (Some "[]")
+          (first_binding e "findall(X, q(9), L)" "L"));
+    case "bagof fails on empty" (fun () ->
+        Alcotest.(check int) "" 0 (solutions "q(0)." "bagof(X, q(9), L)"));
+    case "setof sorts and dedups" (fun () ->
+        let e = engine "p(b). p(a). p(b)." in
+        Alcotest.(check (option string)) "" (Some "[a, b]")
+          (first_binding e "setof(X, p(X), L)" "L"));
+    case "assertz extends the database" (fun () ->
+        let e = engine "p(1)." in
+        Alcotest.(check int) "" 1 (List.length (query e "p(X)"));
+        Alcotest.(check int) "" 1 (List.length (query e "assertz(p(2))"));
+        Alcotest.(check int) "" 2 (List.length (query e "p(X)")));
+    case "user clauses shadow builtins" (fun () ->
+        (* The Appendix defines its own length/2 building N+1 terms. *)
+        let src = "length([], 0). length([_X|Xs], N + 1) :- length(Xs, N)." in
+        let e = engine src in
+        Alcotest.(check (option string)) "" (Some "0 + 1 + 1")
+          (first_binding e "length([a, b], N)" "N"));
+    case "write goes to the sink" (fun () ->
+        let buf = Buffer.create 16 in
+        let e =
+          Prolog.Solve.make ~out:(Buffer.add_string buf)
+            (Prolog.Database.of_clauses (Prolog.Parser.program "p(hello)."))
+        in
+        ignore (Prolog.Solve.solve e (Prolog.Parser.goals "p(X), write(X), nl"));
+        Alcotest.(check string) "" "hello\n" (Buffer.contents buf));
+    case "unknown predicate raises" (fun () ->
+        Alcotest.(check bool) "" true
+          (match solutions "" "no_such_thing(1)" with
+          | _ -> false
+          | exception Prolog.Solve.Prolog_error _ -> true));
+    case "step limit guards infinite loops" (fun () ->
+        let e =
+          Prolog.Solve.make ~max_steps:1000 ~out:ignore
+            (Prolog.Database.of_clauses (Prolog.Parser.program "loop :- loop."))
+        in
+        Alcotest.(check bool) "" true
+          (match Prolog.Solve.solve e (Prolog.Parser.goals "loop") with
+          | _ -> false
+          | exception Prolog.Solve.Prolog_error _ -> true));
+    case "solve_first stops early" (fun () ->
+        let e = engine "p(1). p(2)." in
+        Alcotest.(check bool) "" true
+          (Option.is_some
+             (Prolog.Solve.solve_first e (Prolog.Parser.goals "p(X)"))));
+    case "succeeds" (fun () ->
+        let e = engine "p(1)." in
+        Alcotest.(check bool) "" true
+          (Prolog.Solve.succeeds e (Prolog.Parser.goals "p(1)"));
+        Alcotest.(check bool) "" false
+          (Prolog.Solve.succeeds e (Prolog.Parser.goals "p(2)")));
+    case "cut inside negation does not escape" (fun () ->
+        let src = "p(1). p(2). q(X) :- p(X), \\+ r_with_cut.\n\
+                   r_with_cut :- !, fail." in
+        (* If the cut escaped the \+ scope it would prune p's
+           alternatives and q would yield one solution instead of two. *)
+        Alcotest.(check int) "" 2 (solutions src "q(X)"));
+    case "cut then fail makes the clause fail, like real Prolog" (fun () ->
+        let src = "p(1). p(2). fwc(X) :- p(X), !, fail.\n\
+                   guard(X) :- \\+ fwc(X)." in
+        Alcotest.(check int) "fwc never succeeds" 0 (solutions src "fwc(1)");
+        Alcotest.(check int) "so its negation always does" 1
+          (solutions src "guard(1)"));
+  ]
+
+(* Random ground terms for the print/parse round-trip. *)
+let rec term_gen depth =
+  QCheck2.Gen.(
+    if depth = 0 then
+      oneof
+        [ map T.atom (oneofl [ "a"; "b"; "foo" ]);
+          map T.int (int_range (-9) 9) ]
+    else
+      oneof
+        [ map T.atom (oneofl [ "a"; "b"; "foo" ]);
+          map T.int (int_range (-9) 9);
+          map2
+            (fun name args -> T.compound name args)
+            (oneofl [ "f"; "g" ])
+            (list_size (1 -- 3) (term_gen (depth - 1)));
+          map T.list_of (list_size (0 -- 3) (term_gen (depth - 1)));
+          map2
+            (fun l r -> T.compound "+" [ l; r ])
+            (term_gen (depth - 1))
+            (term_gen (depth - 1)) ])
+
+let roundtrip_tests =
+  [
+    qtest ~count:200 "print/parse round-trip on ground terms" (term_gen 3)
+      (fun t ->
+        match Prolog.Parser.term (T.to_string t) with
+        | parsed -> T.equal parsed t
+        | exception Prolog.Parser.Syntax_error _ -> false);
+  ]
+
+(* ---- extended builtins and the prelude ---- *)
+
+let prelude_engine src =
+  Prolog.Solve.make ~out:ignore
+    (Prolog.Prelude.load
+       (Prolog.Database.of_clauses (Prolog.Parser.program src)))
+
+let psolutions src goal =
+  List.length (Prolog.Solve.query (prelude_engine src) (Prolog.Parser.goals goal))
+
+let builtin_tests =
+  [
+    case "once takes the first solution only" (fun () ->
+        Alcotest.(check int) "" 1 (solutions "p(1). p(2)." "once(p(X))"));
+    case "forall checks all instances" (fun () ->
+        Alcotest.(check int) "" 1
+          (solutions "p(2). p(4)." "forall(p(X), 0 =:= X mod 2)");
+        Alcotest.(check int) "" 0
+          (solutions "p(2). p(3)." "forall(p(X), 0 =:= X mod 2)"));
+    case "between enumerates and checks" (fun () ->
+        Alcotest.(check int) "" 5 (solutions "" "between(1, 5, X)");
+        Alcotest.(check int) "" 1 (solutions "" "between(1, 5, 3)");
+        Alcotest.(check int) "" 0 (solutions "" "between(1, 5, 9)"));
+    case "atom_concat builds atoms" (fun () ->
+        let e = engine "" in
+        Alcotest.(check (option string)) "" (Some "foobar")
+          (first_binding e "atom_concat(foo, bar, X)" "X"));
+    case "msort sorts without dedup" (fun () ->
+        let e = engine "" in
+        Alcotest.(check (option string)) "" (Some "[1, 2, 2, 3]")
+          (first_binding e "msort([3, 2, 1, 2], L)" "L"));
+    case "retract removes exactly one clause" (fun () ->
+        let e = engine "p(1). p(2). p(1)." in
+        Alcotest.(check int) "" 3 (List.length (query e "p(X)"));
+        Alcotest.(check int) "" 1 (List.length (query e "retract(p(1))"));
+        Alcotest.(check int) "" 2 (List.length (query e "p(X)"));
+        Alcotest.(check int) "nothing to retract" 0
+          (List.length (query e "retract(p(9))")));
+    case "retract matches rule bodies" (fun () ->
+        let e = engine "q(X) :- p(X). p(1)." in
+        Alcotest.(check int) "" 1
+          (List.length (query e "retract((q(Y) :- p(Y)))"));
+        Alcotest.(check bool) "q gone" true
+          (match query e "q(1)" with
+          | _ -> false
+          | exception Prolog.Solve.Prolog_error _ -> true));
+    case "prelude member/append/reverse" (fun () ->
+        Alcotest.(check int) "" 3 (psolutions "" "member(X, [a, b, c])");
+        Alcotest.(check int) "" 3 (psolutions "" "append(X, Y, [1, 2])");
+        Alcotest.(check int) "" 1
+          (psolutions "" "reverse([1, 2, 3], [3, 2, 1])"));
+    case "prelude select and nth0" (fun () ->
+        Alcotest.(check int) "" 3 (psolutions "" "select(X, [a, b, c], R)");
+        Alcotest.(check int) "" 1 (psolutions "" "nth0(1, [a, b, c], b)"));
+    case "user definitions shadow the prelude" (fun () ->
+        (* A program defining its own member/2 keeps it. *)
+        Alcotest.(check int) "" 1
+          (psolutions "member(only, _Anything)." "member(only, [a, b])");
+        Alcotest.(check int) "" 0
+          (psolutions "member(only, _Anything)." "member(a, [a, b])"));
+  ]
+
+let () =
+  Alcotest.run "prolog"
+    [
+      ("term", term_tests);
+      ("unify", unify_tests);
+      ("parser", parser_tests);
+      ("solve", solve_tests);
+      ("builtins", builtin_tests);
+      ("roundtrip", roundtrip_tests);
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the propositional substrate. The headline properties mirror
+   the paper's Section 5: Armstrong's axioms for ILFDs are sound and
+   complete (Theorem 1) — checked here as three-way agreement between
+   forward chaining, truth-table semantics and DPLL refutation, plus
+   proof-object round-trips. *)
+
+module P = Proplogic
+open Helpers
+
+let case name f = Alcotest.test_case name `Quick f
+
+let clause ante cons = P.Clause.make ante cons
+let sset = P.Symbol.set_of_list
+
+(* The running example: F = {p → q, q → r}. *)
+let f_chain = [ clause [ "p" ] [ "q" ]; clause [ "q" ] [ "r" ] ]
+
+let clause_tests =
+  [
+    case "combine merges identical antecedents" (fun () ->
+        let combined =
+          P.Clause.combine
+            [ clause [ "p" ] [ "q" ]; clause [ "p" ] [ "r" ];
+              clause [ "s" ] [ "t" ] ]
+        in
+        Alcotest.(check int) "" 2 (List.length combined);
+        let first = List.hd combined in
+        Alcotest.(check int) "" 2
+          (P.Symbol.Set.cardinal (P.Clause.consequent first)));
+    case "split yields singletons" (fun () ->
+        let parts = P.Clause.split (clause [ "p" ] [ "q"; "r" ]) in
+        Alcotest.(check int) "" 2 (List.length parts);
+        List.iter
+          (fun c ->
+            Alcotest.(check int) "" 1
+              (P.Symbol.Set.cardinal (P.Clause.consequent c)))
+          parts);
+    case "trivial detection" (fun () ->
+        Alcotest.(check bool) "" true
+          (P.Clause.is_trivial (clause [ "p"; "q" ] [ "p" ]));
+        Alcotest.(check bool) "" false
+          (P.Clause.is_trivial (clause [ "p" ] [ "q" ])));
+    case "satisfied_by semantics" (fun () ->
+        let c = clause [ "p" ] [ "q" ] in
+        Alcotest.(check bool) "vacuous" true
+          (P.Clause.satisfied_by (sset []) c);
+        Alcotest.(check bool) "fires ok" true
+          (P.Clause.satisfied_by (sset [ "p"; "q" ]) c);
+        Alcotest.(check bool) "violated" false
+          (P.Clause.satisfied_by (sset [ "p" ]) c));
+  ]
+
+let infer_tests =
+  [
+    case "closure chains" (fun () ->
+        let c = P.Infer.closure f_chain (sset [ "p" ]) in
+        Alcotest.(check (list string)) "" [ "p"; "q"; "r" ]
+          (P.Symbol.set_to_list c));
+    case "closure with empty antecedent clause" (fun () ->
+        let f = [ clause [] [ "ax" ] ] in
+        Alcotest.(check bool) "" true
+          (P.Symbol.Set.mem "ax" (P.Infer.closure f (sset []))));
+    case "entails by closure" (fun () ->
+        Alcotest.(check bool) "" true
+          (P.Infer.entails f_chain (clause [ "p" ] [ "r" ]));
+        Alcotest.(check bool) "" false
+          (P.Infer.entails f_chain (clause [ "r" ] [ "p" ])));
+    case "redundant clause detected" (fun () ->
+        let f = f_chain @ [ clause [ "p" ] [ "r" ] ] in
+        Alcotest.(check bool) "" true
+          (P.Infer.redundant f (clause [ "p" ] [ "r" ]));
+        Alcotest.(check bool) "" false
+          (P.Infer.redundant f_chain (clause [ "p" ] [ "q" ])));
+    case "consequences trace fires in order" (fun () ->
+        let trace = P.Infer.consequences f_chain (sset [ "p" ]) in
+        Alcotest.(check int) "" 2 (List.length trace));
+    qtest "closure equals naive closure"
+      QCheck2.Gen.(pair clauses_gen symbol_set_gen)
+      (fun (clauses, xs) ->
+        P.Symbol.Set.equal
+          (P.Infer.closure clauses xs)
+          (P.Infer.closure_naive clauses xs));
+    qtest "closure is extensive and monotone"
+      QCheck2.Gen.(pair clauses_gen symbol_set_gen)
+      (fun (clauses, xs) ->
+        let c = P.Infer.closure clauses xs in
+        P.Symbol.Set.subset xs c
+        && P.Symbol.Set.equal c (P.Infer.closure clauses c));
+    qtest "armstrong axioms hold of entails"
+      QCheck2.Gen.(triple clauses_gen symbol_set_gen symbol_set_gen)
+      (fun (f, x, z) ->
+        (* reflexivity + augmentation: X∪Z → X always entailed. *)
+        let xz = P.Symbol.Set.union x z in
+        P.Infer.entails f (P.Clause.of_sets xz x));
+  ]
+
+let semantics_tests =
+  [
+    case "models of chain" (fun () ->
+        let ms =
+          P.Semantics.models f_chain (P.Semantics.universe f_chain P.Symbol.Set.empty)
+        in
+        (* Over {p,q,r}: valuations satisfying p→q and q→r: {}, {r},
+           {q,r}, {p,q,r} — 4 models. *)
+        Alcotest.(check int) "" 4 (List.length ms));
+    case "semantic entailment example" (fun () ->
+        Alcotest.(check bool) "" true
+          (P.Semantics.entails f_chain (clause [ "p" ] [ "r" ])));
+    qtest ~count:60 "Theorem 1: syntactic = semantic entailment"
+      QCheck2.Gen.(pair clauses_gen clause_gen)
+      (fun (f, goal) ->
+        P.Infer.entails f goal = P.Semantics.entails f goal);
+  ]
+
+let dpll_tests =
+  [
+    case "solve sat" (fun () ->
+        match P.Dpll.solve [ [ 1; 2 ]; [ -1 ] ] with
+        | P.Dpll.Sat model -> Alcotest.(check bool) "" true (List.mem 2 model)
+        | P.Dpll.Unsat -> Alcotest.fail "expected sat");
+    case "solve unsat" (fun () ->
+        Alcotest.(check bool) "" true
+          (P.Dpll.solve [ [ 1 ]; [ -1 ] ] = P.Dpll.Unsat));
+    case "empty cnf is sat" (fun () ->
+        Alcotest.(check bool) "" true
+          (match P.Dpll.solve [] with P.Dpll.Sat _ -> true | _ -> false));
+    qtest ~count:60 "DPLL agrees with forward chaining"
+      QCheck2.Gen.(pair clauses_gen clause_gen)
+      (fun (f, goal) -> P.Dpll.entails f goal = P.Infer.entails f goal);
+  ]
+
+let armstrong_tests =
+  [
+    case "reflexivity conclusion" (fun () ->
+        let p = P.Armstrong.Reflexivity { x = sset [ "p"; "q" ]; y = sset [ "p" ] } in
+        Alcotest.(check bool) "" true
+          (P.Clause.equal (P.Armstrong.conclusion p)
+             (P.Clause.of_sets (sset [ "p"; "q" ]) (sset [ "p" ]))));
+    check_raises_any "reflexivity with bad subset raises" (fun () ->
+        P.Armstrong.conclusion
+          (P.Armstrong.Reflexivity { x = sset [ "p" ]; y = sset [ "z" ] }));
+    case "augmentation conclusion" (fun () ->
+        let p =
+          P.Armstrong.Augmentation
+            { premise = P.Armstrong.Axiom (clause [ "p" ] [ "q" ]);
+              z = sset [ "w" ] }
+        in
+        Alcotest.(check bool) "" true
+          (P.Clause.equal (P.Armstrong.conclusion p)
+             (clause [ "p"; "w" ] [ "q"; "w" ])));
+    check_raises_any "transitivity with mismatched middle raises" (fun () ->
+        P.Armstrong.conclusion
+          (P.Armstrong.Transitivity
+             ( P.Armstrong.Axiom (clause [ "p" ] [ "q" ]),
+               P.Armstrong.Axiom (clause [ "z" ] [ "r" ]) )));
+    case "pseudotransitivity (Lemma 2.2)" (fun () ->
+        let p =
+          P.Armstrong.Pseudotransitivity
+            ( P.Armstrong.Axiom (clause [ "x" ] [ "y" ]),
+              P.Armstrong.Axiom (clause [ "w"; "y" ] [ "z" ]) )
+        in
+        Alcotest.(check bool) "" true
+          (P.Clause.equal (P.Armstrong.conclusion p)
+             (clause [ "w"; "x" ] [ "z" ])));
+    case "check rejects foreign axioms" (fun () ->
+        let proof = P.Armstrong.Axiom (clause [ "p" ] [ "q" ]) in
+        Alcotest.(check bool) "" false
+          (P.Armstrong.check [] proof (clause [ "p" ] [ "q" ])));
+    case "derive proves chain goal" (fun () ->
+        match P.Armstrong.derive f_chain (clause [ "p" ] [ "r" ]) with
+        | Some proof ->
+            Alcotest.(check bool) "" true
+              (P.Armstrong.check f_chain proof (clause [ "p" ] [ "r" ]))
+        | None -> Alcotest.fail "no proof");
+    case "derive fails on non-entailed goal" (fun () ->
+        Alcotest.(check bool) "" true
+          (P.Armstrong.derive f_chain (clause [ "r" ] [ "p" ]) = None));
+    qtest ~count:60 "derive completeness mirrors entailment"
+      QCheck2.Gen.(pair clauses_gen clause_gen)
+      (fun (f, goal) ->
+        match P.Armstrong.derive f goal with
+        | Some proof ->
+            P.Infer.entails f goal && P.Armstrong.check f proof goal
+        | None -> not (P.Infer.entails f goal));
+  ]
+
+let cover_tests =
+  [
+    case "minimal cover drops redundancy" (fun () ->
+        let f = f_chain @ [ clause [ "p" ] [ "r" ] ] in
+        let mc = P.Cover.minimal_cover f in
+        Alcotest.(check int) "" 2 (List.length mc));
+    case "minimal cover shrinks antecedents" (fun () ->
+        let f = [ clause [ "p" ] [ "q" ]; clause [ "p"; "q" ] [ "r" ] ] in
+        let mc = P.Cover.minimal_cover f in
+        Alcotest.(check bool) "p -> r directly" true
+          (List.exists
+             (fun c ->
+               P.Clause.equal c (clause [ "p" ] [ "r" ]))
+             mc));
+    qtest ~count:60 "minimal cover is equivalent" clauses_gen (fun f ->
+        P.Cover.equivalent f (P.Cover.minimal_cover f));
+    qtest ~count:40 "canonical cover is idempotent" clauses_gen (fun f ->
+        let c1 = P.Cover.canonical_cover f in
+        let c2 = P.Cover.canonical_cover c1 in
+        List.length c1 = List.length c2
+        && List.for_all2 P.Clause.equal c1 c2);
+  ]
+
+let () =
+  Alcotest.run "proplogic"
+    [
+      ("clause", clause_tests);
+      ("infer", infer_tests);
+      ("semantics", semantics_tests);
+      ("dpll", dpll_tests);
+      ("armstrong", armstrong_tests);
+      ("cover", cover_tests);
+    ]

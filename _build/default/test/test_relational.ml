@@ -1,0 +1,562 @@
+(* Tests for the relational substrate: values and 3VL, schemas, tuples,
+   relations and keys, the algebra (including outer joins), key analysis,
+   CSV round-trips, and the pretty printer. *)
+
+module R = Relational
+module V = R.Value
+
+open Helpers
+
+let case name f = Alcotest.test_case name `Quick f
+let truth = Alcotest.testable V.pp_truth ( = )
+
+(* ---- Value ---- *)
+
+let value_tests =
+  [
+    case "eq3 null left is unknown" (fun () ->
+        Alcotest.check truth "" V.Unknown (V.eq3 V.Null (v "a")));
+    case "eq3 null right is unknown" (fun () ->
+        Alcotest.check truth "" V.Unknown (V.eq3 (v "a") V.Null));
+    case "eq3 equal strings" (fun () ->
+        Alcotest.check truth "" V.True (V.eq3 (v "a") (v "a")));
+    case "eq3 distinct strings" (fun () ->
+        Alcotest.check truth "" V.False (V.eq3 (v "a") (v "b")));
+    case "eq3 int vs float is numeric" (fun () ->
+        Alcotest.check truth "" V.True (V.eq3 (vi 3) (V.float 3.0)));
+    case "eq3 int vs string is false" (fun () ->
+        Alcotest.check truth "" V.False (V.eq3 (vi 3) (v "3")));
+    case "ne3 is negation of eq3" (fun () ->
+        Alcotest.check truth "" V.False (V.ne3 (v "a") (v "a"));
+        Alcotest.check truth "" V.Unknown (V.ne3 V.Null (v "a")));
+    case "lt3 numeric" (fun () ->
+        Alcotest.check truth "" V.True (V.lt3 (vi 1) (vi 2));
+        Alcotest.check truth "" V.False (V.lt3 (vi 2) (vi 1)));
+    case "lt3 cross-type is unknown" (fun () ->
+        Alcotest.check truth "" V.Unknown (V.lt3 (vi 1) (v "a")));
+    case "le3 ge3 gt3 on strings" (fun () ->
+        Alcotest.check truth "" V.True (V.le3 (v "a") (v "b"));
+        Alcotest.check truth "" V.True (V.gt3 (v "b") (v "a"));
+        Alcotest.check truth "" V.True (V.ge3 (v "b") (v "b")));
+    case "non_null_eq rejects null = null" (fun () ->
+        Alcotest.(check bool) "" false (V.non_null_eq V.Null V.Null));
+    case "non_null_eq accepts equal non-null" (fun () ->
+        Alcotest.(check bool) "" true (V.non_null_eq (v "a") (v "a")));
+    case "of_csv_string variants" (fun () ->
+        Alcotest.(check bool) "" true (V.equal (V.of_csv_string "") V.Null);
+        Alcotest.(check bool) "" true (V.equal (V.of_csv_string "null") V.Null);
+        Alcotest.(check bool) "" true (V.equal (V.of_csv_string "42") (vi 42));
+        Alcotest.(check bool) "" true
+          (V.equal (V.of_csv_string "4.5") (V.float 4.5));
+        Alcotest.(check bool) "" true
+          (V.equal (V.of_csv_string "true") (V.bool true));
+        Alcotest.(check bool) "" true
+          (V.equal (V.of_csv_string "abc") (v "abc")));
+    case "conforms with null" (fun () ->
+        Alcotest.(check bool) "" true (V.conforms V.Null V.TInt);
+        Alcotest.(check bool) "" false (V.conforms (v "x") V.TInt));
+  ]
+
+let all_truths = [ V.True; V.False; V.Unknown ]
+
+let kleene_tests =
+  [
+    case "and3 truth table" (fun () ->
+        List.iter
+          (fun (a, b, expected) ->
+            Alcotest.check truth "" expected (V.and3 a b))
+          [
+            (V.True, V.True, V.True); (V.True, V.False, V.False);
+            (V.True, V.Unknown, V.Unknown); (V.False, V.Unknown, V.False);
+            (V.Unknown, V.Unknown, V.Unknown); (V.False, V.False, V.False);
+          ]);
+    case "or3 truth table" (fun () ->
+        List.iter
+          (fun (a, b, expected) ->
+            Alcotest.check truth "" expected (V.or3 a b))
+          [
+            (V.True, V.False, V.True); (V.Unknown, V.True, V.True);
+            (V.False, V.Unknown, V.Unknown); (V.False, V.False, V.False);
+            (V.Unknown, V.Unknown, V.Unknown);
+          ]);
+    case "and3/or3 commutative, de morgan" (fun () ->
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                Alcotest.check truth "comm-and" (V.and3 a b) (V.and3 b a);
+                Alcotest.check truth "comm-or" (V.or3 a b) (V.or3 b a);
+                Alcotest.check truth "de-morgan"
+                  (V.not3 (V.and3 a b))
+                  (V.or3 (V.not3 a) (V.not3 b)))
+              all_truths)
+          all_truths);
+  ]
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return V.Null;
+        map V.int (int_range (-5) 5);
+        map V.string (oneofl [ "a"; "b"; "c" ]);
+        map V.bool bool;
+      ])
+
+let value_props =
+  [
+    qtest "compare is reflexive" value_gen (fun a -> V.compare a a = 0);
+    qtest "compare antisymmetric"
+      QCheck2.Gen.(pair value_gen value_gen)
+      (fun (a, b) -> V.compare a b = -V.compare b a);
+    qtest "equal values hash equally"
+      QCheck2.Gen.(pair value_gen value_gen)
+      (fun (a, b) -> (not (V.equal a b)) || V.hash a = V.hash b);
+    qtest "eq3 true implies non-null agreement"
+      QCheck2.Gen.(pair value_gen value_gen)
+      (fun (a, b) ->
+        V.eq3 a b <> V.True || ((not (V.is_null a)) && not (V.is_null b)));
+  ]
+
+(* ---- Schema / Tuple ---- *)
+
+let schema_tests =
+  [
+    check_raises_any "duplicate attribute rejected" (fun () ->
+        R.Schema.of_names [ "a"; "a" ]);
+    case "index_of and mem" (fun () ->
+        let s = R.Schema.of_names [ "a"; "b"; "c" ] in
+        Alcotest.(check int) "" 1 (R.Schema.index_of s "b");
+        Alcotest.(check bool) "" true (R.Schema.mem s "c");
+        Alcotest.(check bool) "" false (R.Schema.mem s "z"));
+    check_raises_any "index_of unknown raises" (fun () ->
+        R.Schema.index_of (R.Schema.of_names [ "a" ]) "z");
+    case "project keeps requested order" (fun () ->
+        let s = R.Schema.of_names [ "a"; "b"; "c" ] in
+        Alcotest.(check (list string))
+          "" [ "c"; "a" ]
+          (R.Schema.names (R.Schema.project s [ "c"; "a" ])));
+    case "rename with clash rejected" (fun () ->
+        let s = R.Schema.of_names [ "a"; "b" ] in
+        Alcotest.(check bool) "" true
+          (match R.Schema.rename s [ ("a", "b") ] with
+          | _ -> false
+          | exception R.Schema.Duplicate_attribute _ -> true));
+    case "restrict_away and common" (fun () ->
+        let s = R.Schema.of_names [ "a"; "b"; "c" ] in
+        let t = R.Schema.of_names [ "b"; "c"; "d" ] in
+        Alcotest.(check (list string))
+          "" [ "a" ]
+          (R.Schema.names (R.Schema.restrict_away s [ "b"; "c" ]));
+        Alcotest.(check (list string)) "" [ "b"; "c" ] (R.Schema.common s t));
+    case "typed schema rejects wrong type" (fun () ->
+        let s = R.Schema.make [ R.Schema.attr ~ty:V.TInt "n" ] in
+        Alcotest.(check bool) "" true
+          (match R.Tuple.make s [ v "oops" ] with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+  ]
+
+let tuple_tests =
+  [
+    check_raises_any "arity mismatch raises" (fun () ->
+        R.Tuple.make (R.Schema.of_names [ "a"; "b" ]) [ v "1" ]);
+    case "get / set" (fun () ->
+        let s = R.Schema.of_names [ "a"; "b" ] in
+        let t = R.Tuple.make s [ v "1"; v "2" ] in
+        let t' = R.Tuple.set s t "b" (v "9") in
+        Alcotest.(check string) "" "9" (V.to_string (R.Tuple.get s t' "b"));
+        Alcotest.(check string) "unchanged" "2"
+          (V.to_string (R.Tuple.get s t "b")));
+    case "project and concat" (fun () ->
+        let s = R.Schema.of_names [ "a"; "b"; "c" ] in
+        let t = R.Tuple.make s [ v "1"; v "2"; v "3" ] in
+        let p = R.Tuple.project s t [ "c"; "a" ] in
+        Alcotest.(check int) "" 2 (R.Tuple.arity p);
+        Alcotest.(check int) "" 5 (R.Tuple.arity (R.Tuple.concat t p)));
+    case "agree requires non-null equality" (fun () ->
+        let s = R.Schema.of_names [ "a" ] in
+        let t1 = R.Tuple.make s [ v "x" ] in
+        let t2 = R.Tuple.make s [ v "x" ] in
+        let tn = R.Tuple.make s [ V.Null ] in
+        Alcotest.(check bool) "" true (R.Tuple.agree s t1 s t2 [ "a" ]);
+        Alcotest.(check bool) "" false (R.Tuple.agree s tn s tn [ "a" ]));
+    case "has_null" (fun () ->
+        let s = R.Schema.of_names [ "a"; "b" ] in
+        Alcotest.(check bool) "" true
+          (R.Tuple.has_null (R.Tuple.make s [ v "1"; V.Null ]));
+        Alcotest.(check bool) "" false
+          (R.Tuple.has_null (R.Tuple.make s [ v "1"; v "2" ])));
+  ]
+
+(* ---- Relation ---- *)
+
+let relation_tests =
+  [
+    case "exact duplicates collapse" (fun () ->
+        let r = relation [ "a" ] [] [ [ "x" ]; [ "x" ]; [ "y" ] ] in
+        Alcotest.(check int) "" 2 (R.Relation.cardinality r));
+    check_raises_any "key violation on duplicate key" (fun () ->
+        relation [ "a"; "b" ] [ [ "a" ] ] [ [ "x"; "1" ]; [ "x"; "2" ] ]);
+    case "null in declared key rejected" (fun () ->
+        Alcotest.(check bool) "" true
+          (match
+             R.Relation.create
+               (R.Schema.of_names [ "a" ])
+               ~keys:[ [ "a" ] ]
+               [ [ V.Null ] ]
+           with
+          | _ -> false
+          | exception R.Relation.Key_violation _ -> true));
+    case "defaulted key reported but not enforced" (fun () ->
+        let r =
+          R.Relation.create (R.Schema.of_names [ "a" ]) [ [ V.Null ] ]
+        in
+        Alcotest.(check (list (list string))) "" [ [ "a" ] ] (R.Relation.keys r);
+        Alcotest.(check (list (list string))) "" [] (R.Relation.declared_keys r));
+    case "add preserves keys" (fun () ->
+        let r = relation [ "a" ] [ [ "a" ] ] [ [ "x" ] ] in
+        let r' =
+          R.Relation.add r (R.Tuple.make (R.Relation.schema r) [ v "y" ])
+        in
+        Alcotest.(check int) "" 2 (R.Relation.cardinality r');
+        Alcotest.(check bool) "" true
+          (match
+             R.Relation.add r' (R.Tuple.make (R.Relation.schema r) [ v "x" ])
+           with
+          | r'' -> R.Relation.cardinality r'' = 2 (* dedup, not violation *)
+          | exception R.Relation.Key_violation _ -> false));
+    case "equal ignores tuple order" (fun () ->
+        let a = relation [ "a" ] [] [ [ "x" ]; [ "y" ] ] in
+        let b = relation [ "a" ] [] [ [ "y" ]; [ "x" ] ] in
+        Alcotest.(check bool) "" true (R.Relation.equal a b));
+    case "key_of projects primary key" (fun () ->
+        let r = relation [ "a"; "b" ] [ [ "b" ] ] [ [ "x"; "1" ] ] in
+        let t = List.hd (R.Relation.tuples r) in
+        Alcotest.(check int) "" 1 (R.Tuple.arity (R.Relation.key_of r t)));
+    case "with_keys revalidates" (fun () ->
+        let r = relation [ "a"; "b" ] [] [ [ "x"; "1" ]; [ "x"; "2" ] ] in
+        Alcotest.(check bool) "" true
+          (match R.Relation.with_keys r [ [ "a" ] ] with
+          | _ -> false
+          | exception R.Relation.Key_violation _ -> true));
+  ]
+
+(* ---- Algebra ---- *)
+
+let abc = relation [ "a"; "b" ] [] [ [ "1"; "x" ]; [ "2"; "y" ]; [ "3"; "x" ] ]
+
+let algebra_tests =
+  [
+    case "select by predicate" (fun () ->
+        let out = R.Algebra.select (R.Predicate.eq "b" (v "x")) abc in
+        Alcotest.(check int) "" 2 (R.Relation.cardinality out));
+    case "select never keeps unknown (null)" (fun () ->
+        let r =
+          R.Relation.create
+            (R.Schema.of_names [ "a" ])
+            [ [ V.Null ]; [ v "x" ] ]
+        in
+        let out = R.Algebra.select (R.Predicate.eq "a" (v "x")) r in
+        Alcotest.(check int) "" 1 (R.Relation.cardinality out);
+        let out_ne =
+          R.Algebra.select
+            (R.Predicate.Not (R.Predicate.eq "a" (v "x")))
+            r
+        in
+        Alcotest.(check int) "negation of unknown still unknown" 0
+          (R.Relation.cardinality out_ne));
+    case "project dedups" (fun () ->
+        let out = R.Algebra.project [ "b" ] abc in
+        Alcotest.(check int) "" 2 (R.Relation.cardinality out));
+    case "rename carries keys" (fun () ->
+        let r = relation [ "a"; "b" ] [ [ "a" ] ] [ [ "1"; "x" ] ] in
+        let out = R.Algebra.rename [ ("a", "z") ] r in
+        Alcotest.(check (list (list string))) "" [ [ "z" ] ]
+          (R.Relation.keys out));
+    case "prefix renames all" (fun () ->
+        let out = R.Algebra.prefix "r_" abc in
+        Alcotest.(check (list string)) "" [ "r_a"; "r_b" ]
+          (R.Schema.names (R.Relation.schema out)));
+    check_raises_any "product with clash raises" (fun () ->
+        R.Algebra.product abc abc);
+    case "product cardinality" (fun () ->
+        let other = relation [ "c" ] [] [ [ "1" ]; [ "2" ] ] in
+        Alcotest.(check int) "" 6
+          (R.Relation.cardinality (R.Algebra.product abc other)));
+    case "equi_join basic" (fun () ->
+        let left = relation [ "a"; "b" ] [] [ [ "1"; "x" ]; [ "2"; "y" ] ] in
+        let right = relation [ "c"; "d" ] [] [ [ "x"; "p" ]; [ "x"; "q" ] ] in
+        let out = R.Algebra.equi_join ~on:[ ("b", "c") ] left right in
+        Alcotest.(check int) "" 2 (R.Relation.cardinality out));
+    case "equi_join null keys never join" (fun () ->
+        let left =
+          R.Relation.create (R.Schema.of_names [ "b" ]) [ [ V.Null ] ]
+        in
+        let right =
+          R.Relation.create (R.Schema.of_names [ "c" ]) [ [ V.Null ] ]
+        in
+        Alcotest.(check int) "" 0
+          (R.Relation.cardinality
+             (R.Algebra.equi_join ~on:[ ("b", "c") ] left right)));
+    case "outer joins pad with nulls" (fun () ->
+        let left = relation [ "a" ] [] [ [ "x" ]; [ "y" ] ] in
+        let right = relation [ "b" ] [] [ [ "x" ]; [ "z" ] ] in
+        let lo = R.Algebra.left_outer_join ~on:[ ("a", "b") ] left right in
+        let ro = R.Algebra.right_outer_join ~on:[ ("a", "b") ] left right in
+        let fo = R.Algebra.full_outer_join ~on:[ ("a", "b") ] left right in
+        Alcotest.(check int) "left" 2 (R.Relation.cardinality lo);
+        Alcotest.(check int) "right" 2 (R.Relation.cardinality ro);
+        Alcotest.(check int) "full" 3 (R.Relation.cardinality fo);
+        let nulls rel =
+          List.length
+            (List.filter R.Tuple.has_null (R.Relation.tuples rel))
+        in
+        Alcotest.(check int) "full outer null-padded rows" 2 (nulls fo));
+    case "natural_join merges common attrs" (fun () ->
+        let left = relation [ "a"; "b" ] [] [ [ "1"; "x" ] ] in
+        let right = relation [ "b"; "c" ] [] [ [ "x"; "9" ] ] in
+        let out = R.Algebra.natural_join left right in
+        Alcotest.(check (list string)) "" [ "a"; "b"; "c" ]
+          (R.Schema.names (R.Relation.schema out));
+        Alcotest.(check int) "" 1 (R.Relation.cardinality out));
+    case "natural_join without common attrs is product" (fun () ->
+        let left = relation [ "a" ] [] [ [ "1" ]; [ "2" ] ] in
+        let right = relation [ "b" ] [] [ [ "x" ] ] in
+        Alcotest.(check int) "" 2
+          (R.Relation.cardinality (R.Algebra.natural_join left right)));
+    case "union inter diff" (fun () ->
+        let x = relation [ "a" ] [] [ [ "1" ]; [ "2" ] ] in
+        let y = relation [ "a" ] [] [ [ "2" ]; [ "3" ] ] in
+        Alcotest.(check int) "union" 3
+          (R.Relation.cardinality (R.Algebra.union x y));
+        Alcotest.(check int) "inter" 1
+          (R.Relation.cardinality (R.Algebra.inter x y));
+        Alcotest.(check int) "diff" 1
+          (R.Relation.cardinality (R.Algebra.diff x y)));
+    check_raises_any "union incompatible raises" (fun () ->
+        R.Algebra.union abc (relation [ "z" ] [] []));
+    case "sort_by orders" (fun () ->
+        let out = R.Algebra.sort_by [ "b"; "a" ] abc in
+        let firsts =
+          List.map
+            (fun t -> V.to_string (R.Tuple.nth t 0))
+            (R.Relation.tuples out)
+        in
+        Alcotest.(check (list string)) "" [ "1"; "3"; "2" ] firsts);
+    case "theta_join equals filtered product" (fun () ->
+        let left = relation [ "a" ] [] [ [ "1" ]; [ "2" ] ] in
+        let right = relation [ "b" ] [] [ [ "1" ]; [ "3" ] ] in
+        let theta =
+          R.Algebra.theta_join
+            (R.Predicate.eq_attr "a" "b")
+            left right
+        in
+        let equi = R.Algebra.equi_join ~on:[ ("a", "b") ] left right in
+        Alcotest.(check bool) "" true (R.Relation.equal theta equi));
+  ]
+
+(* Random small relations over fixed schemas for algebraic laws. *)
+let small_cell_gen =
+  QCheck2.Gen.(
+    oneof
+      [ return V.Null; map V.int (int_range 0 3);
+        map V.string (oneofl [ "x"; "y" ]) ])
+
+let rel_gen names =
+  QCheck2.Gen.(
+    let width = List.length names in
+    map
+      (fun rows ->
+        R.Relation.create (R.Schema.of_names names) rows)
+      (list_size (0 -- 6) (list_repeat width small_cell_gen)))
+
+let ab_gen = rel_gen [ "a"; "b" ]
+let cd_gen = rel_gen [ "c"; "d" ]
+
+let algebra_law_tests =
+  [
+    qtest ~count:60 "selection is idempotent" ab_gen (fun r ->
+        let p = R.Predicate.eq "a" (vi 1) in
+        R.Relation.equal
+          (R.Algebra.select p r)
+          (R.Algebra.select p (R.Algebra.select p r)));
+    qtest ~count:60 "selection commutes" ab_gen (fun r ->
+        let p = R.Predicate.eq "a" (vi 1) in
+        let q = R.Predicate.eq "b" (v "x") in
+        R.Relation.equal
+          (R.Algebra.select p (R.Algebra.select q r))
+          (R.Algebra.select q (R.Algebra.select p r)));
+    qtest ~count:60 "selection pushes through join"
+      QCheck2.Gen.(pair ab_gen cd_gen)
+      (fun (left, right) ->
+        let p = R.Predicate.eq "a" (vi 1) in
+        R.Relation.equal
+          (R.Algebra.select p (R.Algebra.equi_join ~on:[ ("b", "c") ] left right))
+          (R.Algebra.equi_join ~on:[ ("b", "c") ] (R.Algebra.select p left)
+             right));
+    qtest ~count:60 "join bounded by product"
+      QCheck2.Gen.(pair ab_gen cd_gen)
+      (fun (left, right) ->
+        R.Relation.cardinality
+          (R.Algebra.equi_join ~on:[ ("b", "c") ] left right)
+        <= R.Relation.cardinality left * R.Relation.cardinality right);
+    qtest ~count:60 "full outer join covers both sides"
+      QCheck2.Gen.(pair ab_gen cd_gen)
+      (fun (left, right) ->
+        let fo = R.Algebra.full_outer_join ~on:[ ("b", "c") ] left right in
+        let lo = R.Algebra.left_outer_join ~on:[ ("b", "c") ] left right in
+        let ro = R.Algebra.right_outer_join ~on:[ ("b", "c") ] left right in
+        R.Relation.cardinality fo >= R.Relation.cardinality left
+        && R.Relation.cardinality fo >= R.Relation.cardinality right
+        && R.Relation.cardinality lo >= R.Relation.cardinality left
+        && R.Relation.cardinality ro >= R.Relation.cardinality right);
+    qtest ~count:60 "union commutative, inter bounded"
+      QCheck2.Gen.(pair ab_gen ab_gen)
+      (fun (x, y) ->
+        R.Relation.equal (R.Algebra.union x y) (R.Algebra.union y x)
+        && R.Relation.cardinality (R.Algebra.inter x y)
+           <= min (R.Relation.cardinality x) (R.Relation.cardinality y));
+    qtest ~count:60 "diff then union restores a superset"
+      QCheck2.Gen.(pair ab_gen ab_gen)
+      (fun (x, y) ->
+        (* (x − y) ∪ (x ∩ y) = x *)
+        R.Relation.equal
+          (R.Algebra.union (R.Algebra.diff x y) (R.Algebra.inter x y))
+          x);
+    qtest ~count:60 "project after union = union after project"
+      QCheck2.Gen.(pair ab_gen ab_gen)
+      (fun (x, y) ->
+        R.Relation.equal
+          (R.Algebra.project [ "a" ] (R.Algebra.union x y))
+          (R.Algebra.union (R.Algebra.project [ "a" ] x)
+             (R.Algebra.project [ "a" ] y)));
+    qtest ~count:60 "sort preserves content" ab_gen (fun r ->
+        R.Relation.equal r (R.Algebra.sort_by [ "b"; "a" ] r));
+    qtest ~count:60 "csv round-trip on random relations" ab_gen (fun r ->
+        R.Relation.equal r
+          (R.Csv_io.relation_of_string (R.Csv_io.to_string r)));
+  ]
+
+(* ---- Key tools ---- *)
+
+let key_tools_tests =
+  [
+    case "is_superkey / candidate / minimal" (fun () ->
+        let r =
+          relation [ "a"; "b"; "c" ] []
+            [ [ "1"; "x"; "p" ]; [ "1"; "y"; "p" ]; [ "2"; "x"; "q" ] ]
+        in
+        Alcotest.(check bool) "ab superkey" true
+          (R.Key_tools.is_superkey r [ "a"; "b" ]);
+        Alcotest.(check bool) "a not" false (R.Key_tools.is_superkey r [ "a" ]);
+        Alcotest.(check bool) "abc superkey but not candidate" false
+          (R.Key_tools.is_candidate_key r [ "a"; "b"; "c" ]);
+        Alcotest.(check bool) "ab candidate" true
+          (R.Key_tools.is_candidate_key r [ "a"; "b" ]);
+        let keys = R.Key_tools.minimal_keys r in
+        Alcotest.(check bool) "ab among minimal" true
+          (List.mem [ "a"; "b" ] keys || List.mem [ "b"; "a" ] keys));
+    case "null key attribute disqualifies" (fun () ->
+        let r =
+          R.Relation.create
+            (R.Schema.of_names [ "a" ])
+            [ [ V.Null ]; [ v "x" ] ]
+        in
+        Alcotest.(check bool) "" false (R.Key_tools.is_superkey r [ "a" ]));
+    case "violating pair found" (fun () ->
+        let r = relation [ "a"; "b" ] [] [ [ "1"; "x" ]; [ "1"; "y" ] ] in
+        Alcotest.(check bool) "" true
+          (Option.is_some (R.Key_tools.violating_pair r [ "a" ])));
+  ]
+
+(* ---- CSV ---- *)
+
+let csv_tests =
+  [
+    case "round-trip with quoting" (fun () ->
+        let r =
+          R.Relation.create
+            (R.Schema.of_names [ "a"; "b" ])
+            [
+              [ v "plain"; v "with,comma" ];
+              [ v "with\"quote"; v "with\nnewline" ];
+              [ V.Null; vi 42 ];
+            ]
+        in
+        let round =
+          R.Csv_io.relation_of_string (R.Csv_io.to_string r)
+        in
+        Alcotest.(check bool) "" true (R.Relation.equal r round));
+    case "keys applied on load" (fun () ->
+        let r =
+          R.Csv_io.relation_of_string ~keys:[ [ "a" ] ] "a,b\n1,x\n2,y\n"
+        in
+        Alcotest.(check (list (list string))) "" [ [ "a" ] ]
+          (R.Relation.keys r));
+    check_raises_any "ragged row rejected" (fun () ->
+        R.Csv_io.relation_of_string "a,b\n1\n");
+    check_raises_any "unterminated quote rejected" (fun () ->
+        R.Csv_io.relation_of_string "a\n\"oops\n");
+    check_raises_any "empty input rejected" (fun () ->
+        R.Csv_io.relation_of_string "");
+    case "crlf accepted" (fun () ->
+        let r = R.Csv_io.relation_of_string "a,b\r\n1,2\r\n" in
+        Alcotest.(check int) "" 1 (R.Relation.cardinality r));
+    case "save and load through a file" (fun () ->
+        let path = Filename.temp_file "relational_test" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            (* values that survive of_csv_string's type inference *)
+            let r =
+              relation [ "a"; "b" ] [ [ "a" ] ]
+                [ [ "one"; "x" ]; [ "two"; "y" ] ]
+            in
+            R.Csv_io.save r path;
+            let back = R.Csv_io.load ~keys:[ [ "a" ] ] path in
+            Alcotest.(check bool) "" true (R.Relation.equal r back);
+            Alcotest.(check (list (list string))) "" [ [ "a" ] ]
+              (R.Relation.keys back)));
+  ]
+
+let pretty_tests =
+  [
+    case "render contains header and rows" (fun () ->
+        let out = R.Pretty.render ~title:"t" abc in
+        let contains needle =
+          let nl = String.length needle and ol = String.length out in
+          let rec scan i =
+            i + nl <= ol && (String.sub out i nl = needle || scan (i + 1))
+          in
+          scan 0
+        in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (contains needle))
+          [ "t"; "a"; "b"; "1"; "x"; "y"; "-" ]);
+    case "render aligns columns" (fun () ->
+        let out = R.Pretty.render abc in
+        let lines = String.split_on_char '\n' out in
+        (match lines with
+        | header :: rule :: _ ->
+            Alcotest.(check int) "rule same width" (String.length header)
+              (String.length rule)
+        | _ -> Alcotest.fail "too short"));
+  ]
+
+let () =
+  Alcotest.run "relational"
+    [
+      ("value", value_tests);
+      ("kleene", kleene_tests);
+      ("value-props", value_props);
+      ("schema", schema_tests);
+      ("tuple", tuple_tests);
+      ("relation", relation_tests);
+      ("algebra", algebra_tests);
+      ("algebra-laws", algebra_law_tests);
+      ("key-tools", key_tools_tests);
+      ("csv", csv_tests);
+      ("pretty", pretty_tests);
+    ]

@@ -1,0 +1,174 @@
+(* Tests for identity and distinctness rules, including the paper's
+   well-formedness conditions: r1 (valid) and r2 (invalid) from Section
+   3.2, and r3's two-sided requirement for distinctness rules. *)
+
+module R = Relational
+module V = R.Value
+module P = R.Predicate
+open Helpers
+
+let case name f = Alcotest.test_case name `Quick f
+let truth = Alcotest.testable V.pp_truth ( = )
+
+let s_rest = R.Schema.of_names [ "name"; "cuisine"; "speciality" ]
+let tup vals = R.Tuple.make s_rest (List.map v vals)
+
+let left a = Rules.Atom.attr Rules.Atom.Left a
+let right a = Rules.Atom.attr Rules.Atom.Right a
+let const x = Rules.Atom.const (v x)
+
+let atom_tests =
+  [
+    case "eval across sides" (fun () ->
+        let t1 = tup [ "A"; "Chinese"; "Hunan" ] in
+        let t2 = tup [ "A"; "Indian"; "Dosa" ] in
+        Alcotest.check truth "names equal" V.True
+          (Rules.Atom.eval s_rest t1 s_rest t2 (Rules.Atom.eq_attrs "name"));
+        Alcotest.check truth "cuisines differ" V.False
+          (Rules.Atom.eval s_rest t1 s_rest t2 (Rules.Atom.eq_attrs "cuisine")));
+    case "eval against constant" (fun () ->
+        let t1 = tup [ "A"; "Chinese"; "Hunan" ] in
+        Alcotest.check truth "" V.True
+          (Rules.Atom.eval s_rest t1 s_rest t1
+             (Rules.Atom.make (left "cuisine") P.Eq (const "Chinese"))));
+    case "missing attribute evaluates unknown" (fun () ->
+        let narrow = R.Schema.of_names [ "name" ] in
+        let t1 = R.Tuple.make narrow [ v "A" ] in
+        Alcotest.check truth "" V.Unknown
+          (Rules.Atom.eval narrow t1 narrow t1
+             (Rules.Atom.make (left "cuisine") P.Eq (const "Chinese"))));
+    case "null evaluates unknown" (fun () ->
+        let t1 = R.Tuple.make s_rest [ v "A"; V.Null; v "Hunan" ] in
+        Alcotest.check truth "" V.Unknown
+          (Rules.Atom.eval s_rest t1 s_rest t1
+             (Rules.Atom.make (left "cuisine") P.Eq (const "Chinese"))));
+    case "inequality ops" (fun () ->
+        let t1 = tup [ "A"; "Chinese"; "Hunan" ] in
+        let t2 = tup [ "B"; "Indian"; "Dosa" ] in
+        Alcotest.check truth "" V.True
+          (Rules.Atom.eval s_rest t1 s_rest t2
+             (Rules.Atom.make (right "cuisine") P.Ne (const "Greek"))));
+    case "attributes per side" (fun () ->
+        let a = Rules.Atom.make (left "x") P.Lt (right "y") in
+        Alcotest.(check (pair (list string) (list string)))
+          "" ([ "x" ], [ "y" ]) (Rules.Atom.attributes a));
+  ]
+
+(* Paper r1: (e1.cuisine = Chinese) ∧ (e2.cuisine = Chinese) → e1 ≡ e2. *)
+let r1_atoms =
+  [
+    Rules.Atom.make (left "cuisine") P.Eq (const "Chinese");
+    Rules.Atom.make (right "cuisine") P.Eq (const "Chinese");
+  ]
+
+(* Paper r2: (e1.cuisine = Chinese) → e1 ≡ e2 — invalid. *)
+let r2_atoms = [ Rules.Atom.make (left "cuisine") P.Eq (const "Chinese") ]
+
+let identity_tests =
+  [
+    case "paper r1 is well-formed" (fun () ->
+        Alcotest.(check bool) "" true
+          (Result.is_ok (Rules.Identity.validate r1_atoms)));
+    case "paper r2 is rejected" (fun () ->
+        Alcotest.(check bool) "" true
+          (Result.is_error (Rules.Identity.validate r2_atoms)));
+    check_raises_any "make raises on r2" (fun () ->
+        Rules.Identity.make ~name:"r2" r2_atoms);
+    case "direct attribute equality is well-formed" (fun () ->
+        Alcotest.(check bool) "" true
+          (Result.is_ok (Rules.Identity.validate [ Rules.Atom.eq_attrs "name" ])));
+    case "transitive equality through shared constant" (fun () ->
+        (* e1.a = "k" ∧ "k" = e2.a implies e1.a = e2.a. *)
+        let atoms =
+          [
+            Rules.Atom.make (left "name") P.Eq (const "k");
+            Rules.Atom.make (const "k") P.Eq (right "name");
+          ]
+        in
+        Alcotest.(check bool) "" true
+          (Result.is_ok (Rules.Identity.validate atoms)));
+    case "chained cross-side equality" (fun () ->
+        (* e1.a = e2.b alone leaves a and b unresolved on the other
+           side: must be rejected. *)
+        let atoms = [ Rules.Atom.make (left "name") P.Eq (right "cuisine") ] in
+        Alcotest.(check bool) "" true
+          (Result.is_error (Rules.Identity.validate atoms)));
+    check_raises_any "empty rule rejected" (fun () ->
+        Rules.Identity.make ~name:"empty" []);
+    case "extended key equivalence applies" (fun () ->
+        let rule =
+          Rules.Identity.of_attribute_equalities ~name:"ek"
+            [ "name"; "cuisine" ]
+        in
+        let t1 = tup [ "A"; "Chinese"; "Hunan" ] in
+        let t2 = tup [ "A"; "Chinese"; "Sichuan" ] in
+        let t3 = tup [ "A"; "Indian"; "Dosa" ] in
+        Alcotest.check truth "match" V.True
+          (Rules.Identity.applies rule s_rest t1 s_rest t2);
+        Alcotest.check truth "no match" V.False
+          (Rules.Identity.applies rule s_rest t1 s_rest t3));
+    case "null makes identity rule unknown, never true" (fun () ->
+        let rule =
+          Rules.Identity.of_attribute_equalities ~name:"ek" [ "cuisine" ]
+        in
+        let t1 = R.Tuple.make s_rest [ v "A"; V.Null; v "x" ] in
+        Alcotest.check truth "" V.Unknown
+          (Rules.Identity.applies rule s_rest t1 s_rest t1));
+    case "attributes of rule" (fun () ->
+        let rule =
+          Rules.Identity.of_attribute_equalities ~name:"ek"
+            [ "name"; "cuisine" ]
+        in
+        let l, r = Rules.Identity.attributes rule in
+        Alcotest.(check (list string)) "" [ "cuisine"; "name" ] l;
+        Alcotest.(check (list string)) "" [ "cuisine"; "name" ] r);
+  ]
+
+(* Paper r3: (e1.speciality = Mughalai) ∧ (e2.cuisine ≠ Indian) → e1 ≢ e2. *)
+let r3_atoms =
+  [
+    Rules.Atom.make (left "speciality") P.Eq (const "Mughalai");
+    Rules.Atom.make (right "cuisine") P.Ne (const "Indian");
+  ]
+
+let distinctness_tests =
+  [
+    case "paper r3 is well-formed" (fun () ->
+        Alcotest.(check bool) "" true
+          (Result.is_ok (Rules.Distinctness.validate r3_atoms)));
+    case "one-sided rule rejected" (fun () ->
+        Alcotest.(check bool) "left only" true
+          (Result.is_error
+             (Rules.Distinctness.validate
+                [ Rules.Atom.make (left "a") P.Eq (const "x") ]));
+        Alcotest.(check bool) "right only" true
+          (Result.is_error
+             (Rules.Distinctness.validate
+                [ Rules.Atom.make (right "a") P.Eq (const "x") ])));
+    check_raises_any "empty distinctness rejected" (fun () ->
+        Rules.Distinctness.make ~name:"empty" []);
+    case "r3 applies to Mughalai vs non-Indian" (fun () ->
+        let rule = Rules.Distinctness.make ~name:"r3" r3_atoms in
+        let mughalai = tup [ "A"; "Indian"; "Mughalai" ] in
+        let greek = tup [ "B"; "Greek"; "Gyros" ] in
+        let indian = tup [ "C"; "Indian"; "Dosa" ] in
+        Alcotest.check truth "distinct" V.True
+          (Rules.Distinctness.applies rule s_rest mughalai s_rest greek);
+        Alcotest.check truth "not provably distinct" V.False
+          (Rules.Distinctness.applies rule s_rest mughalai s_rest indian));
+    case "null blocks distinctness" (fun () ->
+        let rule = Rules.Distinctness.make ~name:"r3" r3_atoms in
+        let mughalai = tup [ "A"; "Indian"; "Mughalai" ] in
+        let unknown_cuisine = R.Tuple.make s_rest [ v "B"; V.Null; v "x" ] in
+        Alcotest.check truth "" V.Unknown
+          (Rules.Distinctness.applies rule s_rest mughalai s_rest
+             unknown_cuisine));
+  ]
+
+let () =
+  Alcotest.run "rules"
+    [
+      ("atom", atom_tests);
+      ("identity", identity_tests);
+      ("distinctness", distinctness_tests);
+    ]
