@@ -24,12 +24,14 @@ let experiments =
     ("session", Paper_tables.session);
     ("sweep", Sweeps.all);
     ("timings", Timings.all);
+    ("partition", Partition_bench.all);
   ]
 
 let run_all () =
   Paper_tables.all ();
   Sweeps.all ();
-  Timings.all ()
+  Timings.all ();
+  Partition_bench.all ()
 
 let () =
   match Array.to_list Sys.argv with

@@ -1,0 +1,113 @@
+(* Naive vs blocked partition at increasing scale. The sweep uses a
+   single-attribute equality identity rule — the shape the blocking
+   engine is built for — over mostly-distinct name pools, checks the two
+   engines agree exactly, and writes machine-readable results to
+   BENCH_partition.json in the working directory. *)
+
+module R = Relational
+module E = Entity_id
+
+let schema = R.Schema.of_names [ "id"; "name"; "cuisine" ]
+
+(* ~half the names overlap between the two sides, so the match set is
+   non-trivial at every size; a sprinkle of NULL names exercises the
+   NULL-key skip path. *)
+let side ~offset n =
+  R.Relation.create schema
+    (List.init n (fun i ->
+         let name =
+           if i mod 97 = 0 then R.Value.Null
+           else R.Value.string (Workload.Pools.name (offset + i))
+         in
+         [
+           R.Value.int i;
+           name;
+           R.Value.string Workload.Pools.cuisines.(i mod Array.length Workload.Pools.cuisines);
+         ]))
+
+let identity = [ Rules.Identity.of_attribute_equalities ~name:"same-name" [ "name" ] ]
+let distinctness = []
+
+let time_ms f =
+  let t0 = Sys.time () in
+  let result = f () in
+  let t1 = Sys.time () in
+  (result, (t1 -. t0) *. 1000.)
+
+(* Best of [reps] runs, heap settled before each so neither engine is
+   billed for the other's garbage; results are dropped between runs.
+   Both engines allocate the same O(|R|×|S|) output, so GC treatment is
+   symmetric either way — settling just removes the variance. *)
+let best_of reps f =
+  let rec go best remaining =
+    if remaining = 0 then best
+    else begin
+      Gc.compact ();
+      let result, ms = time_ms f in
+      ignore (Sys.opaque_identity result);
+      let best = if ms < best then ms else best in
+      go best (remaining - 1)
+    end
+  in
+  go infinity reps
+
+type row = {
+  n : int;
+  naive_ms : float;
+  blocked_ms : float;
+  speedup : float;
+  agree : bool;
+}
+
+let measure n =
+  let r = side ~offset:0 n and s = side ~offset:(n / 2) n in
+  let naive () = E.Decision.partition_naive ~identity ~distinctness r s in
+  let blocked () = E.Decision.partition ~identity ~distinctness r s in
+  let agree = naive () = blocked () in
+  let reps = if n >= 1000 then 3 else 5 in
+  let naive_ms = best_of reps naive in
+  let blocked_ms = best_of reps blocked in
+  { n; naive_ms; blocked_ms; speedup = naive_ms /. blocked_ms; agree }
+
+let json_of_rows rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"partition_naive_vs_blocked\",\n";
+  Buffer.add_string buf
+    "  \"rule\": \"(e1.name = e2.name) -> (e1 == e2)\",\n";
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i { n; naive_ms; blocked_ms; speedup; agree } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"n_r\": %d, \"n_s\": %d, \"naive_ms\": %.3f, \
+            \"blocked_ms\": %.3f, \"speedup\": %.2f, \"agree\": %b}%s\n"
+           n n naive_ms blocked_ms speedup agree
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let all () =
+  print_endline "\n================ Partition: naive vs blocked ================";
+  (* A minor heap large enough to hold one run's output keeps promotion
+     churn (identical for both engines) from drowning the signal. *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 32 * 1024 * 1024 };
+  let rows = List.map measure [ 100; 300; 1000 ] in
+  print_string
+    (R.Pretty.render_rows
+       ~header:[ "|R| = |S|"; "naive"; "blocked"; "speedup"; "agree" ]
+       (List.map
+          (fun { n; naive_ms; blocked_ms; speedup; agree } ->
+            [
+              string_of_int n;
+              Printf.sprintf "%.2f ms" naive_ms;
+              Printf.sprintf "%.2f ms" blocked_ms;
+              Printf.sprintf "%.1fx" speedup;
+              string_of_bool agree;
+            ])
+          rows));
+  let out = open_out "BENCH_partition.json" in
+  output_string out (json_of_rows rows);
+  close_out out;
+  print_endline "wrote BENCH_partition.json"

@@ -91,7 +91,12 @@ let identify_cmd =
       if check_conflicts then Ilfd.Apply.Check_conflicts
       else Ilfd.Apply.First_rule
     in
-    let o = Entity_id.Identify.run ~mode ~r ~s ~key ilfds in
+    let o =
+      try Entity_id.Identify.run ~mode ~r ~s ~key ilfds
+      with Ilfd.Apply.Conflict_found c ->
+        Format.eprintf "entity_ident: %a@." Ilfd.Apply.pp_conflict c;
+        exit 2
+    in
     let print_extended () =
       print_string (Relational.Pretty.render ~title:"R'" o.r_extended);
       print_newline ();

@@ -112,8 +112,8 @@ let agrees plan (outcome : Identify.outcome) =
   let direct = outcome.matching_table in
   let algebraic =
     matching_table plan
-      ~r_key:direct.Matching_table.r_key_attrs
-      ~s_key:direct.Matching_table.s_key_attrs
+      ~r_key:(Matching_table.r_key_attrs direct)
+      ~s_key:(Matching_table.s_key_attrs direct)
   in
   Matching_table.cardinality direct = Matching_table.cardinality algebraic
   && List.for_all

@@ -1,0 +1,85 @@
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module V = Relational.Value
+
+module Itbl = Hashtbl.Make (Int)
+
+type pairset = { ns : int; fired : unit Itbl.t }
+
+let pair_id set i j = (i * set.ns) + j
+let mem set i j = Itbl.mem set.fired (pair_id set i j)
+let cardinality set = Itbl.length set.fired
+
+let row_lists set ~nr =
+  let rows = Array.make nr [] in
+  Itbl.iter
+    (fun id () ->
+      let i = id / set.ns in
+      rows.(i) <- (id mod set.ns) :: rows.(i))
+    set.fired;
+  Array.map (List.sort compare) rows
+
+type 'rule spec = {
+  blocking_key : 'rule -> string list option;
+  applies :
+    'rule -> Schema.t -> Tuple.t -> Schema.t -> Tuple.t -> V.truth;
+}
+
+(* Group tuple indices by their (non-NULL) projection on [attrs]. *)
+let bucket_by schema tuples attrs =
+  let tbl = Hashtbl.create (max 16 (Array.length tuples)) in
+  Array.iteri
+    (fun i t ->
+      let key = Tuple.project schema t attrs in
+      if not (Tuple.has_null key) then begin
+        let k = Tuple.values key in
+        match Hashtbl.find_opt tbl k with
+        | Some l -> l := i :: !l
+        | None -> Hashtbl.add tbl k (ref [ i ])
+      end)
+    tuples;
+  tbl
+
+let fired spec rules sr rt ss st =
+  let set = { ns = Array.length st; fired = Itbl.create 64 } in
+  let record rule i j =
+    let id = pair_id set i j in
+    if not (Itbl.mem set.fired id) then
+      let tr = rt.(i) and ts = st.(j) in
+      if
+        spec.applies rule sr tr ss ts = V.True
+        || spec.applies rule ss ts sr tr = V.True
+      then Itbl.replace set.fired id ()
+  in
+  List.iter
+    (fun rule ->
+      match spec.blocking_key rule with
+      | Some attrs
+        when List.for_all (Schema.mem sr) attrs
+             && List.for_all (Schema.mem ss) attrs ->
+          (* The rule only fires on pairs with identical non-NULL values
+             on [attrs] — in either orientation, since the implied
+             equality is attribute-to-same-attribute. Probe R buckets
+             against S buckets and evaluate only co-bucketed pairs. *)
+          let s_buckets = bucket_by ss st attrs in
+          Array.iteri
+            (fun i tr ->
+              let key = Tuple.project sr tr attrs in
+              if not (Tuple.has_null key) then
+                match Hashtbl.find_opt s_buckets (Tuple.values key) with
+                | Some js -> List.iter (fun j -> record rule i j) !js
+                | None -> ())
+            rt
+      | Some _ ->
+          (* A blocking attribute is missing from one of the schemas: it
+             reads as NULL on every tuple of that side, so the implied
+             equality can never hold and the rule never fires. *)
+          ()
+      | None ->
+          (* No equality atoms to block on: nested-loop fallback. *)
+          Array.iteri
+            (fun i _ ->
+              Array.iteri (fun j _ -> record rule i j) st)
+            rt)
+    rules;
+  set

@@ -1,0 +1,54 @@
+(** Rule-driven hash blocking over a pair of tuple arrays.
+
+    The identity-rule well-formedness condition means every identity
+    rule's predicates already imply attribute-value equality on the
+    attributes they mention ({!Rules.Identity.blocking_key}); such a rule
+    can only fire on tuple pairs with identical non-NULL values on those
+    attributes. Instead of evaluating each rule on all |R|×|S| pairs,
+    this module hash-partitions both sides on the rule's blocking key and
+    evaluates the rule only within matching buckets — the standard
+    blocking move of scalable entity-resolution systems. Rules that imply
+    no equality (and rules whose blocking attributes are missing from a
+    schema, which can then never fire) keep, respectively, the
+    nested-loop fallback and a constant-time skip.
+
+    The result is the {e set} of pairs on which some rule fires, byte-
+    identical to what the nested loop computes, addressed by positional
+    indices into the input arrays. *)
+
+type pairset
+
+(** [mem set i j] — did some rule fire on (r.(i), s.(j)), in either
+    orientation? *)
+val mem : pairset -> int -> int -> bool
+
+val cardinality : pairset -> int
+
+(** [row_lists set ~nr] — the fired pairs as an array of [nr] ascending
+    [j]-index lists, one per [i]. Lets callers enumerate all pairs in
+    row-major order against the set with integer comparisons instead of
+    a hash lookup per pair. *)
+val row_lists : pairset -> nr:int -> int list array
+
+(** How to block and evaluate one rule kind. [applies] is tried in both
+    orientations, as rules state symmetric facts about (e1, e2). *)
+type 'rule spec = {
+  blocking_key : 'rule -> string list option;
+  applies :
+    'rule ->
+    Relational.Schema.t ->
+    Relational.Tuple.t ->
+    Relational.Schema.t ->
+    Relational.Tuple.t ->
+    Relational.Value.truth;
+}
+
+(** [fired spec rules sr rt ss st] — all pairs some rule fires on. *)
+val fired :
+  'rule spec ->
+  'rule list ->
+  Relational.Schema.t ->
+  Relational.Tuple.t array ->
+  Relational.Schema.t ->
+  Relational.Tuple.t array ->
+  pairset

@@ -43,7 +43,7 @@ let decide ~identity ~distinctness s1 t1 s2 t2 =
         identity = None;
         distinctness = None }
 
-let partition ~identity ~distinctness r s =
+let partition_naive ~identity ~distinctness r s =
   let sr = Relational.Relation.schema r
   and ss = Relational.Relation.schema s in
   let matched = ref [] and distinct = ref [] and unknown = ref [] in
@@ -61,4 +61,63 @@ let partition ~identity ~distinctness r s =
           bucket := (tr, ts) :: !bucket)
         s)
     r;
+  (List.rev !matched, List.rev !distinct, List.rev !unknown)
+
+let identity_spec =
+  {
+    Blocking.blocking_key = Rules.Identity.blocking_key;
+    applies = Rules.Identity.applies;
+  }
+
+let distinctness_spec =
+  {
+    Blocking.blocking_key = Rules.Distinctness.blocking_key;
+    applies = Rules.Distinctness.applies;
+  }
+
+let partition ~identity ~distinctness r s =
+  let sr = Relational.Relation.schema r
+  and ss = Relational.Relation.schema s in
+  let rt = Array.of_list (Relational.Relation.tuples r)
+  and st = Array.of_list (Relational.Relation.tuples s) in
+  let m = Blocking.fired identity_spec identity sr rt ss st in
+  let d = Blocking.fired distinctness_spec distinctness sr rt ss st in
+  let nr = Array.length rt and ns = Array.length st in
+  (* Enumerate all pairs in row-major order, merging against the (sorted,
+     sparse) fired lists with integer compares — cheaper per pair than a
+     hash lookup, and the dominant cost at scale. *)
+  let m_rows = Blocking.row_lists m ~nr
+  and d_rows = Blocking.row_lists d ~nr in
+  let matched = ref [] and distinct = ref [] and unknown = ref [] in
+  for i = 0 to nr - 1 do
+    let tr = rt.(i) in
+    let mj = ref m_rows.(i) and dj = ref d_rows.(i) in
+    for j = 0 to ns - 1 do
+      let in_m =
+        match !mj with
+        | j' :: rest when j' = j ->
+            mj := rest;
+            true
+        | _ -> false
+      in
+      let in_d =
+        match !dj with
+        | j' :: rest when j' = j ->
+            dj := rest;
+            true
+        | _ -> false
+      in
+      let ts = st.(j) in
+      if in_m then
+        if in_d then begin
+          (* Reproduce the nested loop's exception exactly: [decide]
+             raises with the first rule of each kind that fires. *)
+          ignore (decide ~identity ~distinctness sr tr ss ts);
+          assert false
+        end
+        else matched := (tr, ts) :: !matched
+      else if in_d then distinct := (tr, ts) :: !distinct
+      else unknown := (tr, ts) :: !unknown
+    done
+  done;
   (List.rev !matched, List.rev !distinct, List.rev !unknown)

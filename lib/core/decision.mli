@@ -31,8 +31,27 @@ val decide :
 
 (** [partition ~identity ~distinctness r s] — every (r,s) pair classified:
     [(matching, not_matching, undetermined)] with the witnessing tuples.
-    This is the Figure 3 partition, materialised. *)
+    This is the Figure 3 partition, materialised.
+
+    Rules that imply attribute-value equality (every well-formed identity
+    rule; distinctness rules with [=]-atoms) are evaluated with hash
+    blocking ({!Blocking}) instead of the |R|×|S| nested loop; rules with
+    no equality atoms fall back per rule. The partition — including which
+    pair raises {!Inconsistent}, and with which witnessing rules — is
+    identical to {!partition_naive}'s. *)
 val partition :
+  identity:Rules.Identity.t list ->
+  distinctness:Rules.Distinctness.t list ->
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  (Relational.Tuple.t * Relational.Tuple.t) list
+  * (Relational.Tuple.t * Relational.Tuple.t) list
+  * (Relational.Tuple.t * Relational.Tuple.t) list
+
+(** [partition_naive] — the reference nested-loop implementation: one
+    {!decide} per pair. Kept for agreement testing and benchmarking;
+    {!partition} must produce byte-identical results. *)
+val partition_naive :
   identity:Rules.Identity.t list ->
   distinctness:Rules.Distinctness.t list ->
   Relational.Relation.t ->

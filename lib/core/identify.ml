@@ -8,7 +8,17 @@ type outcome = {
   matching_table : Matching_table.t;
   violations : Matching_table.violation list;
   pairs : (Tuple.t * Tuple.t) list;
+  unmatched_r : Tuple.t list;
+  unmatched_s : Tuple.t list;
 }
+
+(* Tuples whose K_Ext projection still carries a NULL after extension:
+   the K_Ext hash join can never match them (non_null_eq), so they were
+   previously dropped without a trace. *)
+let null_key_tuples schema relation kext =
+  List.filter
+    (fun t -> Tuple.has_null (Tuple.project schema t kext))
+    (Relation.tuples relation)
 
 let extension_schema relation key =
   let schema = Relation.schema relation in
@@ -67,6 +77,8 @@ let run ?mode ~r ~s ~key ilfds =
     matching_table;
     violations = Matching_table.uniqueness_violations matching_table;
     pairs;
+    unmatched_r = null_key_tuples r_target r_ext kext;
+    unmatched_s = null_key_tuples s_target s_ext kext;
   }
 
 let is_verified o = o.violations = []
@@ -90,10 +102,13 @@ let run_rules ?mode ~identity ?(distinctness = []) ~r ~s ~key ilfds =
     Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
       (List.map entry_of matched)
   in
+  let kext = Extended_key.attributes key in
   {
     r_extended = r_ext;
     s_extended = s_ext;
     matching_table;
     violations = Matching_table.uniqueness_violations matching_table;
     pairs = matched;
+    unmatched_r = null_key_tuples r_target r_ext kext;
+    unmatched_s = null_key_tuples s_target s_ext kext;
   }

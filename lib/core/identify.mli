@@ -21,6 +21,13 @@ type outcome = {
       (** uniqueness violations; empty = the extended key is verified *)
   pairs : (Relational.Tuple.t * Relational.Tuple.t) list;
       (** the matched pairs as full extended tuples, R′ × S′ *)
+  unmatched_r : Relational.Tuple.t list;
+      (** R′ tuples whose K_Ext projection contains a NULL even after
+          ILFD extension — [non_null_eq] means the extended-key join can
+          never match them, so they are excluded from matching (not
+          merely unmatched so far, which is {!Integrate.unmatched_r}'s
+          weaker notion). In relation order. *)
+  unmatched_s : Relational.Tuple.t list;  (** the S′ counterpart *)
 }
 
 (** [run ?mode ~r ~s ~key ilfds].

@@ -8,6 +8,7 @@ type t = {
   s : Relation.t;
   key : Extended_key.t;
   ilfds : Ilfd.t list;
+  mode : Ilfd.Apply.mode;  (** derivation mode, applied to every insert *)
   r_target : Schema.t;
   s_target : Schema.t;
   r_ext : Tuple.t list;  (** reverse insertion order *)
@@ -31,7 +32,8 @@ let matching_table t =
     ~s_key_attrs:(Relation.primary_key t.s)
     (List.rev_map (entry_of t) t.pairs)
 
-let of_outcome ~r ~s ~key ~ilfds (o : Identify.outcome) =
+let of_outcome ?(mode = Ilfd.Apply.First_rule) ~r ~s ~key ~ilfds
+    (o : Identify.outcome) =
   let r_target = Relation.schema o.r_extended in
   let s_target = Relation.schema o.s_extended in
   let kext = Extended_key.attributes key in
@@ -40,6 +42,7 @@ let of_outcome ~r ~s ~key ~ilfds (o : Identify.outcome) =
     s;
     key;
     ilfds;
+    mode;
     r_target;
     s_target;
     r_ext = List.rev (Relation.tuples o.r_extended);
@@ -49,13 +52,16 @@ let of_outcome ~r ~s ~key ~ilfds (o : Identify.outcome) =
     pairs = List.rev o.pairs;
   }
 
-let create ~r ~s ~key ilfds =
-  of_outcome ~r ~s ~key ~ilfds (Identify.run ~r ~s ~key ilfds)
+let create ?(mode = Ilfd.Apply.First_rule) ~r ~s ~key ilfds =
+  of_outcome ~mode ~r ~s ~key ~ilfds (Identify.run ~mode ~r ~s ~key ilfds)
 
 let extend_one t schema tuple ~target =
-  match Ilfd.Apply.extend_tuple schema tuple ~target t.ilfds with
+  match Ilfd.Apply.extend_tuple ~mode:t.mode schema tuple ~target t.ilfds with
   | Ok (extended, _) -> extended
-  | Error _ -> assert false (* First_rule mode never reports conflicts *)
+  | Error conflict ->
+      (* Only reachable in Check_conflicts mode; surface the witness the
+         same way the batch pipeline does. *)
+      raise (Ilfd.Apply.Conflict_found conflict)
 
 let insert_r t tuple =
   let r = Relation.add t.r tuple in
@@ -102,7 +108,7 @@ let insert_s t tuple =
   (t', List.map (entry_of t') new_pairs)
 
 let add_ilfd t ilfd =
-  create ~r:t.r ~s:t.s ~key:t.key (t.ilfds @ [ ilfd ])
+  create ~mode:t.mode ~r:t.r ~s:t.s ~key:t.key (t.ilfds @ [ ilfd ])
 
 let r t = t.r
 let s t = t.s
@@ -111,6 +117,9 @@ let violations t = Matching_table.uniqueness_violations (matching_table t)
 
 let outcome t =
   let mt = matching_table t in
+  let null_key schema tuple =
+    Relational.Tuple.has_null (Tuple.project schema tuple (kext t))
+  in
   {
     Identify.r_extended =
       Relation.of_tuples t.r_target
@@ -123,4 +132,6 @@ let outcome t =
     matching_table = mt;
     violations = Matching_table.uniqueness_violations mt;
     pairs = List.rev t.pairs;
+    unmatched_r = List.filter (null_key t.r_target) (List.rev t.r_ext);
+    unmatched_s = List.filter (null_key t.s_target) (List.rev t.s_ext);
   }

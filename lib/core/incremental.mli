@@ -17,8 +17,14 @@
 
 type t
 
-(** [create ~r ~s ~key ilfds] — initial state from existing relations. *)
+(** [create ?mode ~r ~s ~key ilfds] — initial state from existing
+    relations. [mode] (default [First_rule]) governs ILFD derivation for
+    the initial run and every subsequent insertion; in [Check_conflicts]
+    mode, an insertion whose derivations disagree raises
+    {!Ilfd.Apply.Conflict_found} with the witness instead of silently
+    taking the first rule. *)
 val create :
+  ?mode:Ilfd.Apply.mode ->
   r:Relational.Relation.t ->
   s:Relational.Relation.t ->
   key:Extended_key.t ->
@@ -29,7 +35,9 @@ val create :
     Returns the new state and the matching-table entries the insertion
     created (possibly none).
     @raise Relational.Relation.Key_violation if the tuple breaks one of
-    R's candidate keys. *)
+    R's candidate keys.
+    @raise Ilfd.Apply.Conflict_found in [Check_conflicts] mode when the
+    tuple's derivations disagree. *)
 val insert_r : t -> Relational.Tuple.t -> t * Matching_table.entry list
 
 val insert_s : t -> Relational.Tuple.t -> t * Matching_table.entry list

@@ -1,35 +1,63 @@
 module Tuple = Relational.Tuple
+module Value = Relational.Value
 
 type entry = { r_key : Tuple.t; s_key : Tuple.t }
+
+(* Entries hash on their key-value pairs; [Tuple.equal]/[Value.equal]
+   treat Null as equal to Null (tuple-identity semantics), matching the
+   previous list-scan behaviour. *)
+module Key = struct
+  type t = Value.t list * Value.t list
+
+  let equal (r1, s1) (r2, s2) =
+    List.equal Value.equal r1 r2 && List.equal Value.equal s1 s2
+
+  let hash (r, s) =
+    Hashtbl.hash (List.map Value.hash r, List.map Value.hash s)
+end
+
+module Ktbl = Hashtbl.Make (Key)
 
 type t = {
   r_key_attrs : string list;
   s_key_attrs : string list;
-  entries : entry list;
+  entries : entry list;  (** insertion order *)
+  index : unit Ktbl.t;  (** membership; never mutated after construction *)
 }
 
 type violation =
   | R_tuple_matched_twice of { r_key : Tuple.t; s_keys : Tuple.t list }
   | S_tuple_matched_twice of { s_key : Tuple.t; r_keys : Tuple.t list }
 
-let entry_equal a b =
-  Tuple.equal a.r_key b.r_key && Tuple.equal a.s_key b.s_key
+let key_of e = (Tuple.values e.r_key, Tuple.values e.s_key)
 
 let make ~r_key_attrs ~s_key_attrs entries =
+  let index = Ktbl.create (max 16 (List.length entries)) in
   let deduped =
-    List.fold_left
-      (fun acc e -> if List.exists (entry_equal e) acc then acc else e :: acc)
-      [] entries
-    |> List.rev
+    List.filter
+      (fun e ->
+        let k = key_of e in
+        if Ktbl.mem index k then false
+        else begin
+          Ktbl.replace index k ();
+          true
+        end)
+      entries
   in
-  { r_key_attrs; s_key_attrs; entries = deduped }
+  { r_key_attrs; s_key_attrs; entries = deduped; index }
 
+let r_key_attrs t = t.r_key_attrs
+let s_key_attrs t = t.s_key_attrs
 let entries t = t.entries
-let cardinality t = List.length t.entries
-let mem t entry = List.exists (entry_equal entry) t.entries
+let cardinality t = Ktbl.length t.index
+let mem t entry = Ktbl.mem t.index (key_of entry)
 
 let add t entry =
-  if mem t entry then t else { t with entries = t.entries @ [ entry ] }
+  if mem t entry then t
+  else
+    let index = Ktbl.copy t.index in
+    Ktbl.replace index (key_of entry) ();
+    { t with entries = t.entries @ [ entry ]; index }
 
 let group_by project other entries =
   let tbl = Hashtbl.create 16 in

@@ -8,11 +8,14 @@
 
 type entry = { r_key : Relational.Tuple.t; s_key : Relational.Tuple.t }
 
-type t = private {
-  r_key_attrs : string list;
-  s_key_attrs : string list;
-  entries : entry list;
-}
+(** Backed by a hashtable keyed on [(r_key, s_key)] values, so [make],
+    [mem], [add], [consistent] and [uniqueness_violations] are linear in
+    the table size instead of quadratic list scans; entry (insertion)
+    order is preserved for display and iteration. *)
+type t
+
+val r_key_attrs : t -> string list
+val s_key_attrs : t -> string list
 
 type violation =
   | R_tuple_matched_twice of { r_key : Relational.Tuple.t;

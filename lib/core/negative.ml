@@ -1,33 +1,36 @@
 module Relation = Relational.Relation
 module Tuple = Relational.Tuple
-module V = Relational.Value
 
 let of_rules ~r ~s rules =
   let sr = Relation.schema r and ss = Relation.schema s in
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let rt = Array.of_list (Relation.tuples r)
+  and st = Array.of_list (Relation.tuples s) in
+  (* e1 ≢ e2 is symmetric: Blocking tries each rule in both orientations
+     (the paper's Table 4 entry fires with e1 = the S-tuple). *)
+  let d =
+    Blocking.fired
+      {
+        Blocking.blocking_key = Rules.Distinctness.blocking_key;
+        applies = Rules.Distinctness.applies;
+      }
+      rules sr rt ss st
+  in
+  (* Output in row-major pair order, visiting only the fired pairs. *)
+  let d_rows = Blocking.row_lists d ~nr:(Array.length rt) in
   let entries = ref [] in
-  Relation.iter
-    (fun tr ->
-      Relation.iter
-        (fun ts ->
-          (* e1 ≢ e2 is symmetric: try the rule in both orientations
-             (the paper's Table 4 entry fires with e1 = the S-tuple). *)
-          let applies =
-            List.exists
-              (fun rule ->
-                Rules.Distinctness.applies rule sr tr ss ts = V.True
-                || Rules.Distinctness.applies rule ss ts sr tr = V.True)
-              rules
-          in
-          if applies then
-            entries :=
-              {
-                Matching_table.r_key = Tuple.project sr tr r_key;
-                s_key = Tuple.project ss ts s_key;
-              }
-              :: !entries)
-        s)
-    r;
+  Array.iteri
+    (fun i tr ->
+      List.iter
+        (fun j ->
+          entries :=
+            {
+              Matching_table.r_key = Tuple.project sr tr r_key;
+              s_key = Tuple.project ss st.(j) s_key;
+            }
+            :: !entries)
+        d_rows.(i))
+    rt;
   Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
     (List.rev !entries)
 

@@ -21,7 +21,49 @@ exception Conflict_found of conflict
 
 exception Conflict_exn of conflict
 
-let extend_tuple ?(mode = First_rule) schema tuple ~target ilfds =
+(* Precompiled view of an ILFD family: for each consequent attribute, the
+   rules that can derive it (family order preserved — First_rule
+   semantics depend on it) with the value each would assign. *)
+type compiled = {
+  rules : Def.t list;
+  by_consequent : (string, (Def.t * V.t) list) Hashtbl.t;
+}
+
+let compile ilfds =
+  let by_consequent = Hashtbl.create 16 in
+  List.iter
+    (fun rule ->
+      let seen = ref [] in
+      List.iter
+        (fun (c : Def.condition) ->
+          (* Only the first condition per attribute counts, as in the
+             uncompiled engine's [value_of]. *)
+          if not (List.mem c.attribute !seen) then begin
+            seen := c.attribute :: !seen;
+            let existing =
+              Option.value
+                (Hashtbl.find_opt by_consequent c.attribute)
+                ~default:[]
+            in
+            (* Append keeps rule order; families are small and this runs
+               once per family, not per tuple. *)
+            Hashtbl.replace by_consequent c.attribute
+              (existing @ [ (rule, c.value) ])
+          end)
+        (Def.consequent rule))
+    ilfds;
+  { rules = ilfds; by_consequent }
+
+let compiled_rules c = c.rules
+
+(* Attributes whose (source) values can influence any derivation: those
+   mentioned by any rule, on either side. Values — including NULLness —
+   of these attributes determine every [derive] outcome, so they key the
+   per-relation memo table. *)
+let relevant_attributes c =
+  List.concat_map Def.attributes c.rules |> List.sort_uniq String.compare
+
+let extend_tuple_compiled ?(mode = First_rule) schema tuple ~target c =
   (* cells.(i) is the current value for target attribute i; source
      attributes are copied, others start NULL. *)
   let cells =
@@ -86,43 +128,25 @@ let extend_tuple ?(mode = First_rule) schema tuple ~target ilfds =
       (Def.antecedent rule)
   and derive attr =
     let candidates =
-      List.filter
-        (fun r ->
-          List.exists
-            (fun (c : Def.condition) -> String.equal c.attribute attr)
-            (Def.consequent r))
-        ilfds
+      Option.value (Hashtbl.find_opt c.by_consequent attr) ~default:[]
     in
-    let value_of r =
-      List.find_map
-        (fun (c : Def.condition) ->
-          if String.equal c.attribute attr then Some c.value else None)
-        (Def.consequent r)
+    let applicable =
+      List.filter (fun (rule, _) -> antecedent_holds rule) candidates
     in
-    let applicable = List.filter antecedent_holds candidates in
     match applicable with
     | [] -> None
-    | first_rule :: rest -> (
-        let v = Option.get (value_of first_rule) in
+    | (first_rule, v) :: rest -> (
         match mode with
         | First_rule -> Some (v, first_rule)
         | Check_conflicts -> (
             let disagreeing =
-              List.find_opt
-                (fun r -> not (V.equal (Option.get (value_of r)) v))
-                rest
+              List.find_opt (fun (_, v') -> not (V.equal v' v)) rest
             in
             match disagreeing with
             | None -> Some (v, first_rule)
-            | Some rule ->
+            | Some (rule, second) ->
                 raise
-                  (Conflict_exn
-                     {
-                       attribute = attr;
-                       first = v;
-                       second = Option.get (value_of rule);
-                       rule;
-                     })))
+                  (Conflict_exn { attribute = attr; first = v; second; rule })))
   in
   match
     List.iter
@@ -132,16 +156,50 @@ let extend_tuple ?(mode = First_rule) schema tuple ~target ilfds =
   | () -> Ok (Tuple.of_array target cells, List.rev !used)
   | exception Conflict_exn c -> Error c
 
+let extend_tuple ?mode schema tuple ~target ilfds =
+  extend_tuple_compiled ?mode schema tuple ~target (compile ilfds)
+
 let extend_relation ?mode r ~target ilfds =
+  let c = compile ilfds in
   let schema = Relational.Relation.schema r in
-  let rows =
-    List.map
-      (fun t ->
-        match extend_tuple ?mode schema t ~target ilfds with
-        | Ok (t', _) -> t'
-        | Error c -> raise (Conflict_found c))
-      (Relational.Relation.tuples r)
+  let relevant = List.filter (Schema.mem schema) (relevant_attributes c) in
+  (* Source cells of the target schema, before any derivation. *)
+  let base_cells t =
+    Array.of_list
+      (List.map
+         (fun (a : Schema.attribute) ->
+           match Schema.index_of_opt schema a.name with
+           | Some _ -> Tuple.get schema t a.name
+           | None -> V.Null)
+         (Schema.attributes target))
   in
+  (* Derivations read only [relevant] attributes (antecedent conditions
+     and consequent targets), so tuples agreeing on them — values and
+     NULLs alike — derive the same delta. Memoise the delta (indices
+     filled in by derivation), keyed by the relevant projection. *)
+  let memo : (V.t list, (int * V.t) list) Hashtbl.t = Hashtbl.create 64 in
+  let extend t =
+    let key = List.map (fun a -> Tuple.get schema t a) relevant in
+    match Hashtbl.find_opt memo key with
+    | Some delta ->
+        let cells = base_cells t in
+        List.iter (fun (i, v) -> cells.(i) <- v) delta;
+        Tuple.of_array target cells
+    | None -> (
+        match extend_tuple_compiled ?mode schema t ~target c with
+        | Error conflict -> raise (Conflict_found conflict)
+        | Ok (extended, _) ->
+            let base = base_cells t in
+            let delta = ref [] in
+            Array.iteri
+              (fun i v ->
+                if V.is_null base.(i) && not (V.is_null v) then
+                  delta := (i, v) :: !delta)
+              (Tuple.to_array extended);
+            Hashtbl.replace memo key !delta;
+            extended)
+  in
+  let rows = List.map extend (Relational.Relation.tuples r) in
   Relational.Relation.of_tuples target
     ~keys:(Relational.Relation.declared_keys r)
     rows

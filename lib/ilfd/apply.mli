@@ -28,6 +28,25 @@ type derivation = {
   rule : Def.t;  (** the ILFD that produced it *)
 }
 
+(** A precompiled ILFD family: a consequent-attribute index built once,
+    so deriving an attribute consults only the rules that can produce it
+    instead of scanning the whole family per attribute per tuple. *)
+type compiled
+
+val compile : Def.t list -> compiled
+val compiled_rules : compiled -> Def.t list
+
+(** [extend_tuple_compiled ?mode schema tuple ~target c] — as
+    {!extend_tuple}, against a precompiled family. Use this when
+    extending many tuples with the same ILFDs. *)
+val extend_tuple_compiled :
+  ?mode:mode ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  target:Relational.Schema.t ->
+  compiled ->
+  (Relational.Tuple.t * derivation list, conflict) result
+
 (** [extend_tuple ?mode schema tuple ~target ilfds] widens [tuple] from
     [schema] to [target] (a superset of [schema]'s attributes; extra
     attributes start as NULL), then derives what it can. Returns the
@@ -44,7 +63,10 @@ val extend_tuple :
 
 (** [extend_relation ?mode r ~target ilfds] maps {!extend_tuple} over a
     relation; the result keeps [r]'s declared keys (still valid: original
-    attributes are unchanged).
+    attributes are unchanged). The family is compiled once, and
+    derivations are memoised per distinct projection of a tuple onto the
+    attributes the ILFDs mention — tuples agreeing there (values and
+    NULLs alike) share one derivation.
     @raise Conflict_found (with the witness inside) in [Check_conflicts]
     mode when some tuple has disagreeing derivations. *)
 val extend_relation :

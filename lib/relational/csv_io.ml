@@ -10,6 +10,9 @@ let parse_string s =
   let fields = ref [] in
   let buf = Buffer.create 32 in
   let line = ref 1 in
+  (* The current record has content even though [buf] and [fields] are
+     empty — exactly when a quoted (possibly empty) field was read. *)
+  let pending = ref false in
   let flush_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
@@ -17,11 +20,13 @@ let parse_string s =
   let flush_record () =
     flush_field ();
     records := List.rev !fields :: !records;
-    fields := []
+    fields := [];
+    pending := false
   in
   let rec plain i =
     if i >= n then begin
-      if Buffer.length buf > 0 || !fields <> [] then flush_record ()
+      if Buffer.length buf > 0 || !fields <> [] || !pending then
+        flush_record ()
     end
     else
       match s.[i] with
@@ -38,7 +43,12 @@ let parse_string s =
             incr line;
             plain (i + 2)
           end
-          else plain (i + 1)
+          else begin
+            (* A CR that doesn't start a CRLF is field content, not a
+               record separator to be silently swallowed. *)
+            Buffer.add_char buf '\r';
+            plain (i + 1)
+          end
       | '"' ->
           if Buffer.length buf = 0 then quoted (i + 1)
           else begin
@@ -57,7 +67,12 @@ let parse_string s =
             Buffer.add_char buf '"';
             quoted (i + 2)
           end
-          else plain (i + 1)
+          else begin
+            (* Even an empty quoted field makes the record real — without
+               this, a final [""] line at EOF was dropped. *)
+            pending := true;
+            plain (i + 1)
+          end
       | '\n' ->
           incr line;
           Buffer.add_char buf '\n';

@@ -53,6 +53,55 @@ let eval_all s1 t1 s2 t2 atoms =
     (fun acc atom -> V.and3 acc (eval s1 t1 s2 t2 atom))
     V.True atoms
 
+(* Union-find over operand nodes, keyed by a tagged string. *)
+let node_key = function
+  | Attr (Left, a) -> "L:" ^ a
+  | Attr (Right, a) -> "R:" ^ a
+  | Const v ->
+      "C:" ^ V.to_string v ^ ":"
+      ^ (match V.type_of v with
+        | Some ty -> V.ty_to_string ty
+        | None -> "null")
+
+let equality_closure atoms =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None -> x
+    | Some p ->
+        let root = find p in
+        Hashtbl.replace parent x root;
+        root
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then Hashtbl.replace parent rx ry
+  in
+  List.iter
+    (fun atom -> if atom.op = P.Eq then union (node_key atom.lhs) (node_key atom.rhs))
+    atoms;
+  find
+
+let mentioned_attributes atoms =
+  List.concat_map
+    (fun atom ->
+      let l, r = attributes atom in
+      l @ r)
+    atoms
+  |> List.sort_uniq String.compare
+
+let implied_equalities atoms =
+  (* An attribute A is an implied equality iff the [=]-atoms alone force
+     e1.A = e2.A whenever they all hold: L:A and R:A share an equality
+     class. Every node on the closure path is then pairwise non-NULL
+     equal, so a conjunction containing these atoms can only be [True]
+     on tuple pairs with identical non-NULL values on A — the soundness
+     condition hash blocking relies on. *)
+  let find = equality_closure atoms in
+  List.filter
+    (fun a -> find (node_key (Attr (Left, a))) = find (node_key (Attr (Right, a))))
+    (mentioned_attributes atoms)
+
 let pp_operand ppf = function
   | Attr (Left, a) -> Format.fprintf ppf "e1.%s" a
   | Attr (Right, a) -> Format.fprintf ppf "e2.%s" a

@@ -32,6 +32,17 @@ val eval :
 (** Attributes of each side mentioned by the atom: [(left, right)]. *)
 val attributes : t -> string list * string list
 
+(** Every attribute mentioned by any atom, on either side, deduplicated. *)
+val mentioned_attributes : t list -> string list
+
+(** [implied_equalities atoms] — attributes [A] whose equality [e1.A =
+    e2.A] is forced by the [=]-atoms of the conjunction (congruence
+    closure over attributes and constants). Whenever all atoms evaluate
+    [True] on a tuple pair, the two tuples carry identical non-NULL
+    values on each of these attributes — the soundness condition that
+    makes them usable as a hash-blocking key. Sorted, deduplicated. *)
+val implied_equalities : t list -> string list
+
 (** [eval_all s1 t1 s2 t2 atoms] — three-valued conjunction. *)
 val eval_all :
   Relational.Schema.t ->

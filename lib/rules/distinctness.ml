@@ -20,6 +20,11 @@ let make ~name atoms =
 
 let applies rule s1 t1 s2 t2 = Atom.eval_all s1 t1 s2 t2 rule.atoms
 
+let blocking_key rule =
+  match Atom.implied_equalities rule.atoms with
+  | [] -> None
+  | attrs -> Some attrs
+
 let attributes rule =
   let ls, rs = List.split (List.map Atom.attributes rule.atoms) in
   ( List.sort_uniq String.compare (List.concat ls),

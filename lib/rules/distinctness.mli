@@ -26,4 +26,11 @@ val applies :
 
 val attributes : t -> string list * string list
 
+(** [blocking_key rule] — attributes whose equality is implied by the
+    rule's [=]-atoms ({!Atom.implied_equalities}); the rule can only fire
+    on tuple pairs agreeing (non-NULL) on them. Unlike identity rules,
+    distinctness rules carry no well-formedness guarantee here, so this
+    is frequently [None] (e.g. rules built purely from [≠] atoms). *)
+val blocking_key : t -> string list option
+
 val pp : Format.formatter -> t -> unit

@@ -1,58 +1,16 @@
-module V = Relational.Value
-module P = Relational.Predicate
-
 type t = { name : string; atoms : Atom.t list }
 
 exception Ill_formed of string
-
-(* Union-find over operand nodes, keyed by a tagged string. *)
-let node_key = function
-  | Atom.Attr (Atom.Left, a) -> "L:" ^ a
-  | Atom.Attr (Atom.Right, a) -> "R:" ^ a
-  | Atom.Const v -> "C:" ^ V.to_string v ^ ":" ^
-      (match V.type_of v with
-      | Some ty -> V.ty_to_string ty
-      | None -> "null")
-
-let equality_closure atoms =
-  let parent = Hashtbl.create 16 in
-  let rec find x =
-    match Hashtbl.find_opt parent x with
-    | None -> x
-    | Some p ->
-        let root = find p in
-        Hashtbl.replace parent x root;
-        root
-  in
-  let union x y =
-    let rx = find x and ry = find y in
-    if rx <> ry then Hashtbl.replace parent rx ry
-  in
-  List.iter
-    (fun (atom : Atom.t) ->
-      if atom.op = P.Eq then union (node_key atom.lhs) (node_key atom.rhs))
-    atoms;
-  find
-
-let mentioned_attributes atoms =
-  List.concat_map
-    (fun atom ->
-      let l, r = Atom.attributes atom in
-      l @ r)
-    atoms
-  |> List.sort_uniq String.compare
 
 let validate atoms =
   match atoms with
   | [] -> Error "an identity rule needs at least one predicate"
   | _ :: _ ->
-      let find = equality_closure atoms in
+      let implied = Atom.implied_equalities atoms in
       let offending =
         List.find_opt
-          (fun a ->
-            find (node_key (Atom.Attr (Atom.Left, a)))
-            <> find (node_key (Atom.Attr (Atom.Right, a))))
-          (mentioned_attributes atoms)
+          (fun a -> not (List.mem a implied))
+          (Atom.mentioned_attributes atoms)
       in
       (match offending with
       | None -> Ok ()
@@ -73,6 +31,11 @@ let of_attribute_equalities ~name attrs =
   make ~name (List.map Atom.eq_attrs attrs)
 
 let applies rule s1 t1 s2 t2 = Atom.eval_all s1 t1 s2 t2 rule.atoms
+
+let blocking_key rule =
+  match Atom.implied_equalities rule.atoms with
+  | [] -> None
+  | attrs -> Some attrs
 
 let attributes rule =
   let ls, rs = List.split (List.map Atom.attributes rule.atoms) in

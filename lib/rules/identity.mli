@@ -40,4 +40,14 @@ val applies :
 (** Attributes mentioned on each side: [(left, right)], deduplicated. *)
 val attributes : t -> string list * string list
 
+(** [blocking_key rule] — the attributes on which the rule's predicates
+    imply attribute-value equality ({!Atom.implied_equalities}): when the
+    rule fires on [(t1, t2)], in either orientation, both tuples carry
+    identical non-NULL values on every listed attribute. [None] when no
+    equality is implied (e.g. a rule over constant-only atoms), in which
+    case a matcher must fall back to nested-loop evaluation. For a
+    well-formed rule this is every mentioned attribute, so it is [None]
+    only for attribute-free rules. *)
+val blocking_key : t -> string list option
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Minimal CI gate: build everything, then run the full test suite.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest

@@ -166,6 +166,81 @@ let decision_tests =
         (* B(Mughalai) is provably distinct from both Chinese A and
            Greek C. *)
         Alcotest.(check int) "distinct" 2 (List.length d));
+    case "blocked partition raises Inconsistent like naive" (fun () ->
+        let bad_distinct =
+          Rules.Distinctness.make ~name:"bad"
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left "name")
+                R.Predicate.Eq
+                (Rules.Atom.attr Rules.Atom.Right "name");
+            ]
+        in
+        let rel =
+          relation [ "name"; "cuisine"; "speciality" ] []
+            [ [ "A"; "Chinese"; "Hunan" ] ]
+        in
+        let attempt f =
+          match f ~identity ~distinctness:[ bad_distinct ] rel rel with
+          | _ -> None
+          | exception
+              E.Decision.Inconsistent { identity = i; distinctness = d } ->
+              Some (i.name, d.name)
+        in
+        let blocked = attempt E.Decision.partition in
+        Alcotest.(check bool) "raises" true (Option.is_some blocked);
+        Alcotest.(check bool) "same witnesses as naive" true
+          (blocked = attempt E.Decision.partition_naive));
+    case "no-equality rules fall back to nested loop" (fun () ->
+        (* A pure-≠ distinctness rule has no blocking key; the engine
+           must still agree with the naive partition on it. *)
+        let neq =
+          Rules.Distinctness.make ~name:"different-cuisine"
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left "cuisine")
+                R.Predicate.Ne
+                (Rules.Atom.attr Rules.Atom.Right "cuisine");
+            ]
+        in
+        Alcotest.(check bool) "blocking key is None" true
+          (Rules.Distinctness.blocking_key neq = None);
+        let r =
+          relation [ "name"; "cuisine"; "speciality" ] []
+            [ [ "A"; "Chinese"; "Hunan" ]; [ "B"; "Indian"; "Mughalai" ] ]
+        in
+        let s =
+          relation [ "name"; "cuisine"; "speciality" ] []
+            [ [ "A"; "Chinese"; "Hunan" ]; [ "C"; "Greek"; "Gyros" ] ]
+        in
+        Alcotest.(check bool) "" true
+          (E.Decision.partition ~identity ~distinctness:[ neq ] r s
+          = E.Decision.partition_naive ~identity ~distinctness:[ neq ] r s));
+    qtest ~count:20 "blocked partition equals naive on random instances"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        (* Randomized extended relations (including NULL keys and
+           homonyms) partitioned under both the extended-key identity
+           rule and ILFD-induced distinctness rules: all three lists
+           must agree element-for-element, in order. *)
+        let inst =
+          Workload.Restaurant.generate
+            {
+              Workload.Restaurant.default with
+              n_entities = 15;
+              homonym_rate = 0.2;
+              null_street_rate = 0.2;
+              seed;
+            }
+        in
+        let o = E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds in
+        let identity = [ E.Extended_key.equivalence_rule inst.key ] in
+        let distinctness =
+          E.Negative.distinctness_rules_of_ilfds inst.ilfds
+        in
+        E.Decision.partition ~identity ~distinctness o.r_extended o.s_extended
+        = E.Decision.partition_naive ~identity ~distinctness o.r_extended
+            o.s_extended);
   ]
 
 (* ---- Matching_table ---- *)
@@ -257,7 +332,16 @@ let identify_tests =
         in
         Alcotest.(check int) "" 3
           (E.Matching_table.cardinality o.matching_table);
-        Alcotest.(check bool) "verified" true (E.Identify.is_verified o));
+        Alcotest.(check bool) "verified" true (E.Identify.is_verified o);
+        (* Two R tuples keep a NULL speciality (no ILFD derives it for
+           TwinCities/Indian or VillageWok/Chinese), so they are excluded
+           from K_Ext matching; every S cuisine derives, so S has no
+           NULL-key tuples. The other three R tuples all match:
+           |MT| = |R| − |unmatched_r|. *)
+        Alcotest.(check int) "NULL-key R tuples" 2
+          (List.length o.unmatched_r);
+        Alcotest.(check int) "NULL-key S tuples" 0
+          (List.length o.unmatched_s));
     case "Table 6: extended relations carry derived values" (fun () ->
         let o =
           E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key
@@ -287,7 +371,15 @@ let identify_tests =
           E.Identify.run ~r:PD.table5_r ~s:PD.table5_s ~key:PD.example3_key []
         in
         Alcotest.(check int) "" 0
-          (E.Matching_table.cardinality o.matching_table));
+          (E.Matching_table.cardinality o.matching_table);
+        (* With nothing derivable, every tuple misses an extended-key
+           attribute, and the outcome accounts for all of them. *)
+        Alcotest.(check int) "all R tuples NULL-key"
+          (R.Relation.cardinality PD.table5_r)
+          (List.length o.unmatched_r);
+        Alcotest.(check int) "all S tuples NULL-key"
+          (R.Relation.cardinality PD.table5_s)
+          (List.length o.unmatched_s));
     case "name-only extended key is unsound on Table 5" (fun () ->
         let o =
           E.Identify.run ~r:PD.table5_r ~s:PD.table5_s

@@ -235,6 +235,75 @@ let incremental_tests =
         let o = E.Incremental.outcome t in
         let table = E.Integrate.integrated_table ~key:PD.example3_key o in
         Alcotest.(check int) "" 6 (R.Relation.cardinality table));
+    case "first-rule mode inserts through disagreeing rules" (fun () ->
+        let t =
+          E.Incremental.create
+            ~r:(relation [ "name" ] [ [ "name" ] ] [])
+            ~s:(relation [ "name"; "cuisine" ] [ [ "name" ] ]
+                  [ [ "alpha"; "first" ] ])
+            ~key:(E.Extended_key.make [ "name"; "cuisine" ])
+            [
+              Ilfd.parse "name = alpha -> cuisine = first";
+              Ilfd.parse "name = alpha -> cuisine = second";
+            ]
+        in
+        let r_tuple =
+          R.Tuple.make (R.Schema.of_names [ "name" ]) [ v "alpha" ]
+        in
+        (* Cut semantics: the first rule wins, deriving cuisine=first and
+           matching the S tuple. *)
+        let _, created = E.Incremental.insert_r t r_tuple in
+        Alcotest.(check int) "" 1 (List.length created));
+    check_raises_any "check-conflicts mode raises on a conflicting insert"
+      (fun () ->
+        (* Regression: this insert used to die on [assert false] instead
+           of reporting the conflict. *)
+        let t =
+          E.Incremental.create ~mode:Ilfd.Apply.Check_conflicts
+            ~r:(relation [ "name" ] [ [ "name" ] ] [])
+            ~s:(relation [ "name"; "cuisine" ] [ [ "name" ] ]
+                  [ [ "alpha"; "first" ] ])
+            ~key:(E.Extended_key.make [ "name"; "cuisine" ])
+            [
+              Ilfd.parse "name = alpha -> cuisine = first";
+              Ilfd.parse "name = alpha -> cuisine = second";
+            ]
+        in
+        let r_tuple =
+          R.Tuple.make (R.Schema.of_names [ "name" ]) [ v "alpha" ]
+        in
+        ignore (E.Incremental.insert_r t r_tuple));
+    case "check-conflicts mode accepts agreeing rules" (fun () ->
+        let t =
+          E.Incremental.create ~mode:Ilfd.Apply.Check_conflicts
+            ~r:(relation [ "name" ] [ [ "name" ] ] [])
+            ~s:(relation [ "name"; "cuisine" ] [ [ "name" ] ]
+                  [ [ "alpha"; "same" ] ])
+            ~key:(E.Extended_key.make [ "name"; "cuisine" ])
+            [
+              Ilfd.parse "name = alpha -> cuisine = same";
+              Ilfd.parse "name = alpha -> cuisine = same";
+            ]
+        in
+        let r_tuple =
+          R.Tuple.make (R.Schema.of_names [ "name" ]) [ v "alpha" ]
+        in
+        let _, created = E.Incremental.insert_r t r_tuple in
+        Alcotest.(check int) "" 1 (List.length created));
+    check_raises_any "check-conflicts mode survives add_ilfd" (fun () ->
+        (* The mode must be preserved when the knowledge base grows: the
+           recreate inside add_ilfd re-derives under Check_conflicts and
+           hits the disagreement. *)
+        let t =
+          E.Incremental.create ~mode:Ilfd.Apply.Check_conflicts
+            ~r:(relation [ "name" ] [ [ "name" ] ] [ [ "alpha" ] ])
+            ~s:(relation [ "name"; "cuisine" ] [ [ "name" ] ] [])
+            ~key:(E.Extended_key.make [ "name"; "cuisine" ])
+            [ Ilfd.parse "name = alpha -> cuisine = first" ]
+        in
+        ignore
+          (E.Incremental.add_ilfd t
+             (Ilfd.parse "name = alpha -> cuisine = second")));
   ]
 
 (* ---- Mine ---- *)

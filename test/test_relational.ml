@@ -374,6 +374,23 @@ let rel_gen names =
 let ab_gen = rel_gen [ "a"; "b" ]
 let cd_gen = rel_gen [ "c"; "d" ]
 
+(* Cell values that stress CSV quoting: separators, quotes, bare CR/LF,
+   and NULL. Strings are chosen to survive [of_csv_string]'s cell
+   inference (no numerals, no "null"/"true", no leading/trailing
+   whitespace — it trims) so round-trips are exact. *)
+let awkward_value_gen =
+  QCheck2.Gen.oneofl
+    [
+      V.Null;
+      v "plain";
+      v "with,comma";
+      v "with\"quote";
+      v "line1\nline2";
+      v "cr\rmiddle";
+      v "\"quoted\"";
+      v ",";
+    ]
+
 let algebra_law_tests =
   [
     qtest ~count:60 "selection is idempotent" ab_gen (fun r ->
@@ -436,6 +453,22 @@ let algebra_law_tests =
     qtest ~count:60 "csv round-trip on random relations" ab_gen (fun r ->
         R.Relation.equal r
           (R.Csv_io.relation_of_string (R.Csv_io.to_string r)));
+    qtest ~count:40 "csv save/load round-trip with awkward values"
+      QCheck2.Gen.(
+        list_size (0 -- 6)
+          (pair awkward_value_gen awkward_value_gen))
+      (fun rows ->
+        let r =
+          R.Relation.create
+            (R.Schema.of_names [ "a"; "b" ])
+            (List.map (fun (x, y) -> [ x; y ]) rows)
+        in
+        let path = Filename.temp_file "relational_qtest" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            R.Csv_io.save r path;
+            R.Relation.equal r (R.Csv_io.load path)));
   ]
 
 (* ---- Key tools ---- *)
@@ -503,6 +536,24 @@ let csv_tests =
     case "crlf accepted" (fun () ->
         let r = R.Csv_io.relation_of_string "a,b\r\n1,2\r\n" in
         Alcotest.(check int) "" 1 (R.Relation.cardinality r));
+    case "lone CR is field content, not a separator" (fun () ->
+        (* Regression: a CR not followed by LF used to be dropped. *)
+        let r = R.Csv_io.relation_of_string "a\nx\rz\n" in
+        let expected =
+          R.Relation.create (R.Schema.of_names [ "a" ]) [ [ v "x\rz" ] ]
+        in
+        Alcotest.(check bool) "" true (R.Relation.equal r expected));
+    case "final quoted empty field at EOF kept" (fun () ->
+        (* Regression: a last record consisting of a single [""] with no
+           trailing newline used to be dropped entirely. *)
+        let r = R.Csv_io.relation_of_string "a\nx\n\"\"" in
+        Alcotest.(check int) "" 2 (R.Relation.cardinality r);
+        let expected =
+          R.Relation.create
+            (R.Schema.of_names [ "a" ])
+            [ [ v "x" ]; [ V.Null ] ]
+        in
+        Alcotest.(check bool) "" true (R.Relation.equal r expected));
     case "save and load through a file" (fun () ->
         let path = Filename.temp_file "relational_test" ".csv" in
         Fun.protect
