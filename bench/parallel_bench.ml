@@ -1,0 +1,124 @@
+(* Serial vs multi-domain partition at scale. Every (size, jobs)
+   configuration first asserts that the parallel result equals the
+   serial one element-for-element (the executor's contract), then
+   measures wall-clock time — [Sys.time] is CPU time and sums across
+   domains, which would hide any speedup — and writes the results to
+   BENCH_parallel.json in the working directory.
+
+   BENCH_SMOKE=1 shrinks the sweep to CI size: the point of the smoke
+   run is executing the agreement assertions, not the timings. *)
+
+module R = Relational
+module E = Entity_id
+
+let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None
+
+let schema = R.Schema.of_names [ "id"; "name"; "cuisine" ]
+
+let side ~offset n =
+  R.Relation.create schema
+    (List.init n (fun i ->
+         let name =
+           if i mod 97 = 0 then R.Value.Null
+           else R.Value.string (Workload.Pools.name (offset + i))
+         in
+         [
+           R.Value.int i;
+           name;
+           R.Value.string Workload.Pools.cuisines.(i mod Array.length Workload.Pools.cuisines);
+         ]))
+
+let identity = [ Rules.Identity.of_attribute_equalities ~name:"same-name" [ "name" ] ]
+let distinctness = []
+
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1000.)
+
+let best_of reps f =
+  let rec go best remaining =
+    if remaining = 0 then best
+    else begin
+      Gc.compact ();
+      let result, ms = wall_ms f in
+      ignore (Sys.opaque_identity result);
+      go (min ms best) (remaining - 1)
+    end
+  in
+  go infinity reps
+
+type row = { n : int; jobs : int; ms : float; speedup : float; agree : bool }
+
+let measure n =
+  let r = side ~offset:0 n and s = side ~offset:(n / 2) n in
+  let partition jobs () =
+    E.Decision.partition ~jobs ~identity ~distinctness r s
+  in
+  let reference = partition 1 () in
+  let reps = if n >= 5000 then 2 else 3 in
+  let serial_ms = best_of reps (partition 1) in
+  let job_counts = if smoke then [ 2; 3 ] else [ 2; 4; 8 ] in
+  { n; jobs = 1; ms = serial_ms; speedup = 1.0; agree = true }
+  :: List.map
+       (fun jobs ->
+         let agree = partition jobs () = reference in
+         let ms = best_of reps (partition jobs) in
+         { n; jobs; ms; speedup = serial_ms /. ms; agree })
+       job_counts
+
+let json_of_rows rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"partition_serial_vs_parallel\",\n";
+  Buffer.add_string buf
+    "  \"rule\": \"(e1.name = e2.name) -> (e1 == e2)\",\n";
+  Buffer.add_string buf "  \"clock\": \"wall\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i { n; jobs; ms; speedup; agree } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"n_r\": %d, \"n_s\": %d, \"jobs\": %d, \"ms\": %.3f, \
+            \"speedup\": %.2f, \"agree\": %b}%s\n"
+           n n jobs ms speedup agree
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let all () =
+  print_endline
+    "\n================ Partition: serial vs parallel ================";
+  Printf.printf "host domains: %d%s\n"
+    (Domain.recommended_domain_count ())
+    (if smoke then " (smoke mode)" else "");
+  Gc.set { (Gc.get ()) with minor_heap_size = 32 * 1024 * 1024 };
+  let sizes = if smoke then [ 200 ] else [ 1000; 5000 ] in
+  let rows = List.concat_map measure sizes in
+  print_string
+    (R.Pretty.render_rows
+       ~header:[ "|R| = |S|"; "jobs"; "wall"; "vs serial"; "agree" ]
+       (List.map
+          (fun { n; jobs; ms; speedup; agree } ->
+            [
+              string_of_int n;
+              string_of_int jobs;
+              Printf.sprintf "%.2f ms" ms;
+              Printf.sprintf "%.2fx" speedup;
+              string_of_bool agree;
+            ])
+          rows));
+  let out = open_out "BENCH_parallel.json" in
+  output_string out (json_of_rows rows);
+  close_out out;
+  print_endline "wrote BENCH_parallel.json";
+  if List.exists (fun row -> not row.agree) rows then begin
+    prerr_endline
+      "parallel_bench: parallel partition DISAGREES with serial";
+    exit 1
+  end

@@ -93,7 +93,13 @@ let all () =
   (* A minor heap large enough to hold one run's output keeps promotion
      churn (identical for both engines) from drowning the signal. *)
   Gc.set { (Gc.get ()) with minor_heap_size = 32 * 1024 * 1024 };
-  let rows = List.map measure [ 100; 300; 1000 ] in
+  (* BENCH_SMOKE shrinks the sweep for CI: the agreement check is the
+     point there, not the timings. *)
+  let sizes =
+    if Sys.getenv_opt "BENCH_SMOKE" <> None then [ 100; 200 ]
+    else [ 100; 300; 1000 ]
+  in
+  let rows = List.map measure sizes in
   print_string
     (R.Pretty.render_rows
        ~header:[ "|R| = |S|"; "naive"; "blocked"; "speedup"; "agree" ]
@@ -110,4 +116,8 @@ let all () =
   let out = open_out "BENCH_partition.json" in
   output_string out (json_of_rows rows);
   close_out out;
-  print_endline "wrote BENCH_partition.json"
+  print_endline "wrote BENCH_partition.json";
+  if List.exists (fun row -> not row.agree) rows then begin
+    prerr_endline "partition_bench: blocked partition DISAGREES with naive";
+    exit 1
+  end

@@ -58,6 +58,15 @@ let extkey_arg =
   Arg.(required & opt (some string) None & info [ "key" ] ~docv:"ATTRS"
          ~doc:"Comma-separated extended key.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Run the identification pipeline on $(docv) domains \
+               (default 1 = serial; 0 or negative = one per host core). \
+               The result is identical for every value.")
+
+(* 0 / negative means "ask the runtime" — mirrors make -j conventions. *)
+let resolve_jobs n = if n <= 0 then Parallel.default_jobs () else n
+
 let setup r s rk sk rules_path =
   let r = load_relation r rk and s = load_relation s sk in
   let ilfds = match rules_path with None -> [] | Some p -> read_rules p in
@@ -84,15 +93,16 @@ let identify_cmd =
     Arg.(value & flag & info [ "explain" ]
            ~doc:"Print, for each match, the ILFD derivations behind it.")
   in
-  let run r s rk sk rules key show negative check_conflicts explain =
+  let run r s rk sk rules key jobs show negative check_conflicts explain =
     let r, s, ilfds = setup r s rk sk rules in
     let key = Entity_id.Extended_key.make (parse_key_list key) in
+    let jobs = resolve_jobs jobs in
     let mode =
       if check_conflicts then Ilfd.Apply.Check_conflicts
       else Ilfd.Apply.First_rule
     in
     let o =
-      try Entity_id.Identify.run ~mode ~r ~s ~key ilfds
+      try Entity_id.Identify.run ~mode ~jobs ~r ~s ~key ilfds
       with Ilfd.Apply.Conflict_found c ->
         Format.eprintf "entity_ident: %a@." Ilfd.Apply.pp_conflict c;
         exit 2
@@ -145,7 +155,8 @@ let identify_cmd =
   Cmd.v
     (Cmd.info "identify" ~doc:"Run extended-key + ILFD entity identification.")
     Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
-          $ extkey_arg $ show $ negative $ check_conflicts $ explain)
+          $ extkey_arg $ jobs_arg $ show $ negative $ check_conflicts
+          $ explain)
 
 (* ---- closure ---- *)
 
@@ -243,10 +254,12 @@ let fuse_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"CSV"
            ~doc:"Write the fused relation to a CSV file (default: print).")
   in
-  let run r s rk sk rules key policy output =
+  let run r s rk sk rules key jobs policy output =
     let r, s, ilfds = setup r s rk sk rules in
     let key = Entity_id.Extended_key.make (parse_key_list key) in
-    let o = Entity_id.Identify.run ~r ~s ~key ilfds in
+    let o =
+      Entity_id.Identify.run ~jobs:(resolve_jobs jobs) ~r ~s ~key ilfds
+    in
     let conflicts = Entity_id.Fusion.conflicts o in
     List.iter
       (fun (attr, l, rt, k) ->
@@ -277,7 +290,7 @@ let fuse_cmd =
        ~doc:"Identify entities, resolve attribute-value conflicts, and \
              emit the actually-integrated relation.")
     Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
-          $ extkey_arg $ policy_arg $ output)
+          $ extkey_arg $ jobs_arg $ policy_arg $ output)
 
 (* ---- session ---- *)
 

@@ -19,18 +19,34 @@ let row_lists set ~nr =
     set.fired;
   Array.map (List.sort compare) rows
 
+let min_conflict a b =
+  if a.ns <> b.ns then invalid_arg "Blocking.min_conflict: mismatched sides";
+  if a.ns = 0 then None
+  else
+    let small, large =
+      if Itbl.length a.fired <= Itbl.length b.fired then (a, b) else (b, a)
+    in
+    let best = ref max_int in
+    Itbl.iter
+      (fun id () -> if id < !best && Itbl.mem large.fired id then best := id)
+      small.fired;
+    if !best = max_int then None else Some (!best / a.ns, !best mod a.ns)
+
 type 'rule spec = {
   blocking_key : 'rule -> string list option;
   applies :
     'rule -> Schema.t -> Tuple.t -> Schema.t -> Tuple.t -> V.truth;
+  compile :
+    'rule -> Schema.t -> Schema.t -> Tuple.t -> Tuple.t -> V.truth;
 }
 
 (* Group tuple indices by their (non-NULL) projection on [attrs]. *)
 let bucket_by schema tuples attrs =
+  let plan = Tuple.plan schema attrs in
   let tbl = Hashtbl.create (max 16 (Array.length tuples)) in
   Array.iteri
     (fun i t ->
-      let key = Tuple.project schema t attrs in
+      let key = Tuple.project_with plan t in
       if not (Tuple.has_null key) then begin
         let k = Tuple.values key in
         match Hashtbl.find_opt tbl k with
@@ -40,46 +56,86 @@ let bucket_by schema tuples attrs =
     tuples;
   tbl
 
-let fired spec rules sr rt ss st =
+let fired ?(jobs = 1) spec rules sr rt ss st =
   let set = { ns = Array.length st; fired = Itbl.create 64 } in
-  let record rule i j =
-    let id = pair_id set i j in
-    if not (Itbl.mem set.fired id) then
-      let tr = rt.(i) and ts = st.(j) in
-      if
-        spec.applies rule sr tr ss ts = V.True
-        || spec.applies rule ss ts sr tr = V.True
-      then Itbl.replace set.fired id ()
-  in
+  let nr = Array.length rt and ns = Array.length st in
   List.iter
     (fun rule ->
-      match spec.blocking_key rule with
-      | Some attrs
-        when List.for_all (Schema.mem sr) attrs
-             && List.for_all (Schema.mem ss) attrs ->
-          (* The rule only fires on pairs with identical non-NULL values
-             on [attrs] — in either orientation, since the implied
-             equality is attribute-to-same-attribute. Probe R buckets
-             against S buckets and evaluate only co-bucketed pairs. *)
-          let s_buckets = bucket_by ss st attrs in
-          Array.iteri
-            (fun i tr ->
-              let key = Tuple.project sr tr attrs in
+      (* Resolve the rule's attribute lookups against the two schemas
+         once; [hits] is then pure array/hash work per candidate pair. *)
+      let applies_lr = spec.compile rule sr ss
+      and applies_rl = spec.compile rule ss sr in
+      let hits i j =
+        applies_lr rt.(i) st.(j) = V.True
+        || applies_rl st.(j) rt.(i) = V.True
+      in
+      (* [candidates i k] calls [k j] for every j the rule could fire on
+         with row i — co-bucketed pairs when the rule has a usable
+         blocking key, all of S otherwise. *)
+      let candidates =
+        match spec.blocking_key rule with
+        | Some attrs
+          when List.for_all (Schema.mem sr) attrs
+               && List.for_all (Schema.mem ss) attrs ->
+            (* The rule only fires on pairs with identical non-NULL
+               values on [attrs] — in either orientation, since the
+               implied equality is attribute-to-same-attribute. Probe R
+               buckets against S buckets and evaluate only co-bucketed
+               pairs. *)
+            let s_buckets = bucket_by ss st attrs in
+            let r_plan = Tuple.plan sr attrs in
+            fun i k ->
+              let key = Tuple.project_with r_plan rt.(i) in
               if not (Tuple.has_null key) then
                 match Hashtbl.find_opt s_buckets (Tuple.values key) with
-                | Some js -> List.iter (fun j -> record rule i j) !js
-                | None -> ())
-            rt
-      | Some _ ->
-          (* A blocking attribute is missing from one of the schemas: it
-             reads as NULL on every tuple of that side, so the implied
-             equality can never hold and the rule never fires. *)
-          ()
-      | None ->
-          (* No equality atoms to block on: nested-loop fallback. *)
-          Array.iteri
-            (fun i _ ->
-              Array.iteri (fun j _ -> record rule i j) st)
-            rt)
+                | Some js -> List.iter k !js
+                | None -> ()
+              else ()
+        | Some _ ->
+            (* A blocking attribute is missing from one of the schemas:
+               it reads as NULL on every tuple of that side, so the
+               implied equality can never hold and the rule never
+               fires. *)
+            fun _ _ -> ()
+        | None ->
+            (* No equality atoms to block on: nested-loop fallback. *)
+            fun _ k ->
+              for j = 0 to ns - 1 do
+                k j
+              done
+      in
+      if jobs <= 1 then
+        (* Serial reference path: record hits as they are found. The
+           [mem] check only skips re-evaluating pairs already recorded
+           by an earlier rule; within one rule no (i, j) is proposed
+           twice (each row probes exactly one bucket of distinct js). *)
+        for i = 0 to nr - 1 do
+          candidates i (fun j ->
+              let id = pair_id set i j in
+              if (not (Itbl.mem set.fired id)) && hits i j then
+                Itbl.replace set.fired id ())
+        done
+      else begin
+        (* Parallel path: domains scan disjoint row chunks, reading the
+           tuple arrays, the frozen fired set, and the rule's buckets —
+           all immutable during the scan — and accumulate newly fired
+           pair ids privately. The merge happens on the calling domain
+           between rules, so the next rule sees exactly the set the
+           serial path would. *)
+        let chunk_hits =
+          Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
+              let acc = ref [] in
+              for i = start to stop - 1 do
+                candidates i (fun j ->
+                    let id = pair_id set i j in
+                    if (not (Itbl.mem set.fired id)) && hits i j then
+                      acc := id :: !acc)
+              done;
+              !acc)
+        in
+        List.iter
+          (List.iter (fun id -> Itbl.replace set.fired id ()))
+          chunk_hits
+      end)
     rules;
   set

@@ -30,8 +30,19 @@ val cardinality : pairset -> int
     a hash lookup per pair. *)
 val row_lists : pairset -> nr:int -> int list array
 
+(** [min_conflict a b] — the row-major-minimal pair present in both
+    pairsets, or [None] when they are disjoint. This is the pair on
+    which a serial row-major scan would first see both an identity and
+    a distinctness rule fire, so the parallel partition engine can
+    reproduce the serial [Inconsistent] witness without scanning.
+    @raise Invalid_argument if the pairsets index different S sides. *)
+val min_conflict : pairset -> pairset -> (int * int) option
+
 (** How to block and evaluate one rule kind. [applies] is tried in both
-    orientations, as rules state symmetric facts about (e1, e2). *)
+    orientations, as rules state symmetric facts about (e1, e2).
+    [compile] is the schema-resolved form used in the probe loops; it
+    must satisfy [compile rule s1 s2 t1 t2 = applies rule s1 t1 s2 t2]
+    (see {!Rules.Identity.compile}). *)
 type 'rule spec = {
   blocking_key : 'rule -> string list option;
   applies :
@@ -41,10 +52,23 @@ type 'rule spec = {
     Relational.Schema.t ->
     Relational.Tuple.t ->
     Relational.Value.truth;
+  compile :
+    'rule ->
+    Relational.Schema.t ->
+    Relational.Schema.t ->
+    Relational.Tuple.t ->
+    Relational.Tuple.t ->
+    Relational.Value.truth;
 }
 
-(** [fired spec rules sr rt ss st] — all pairs some rule fires on. *)
+(** [fired ?jobs spec rules sr rt ss st] — all pairs some rule fires on.
+    With [jobs > 1] each rule's probe loop is chunked over R's rows on
+    that many domains ({!Parallel.map_chunks}); newly fired pairs are
+    accumulated privately per chunk and merged between rules, so the
+    resulting set — a pure function of the inputs — is identical to the
+    serial one. [jobs = 1] (the default) is the serial reference path. *)
 val fired :
+  ?jobs:int ->
   'rule spec ->
   'rule list ->
   Relational.Schema.t ->

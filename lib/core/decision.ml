@@ -67,29 +67,24 @@ let identity_spec =
   {
     Blocking.blocking_key = Rules.Identity.blocking_key;
     applies = Rules.Identity.applies;
+    compile = Rules.Identity.compile;
   }
 
 let distinctness_spec =
   {
     Blocking.blocking_key = Rules.Distinctness.blocking_key;
     applies = Rules.Distinctness.applies;
+    compile = Rules.Distinctness.compile;
   }
 
-let partition ~identity ~distinctness r s =
-  let sr = Relational.Relation.schema r
-  and ss = Relational.Relation.schema s in
-  let rt = Array.of_list (Relational.Relation.tuples r)
-  and st = Array.of_list (Relational.Relation.tuples s) in
-  let m = Blocking.fired identity_spec identity sr rt ss st in
-  let d = Blocking.fired distinctness_spec distinctness sr rt ss st in
-  let nr = Array.length rt and ns = Array.length st in
-  (* Enumerate all pairs in row-major order, merging against the (sorted,
-     sparse) fired lists with integer compares — cheaper per pair than a
-     hash lookup, and the dominant cost at scale. *)
-  let m_rows = Blocking.row_lists m ~nr
-  and d_rows = Blocking.row_lists d ~nr in
-  let matched = ref [] and distinct = ref [] and unknown = ref [] in
-  for i = 0 to nr - 1 do
+(* The row-major pair-enumeration merge over rows [start, stop): the
+   shared inner loop of both the serial and the chunked engines.
+   Accumulators are whatever the caller passes — global refs serially,
+   chunk-private refs in parallel. *)
+let merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
+    ~matched ~distinct ~unknown start stop =
+  let ns = Array.length st in
+  for i = start to stop - 1 do
     let tr = rt.(i) in
     let mj = ref m_rows.(i) and dj = ref d_rows.(i) in
     for j = 0 to ns - 1 do
@@ -119,5 +114,48 @@ let partition ~identity ~distinctness r s =
       else if in_d then distinct := (tr, ts) :: !distinct
       else unknown := (tr, ts) :: !unknown
     done
-  done;
-  (List.rev !matched, List.rev !distinct, List.rev !unknown)
+  done
+
+let partition ?(jobs = 1) ~identity ~distinctness r s =
+  let sr = Relational.Relation.schema r
+  and ss = Relational.Relation.schema s in
+  let rt = Array.of_list (Relational.Relation.tuples r)
+  and st = Array.of_list (Relational.Relation.tuples s) in
+  let m = Blocking.fired ~jobs identity_spec identity sr rt ss st in
+  let d = Blocking.fired ~jobs distinctness_spec distinctness sr rt ss st in
+  let nr = Array.length rt in
+  (* Enumerate all pairs in row-major order, merging against the (sorted,
+     sparse) fired lists with integer compares — cheaper per pair than a
+     hash lookup, and the dominant cost at scale. *)
+  let m_rows = Blocking.row_lists m ~nr
+  and d_rows = Blocking.row_lists d ~nr in
+  if jobs <= 1 then begin
+    let matched = ref [] and distinct = ref [] and unknown = ref [] in
+    merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows ~matched
+      ~distinct ~unknown 0 nr;
+    (List.rev !matched, List.rev !distinct, List.rev !unknown)
+  end
+  else begin
+    (* An inconsistent pair must raise from the row-major-minimal
+       conflict — the pair the serial scan hits first — not from
+       whichever chunk happens to reach one, so detect it up front
+       against the fired sets and let [decide] raise with the same
+       witnessing rules. *)
+    (match Blocking.min_conflict m d with
+    | Some (i, j) ->
+        ignore (decide ~identity ~distinctness sr rt.(i) ss st.(j));
+        assert false
+    | None -> ());
+    let chunks =
+      Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
+          let matched = ref [] and distinct = ref [] and unknown = ref [] in
+          merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
+            ~matched ~distinct ~unknown start stop;
+          (List.rev !matched, List.rev !distinct, List.rev !unknown))
+    in
+    (* Chunks cover ascending row ranges, so in-chunk-order concatenation
+       restores exactly the serial row-major output. *)
+    ( List.concat_map (fun (m, _, _) -> m) chunks,
+      List.concat_map (fun (_, d, _) -> d) chunks,
+      List.concat_map (fun (_, _, u) -> u) chunks )
+  end

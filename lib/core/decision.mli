@@ -38,8 +38,17 @@ val decide :
     blocking ({!Blocking}) instead of the |R|×|S| nested loop; rules with
     no equality atoms fall back per rule. The partition — including which
     pair raises {!Inconsistent}, and with which witnessing rules — is
-    identical to {!partition_naive}'s. *)
+    identical to {!partition_naive}'s.
+
+    [jobs] (default [1]) > 1 runs the blocking probes and the pair
+    enumeration chunked over that many domains ({!Parallel}); chunk
+    results are concatenated in chunk order, so the three lists are
+    bit-identical to the serial engine's, and an inconsistency raises
+    from the row-major-minimal conflicting pair ({!Blocking.min_conflict})
+    with the same witnessing rules the serial scan reports. [jobs = 1]
+    takes the exact serial code path. *)
 val partition :
+  ?jobs:int ->
   identity:Rules.Identity.t list ->
   distinctness:Rules.Distinctness.t list ->
   Relational.Relation.t ->

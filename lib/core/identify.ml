@@ -16,8 +16,9 @@ type outcome = {
    the K_Ext hash join can never match them (non_null_eq), so they were
    previously dropped without a trace. *)
 let null_key_tuples schema relation kext =
+  let plan = Tuple.plan schema kext in
   List.filter
-    (fun t -> Tuple.has_null (Tuple.project schema t kext))
+    (fun t -> Tuple.has_null (Tuple.project_with plan t))
     (Relation.tuples relation)
 
 let extension_schema relation key =
@@ -29,42 +30,47 @@ let extension_schema relation key =
   in
   Schema.concat schema (Schema.of_names missing)
 
-let run ?mode ~r ~s ~key ilfds =
+let run ?mode ?(jobs = 1) ~r ~s ~key ilfds =
   let r_target = extension_schema r key
   and s_target = extension_schema s key in
-  let r_ext = Ilfd.Apply.extend_relation ?mode r ~target:r_target ilfds in
-  let s_ext = Ilfd.Apply.extend_relation ?mode s ~target:s_target ilfds in
+  let r_ext = Ilfd.Apply.extend_relation ?mode ~jobs r ~target:r_target ilfds in
+  let s_ext = Ilfd.Apply.extend_relation ?mode ~jobs s ~target:s_target ilfds in
   let kext = Extended_key.attributes key in
+  let r_kext = Tuple.plan r_target kext
+  and s_kext = Tuple.plan s_target kext in
   (* Hash-join R′ and S′ on K_Ext; tuples with any NULL key value never
-     match (non_null_eq). *)
+     match (non_null_eq). Buckets are built with one probe per tuple and
+     reversed once after the pass, not once per lookup. *)
   let buckets = Hashtbl.create (max 16 (Relation.cardinality s_ext)) in
   Relation.iter
     (fun ts ->
-      let k = Tuple.project s_target ts kext in
-      if not (Tuple.has_null k) then
-        Hashtbl.replace buckets (Tuple.values k)
-          (ts
-          ::
-          (match Hashtbl.find_opt buckets (Tuple.values k) with
-          | Some l -> l
-          | None -> [])))
+      let k = Tuple.project_with s_kext ts in
+      if not (Tuple.has_null k) then begin
+        let key = Tuple.values k in
+        match Hashtbl.find_opt buckets key with
+        | Some partners -> partners := ts :: !partners
+        | None -> Hashtbl.add buckets key (ref [ ts ])
+      end)
     s_ext;
+  Hashtbl.iter (fun _ partners -> partners := List.rev !partners) buckets;
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
   let pairs = ref [] in
   Relation.iter
     (fun tr ->
-      let k = Tuple.project r_target tr kext in
+      let k = Tuple.project_with r_kext tr in
       if not (Tuple.has_null k) then
         match Hashtbl.find_opt buckets (Tuple.values k) with
         | Some partners ->
-            List.iter (fun ts -> pairs := (tr, ts) :: !pairs) (List.rev partners)
+            List.iter (fun ts -> pairs := (tr, ts) :: !pairs) !partners
         | None -> ())
     r_ext;
   let pairs = List.rev !pairs in
+  let r_key_plan = Tuple.plan r_target r_key
+  and s_key_plan = Tuple.plan s_target s_key in
   let entry_of (tr, ts) =
     {
-      Matching_table.r_key = Tuple.project r_target tr r_key;
-      s_key = Tuple.project s_target ts s_key;
+      Matching_table.r_key = Tuple.project_with r_key_plan tr;
+      s_key = Tuple.project_with s_key_plan ts;
     }
   in
   let matching_table =
@@ -83,19 +89,22 @@ let run ?mode ~r ~s ~key ilfds =
 
 let is_verified o = o.violations = []
 
-let run_rules ?mode ~identity ?(distinctness = []) ~r ~s ~key ilfds =
+let run_rules ?mode ?(jobs = 1) ~identity ?(distinctness = []) ~r ~s ~key
+    ilfds =
   let r_target = extension_schema r key
   and s_target = extension_schema s key in
-  let r_ext = Ilfd.Apply.extend_relation ?mode r ~target:r_target ilfds in
-  let s_ext = Ilfd.Apply.extend_relation ?mode s ~target:s_target ilfds in
+  let r_ext = Ilfd.Apply.extend_relation ?mode ~jobs r ~target:r_target ilfds in
+  let s_ext = Ilfd.Apply.extend_relation ?mode ~jobs s ~target:s_target ilfds in
   let matched, _, _ =
-    Decision.partition ~identity ~distinctness r_ext s_ext
+    Decision.partition ~jobs ~identity ~distinctness r_ext s_ext
   in
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
+  let r_key_plan = Tuple.plan r_target r_key
+  and s_key_plan = Tuple.plan s_target s_key in
   let entry_of (tr, ts) =
     {
-      Matching_table.r_key = Tuple.project r_target tr r_key;
-      s_key = Tuple.project s_target ts s_key;
+      Matching_table.r_key = Tuple.project_with r_key_plan tr;
+      s_key = Tuple.project_with s_key_plan ts;
     }
   in
   let matching_table =

@@ -30,10 +30,14 @@ type outcome = {
   unmatched_s : Relational.Tuple.t list;  (** the S′ counterpart *)
 }
 
-(** [run ?mode ~r ~s ~key ilfds].
+(** [run ?mode ?jobs ~r ~s ~key ilfds]. [jobs] (default [1]) > 1 runs
+    the ILFD extension of both relations chunked over that many domains
+    ({!Ilfd.Apply.extend_relation}); the outcome is identical for every
+    [jobs] value.
     @raise Ilfd.Apply.Conflict_found in [Check_conflicts] mode. *)
 val run :
   ?mode:Ilfd.Apply.mode ->
+  ?jobs:int ->
   r:Relational.Relation.t ->
   s:Relational.Relation.t ->
   key:Extended_key.t ->
@@ -52,11 +56,14 @@ val extension_schema :
     candidate-key values and checking uniqueness. [key] controls which
     attributes are derived into R′/S′ (pass the union of attributes your
     rules mention). Distinctness rules contribute nothing to MT but an
-    {!Decision.Inconsistent} pair raises.
+    {!Decision.Inconsistent} pair raises. [jobs] (default [1]) > 1
+    parallelises both the ILFD extension and {!Decision.partition};
+    results — including which pair raises — are identical to serial.
     @raise Decision.Inconsistent when an identity and a distinctness rule
     fire on the same pair. *)
 val run_rules :
   ?mode:Ilfd.Apply.mode ->
+  ?jobs:int ->
   identity:Rules.Identity.t list ->
   ?distinctness:Rules.Distinctness.t list ->
   r:Relational.Relation.t ->

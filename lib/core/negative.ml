@@ -13,6 +13,7 @@ let of_rules ~r ~s rules =
       {
         Blocking.blocking_key = Rules.Distinctness.blocking_key;
         applies = Rules.Distinctness.applies;
+        compile = Rules.Distinctness.compile;
       }
       rules sr rt ss st
   in

@@ -1,0 +1,52 @@
+(* Domain-based chunk executor. Stdlib-only: OCaml 5 [Domain]s over
+   contiguous index ranges, results concatenated in chunk order so every
+   caller is deterministic regardless of scheduling. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve = function
+  | None -> default_jobs ()
+  | Some j when j <= 0 -> default_jobs ()
+  | Some j -> j
+
+(* [chunk_bounds ~chunks n] — at most [chunks] contiguous [(start, stop)]
+   ranges covering [0, n) in order, sizes differing by at most one. *)
+let chunk_bounds ~chunks n =
+  let chunks = max 1 (min chunks n) in
+  let base = n / chunks and extra = n mod chunks in
+  List.init chunks (fun k ->
+      let start = (k * base) + min k extra in
+      let len = base + if k < extra then 1 else 0 in
+      (start, start + len))
+
+(* Re-raise the first chunk's exception even when several chunks failed:
+   chunks scan their ranges in ascending index order, so the error of the
+   lowest failing chunk is the error the serial scan would have hit. *)
+let rec force = function
+  | [] -> []
+  | Ok v :: rest -> v :: force rest
+  | Error e :: _ -> raise e
+
+let map_chunks ?jobs n f =
+  if n < 0 then invalid_arg "Parallel.map_chunks: negative range";
+  let jobs = resolve jobs in
+  match chunk_bounds ~chunks:jobs n with
+  | [ (start, stop) ] -> [ f ~start ~stop ]
+  | first :: rest ->
+      let guarded (start, stop) () =
+        match f ~start ~stop with v -> Ok v | exception e -> Error e
+      in
+      (* Spawn the tail chunks; the first chunk runs on this domain. All
+         domains are joined before any exception escapes. *)
+      let spawned = List.map (fun b -> Domain.spawn (guarded b)) rest in
+      let head = guarded first () in
+      let tail = List.map Domain.join spawned in
+      force (head :: tail)
+  | [] -> assert false
+
+let iter_rows ?jobs n f =
+  ignore
+    (map_chunks ?jobs n (fun ~start ~stop ->
+         for i = start to stop - 1 do
+           f i
+         done))

@@ -1,0 +1,37 @@
+(** Deterministic domain-based parallel execution over index ranges.
+
+    The identification hot loops (pair enumeration, blocking probes,
+    per-tuple ILFD extension) are independent per row: tuples are
+    immutable {!Relational.Value.t} arrays, so sharing them across
+    domains is read-only and each chunk can accumulate into private
+    state. This module owns the splitting and joining; callers supply a
+    chunk body and get results back {e in chunk order}, which makes the
+    parallel engines bit-identical to their serial reference
+    implementations.
+
+    Contract:
+    + [0, n) is split into at most [jobs] contiguous chunks whose sizes
+      differ by at most one, in ascending order;
+    + each chunk body runs on its own domain (the first on the calling
+      domain), with no shared mutable state unless the caller introduces
+      it;
+    + results are returned in chunk order, so concatenating them yields
+      the serial scan order;
+    + if chunk bodies raise, every domain is joined first and then the
+      exception of the {e lowest} failing chunk is re-raised — the one
+      the serial scan would have hit first, provided each body scans its
+      range in ascending order and stops at its first error. *)
+
+(** [default_jobs ()] is [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map_chunks ?jobs n f] — run [f ~start ~stop] over a chunking of
+    [0, n) and return the per-chunk results in chunk order. [jobs]
+    defaults to {!default_jobs}; values [<= 0] also select the default;
+    [jobs = 1] (or [n <= 1]) runs the single chunk inline, spawning no
+    domain. *)
+val map_chunks : ?jobs:int -> int -> (start:int -> stop:int -> 'a) -> 'a list
+
+(** [iter_rows ?jobs n f] — run [f i] for every [i] in [0, n), chunked as
+    in {!map_chunks}. [f] must be safe to call concurrently. *)
+val iter_rows : ?jobs:int -> int -> (int -> unit) -> unit

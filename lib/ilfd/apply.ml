@@ -159,47 +159,76 @@ let extend_tuple_compiled ?(mode = First_rule) schema tuple ~target c =
 let extend_tuple ?mode schema tuple ~target ilfds =
   extend_tuple_compiled ?mode schema tuple ~target (compile ilfds)
 
-let extend_relation ?mode r ~target ilfds =
+let extend_relation ?mode ?(jobs = 1) r ~target ilfds =
   let c = compile ilfds in
   let schema = Relational.Relation.schema r in
   let relevant = List.filter (Schema.mem schema) (relevant_attributes c) in
-  (* Source cells of the target schema, before any derivation. *)
-  let base_cells t =
+  let relevant_plan = Tuple.plan schema relevant in
+  (* Source cells of the target schema, before any derivation: source
+     positions resolved once, not per tuple. *)
+  let base_plan =
     Array.of_list
       (List.map
-         (fun (a : Schema.attribute) ->
-           match Schema.index_of_opt schema a.name with
-           | Some _ -> Tuple.get schema t a.name
-           | None -> V.Null)
+         (fun (a : Schema.attribute) -> Schema.index_of_opt schema a.name)
          (Schema.attributes target))
+  in
+  let base_cells t =
+    Array.map
+      (function Some i -> Tuple.nth t i | None -> V.Null)
+      base_plan
   in
   (* Derivations read only [relevant] attributes (antecedent conditions
      and consequent targets), so tuples agreeing on them — values and
      NULLs alike — derive the same delta. Memoise the delta (indices
-     filled in by derivation), keyed by the relevant projection. *)
-  let memo : (V.t list, (int * V.t) list) Hashtbl.t = Hashtbl.create 64 in
-  let extend t =
-    let key = List.map (fun a -> Tuple.get schema t a) relevant in
-    match Hashtbl.find_opt memo key with
-    | Some delta ->
-        let cells = base_cells t in
-        List.iter (fun (i, v) -> cells.(i) <- v) delta;
-        Tuple.of_array target cells
-    | None -> (
-        match extend_tuple_compiled ?mode schema t ~target c with
-        | Error conflict -> raise (Conflict_found conflict)
-        | Ok (extended, _) ->
-            let base = base_cells t in
-            let delta = ref [] in
-            Array.iteri
-              (fun i v ->
-                if V.is_null base.(i) && not (V.is_null v) then
-                  delta := (i, v) :: !delta)
-              (Tuple.to_array extended);
-            Hashtbl.replace memo key !delta;
-            extended)
+     filled in by derivation), keyed by the relevant projection. The memo
+     is a pure cache, so each domain can keep a private one without
+     changing any result. *)
+  let make_extender () =
+    let memo : (V.t list, (int * V.t) list) Hashtbl.t = Hashtbl.create 64 in
+    fun t ->
+      let key = Tuple.values (Tuple.project_with relevant_plan t) in
+      match Hashtbl.find_opt memo key with
+      | Some delta ->
+          let cells = base_cells t in
+          List.iter (fun (i, v) -> cells.(i) <- v) delta;
+          Tuple.of_array target cells
+      | None -> (
+          match extend_tuple_compiled ?mode schema t ~target c with
+          | Error conflict -> raise (Conflict_found conflict)
+          | Ok (extended, _) ->
+              let base = base_cells t in
+              let delta = ref [] in
+              Array.iteri
+                (fun i v ->
+                  if V.is_null base.(i) && not (V.is_null v) then
+                    delta := (i, v) :: !delta)
+                (Tuple.to_array extended);
+              Hashtbl.replace memo key !delta;
+              extended)
   in
-  let rows = List.map extend (Relational.Relation.tuples r) in
+  let rows =
+    if jobs <= 1 then
+      let extend = make_extender () in
+      List.map extend (Relational.Relation.tuples r)
+    else begin
+      (* Chunked over domains: tuples are immutable arrays, so sharing
+         is read-only; each chunk extends its rows in ascending order
+         with a private memo and stops at its first conflict, so
+         [Parallel.map_chunks] re-raises the same [Conflict_found] the
+         serial scan reports first. Chunk-order concatenation keeps the
+         relation's row order identical to the serial result. *)
+      let tuples = Array.of_list (Relational.Relation.tuples r) in
+      List.concat
+        (Parallel.map_chunks ~jobs (Array.length tuples)
+           (fun ~start ~stop ->
+             let extend = make_extender () in
+             let acc = ref [] in
+             for i = start to stop - 1 do
+               acc := extend tuples.(i) :: !acc
+             done;
+             List.rev !acc))
+    end
+  in
   Relational.Relation.of_tuples target
     ~keys:(Relational.Relation.declared_keys r)
     rows

@@ -61,16 +61,22 @@ val extend_tuple :
   Def.t list ->
   (Relational.Tuple.t * derivation list, conflict) result
 
-(** [extend_relation ?mode r ~target ilfds] maps {!extend_tuple} over a
-    relation; the result keeps [r]'s declared keys (still valid: original
-    attributes are unchanged). The family is compiled once, and
+(** [extend_relation ?mode ?jobs r ~target ilfds] maps {!extend_tuple}
+    over a relation; the result keeps [r]'s declared keys (still valid:
+    original attributes are unchanged). The family is compiled once, and
     derivations are memoised per distinct projection of a tuple onto the
     attributes the ILFDs mention — tuples agreeing there (values and
     NULLs alike) share one derivation.
+
+    [jobs] (default [1]) > 1 extends row chunks on that many domains
+    ({!Parallel.map_chunks}), each with a private memo; the rows — and,
+    in [Check_conflicts] mode, which conflict raises — are identical to
+    the serial result, and [jobs = 1] takes the exact serial code path.
     @raise Conflict_found (with the witness inside) in [Check_conflicts]
     mode when some tuple has disagreeing derivations. *)
 val extend_relation :
   ?mode:mode ->
+  ?jobs:int ->
   Relational.Relation.t ->
   target:Relational.Schema.t ->
   Def.t list ->

@@ -40,6 +40,17 @@ let set schema t name v =
 let project schema t names =
   Array.of_list (List.map (fun n -> t.(Schema.index_of schema n)) names)
 
+type plan = int array
+
+let plan schema names =
+  Array.of_list (List.map (Schema.index_of schema) names)
+
+let plan_arity = Array.length
+
+let project_with plan t = Array.map (fun i -> t.(i)) plan
+
+let nth_with plan t k = t.(plan.(k))
+
 let concat = Array.append
 
 let equal a b =
@@ -66,6 +77,15 @@ let agree sa a sb b names =
   List.for_all
     (fun n -> Value.non_null_eq (get sa a n) (get sb b n))
     names
+
+let agree_with pa pb a b =
+  if Array.length pa <> Array.length pb then
+    invalid_arg "Tuple.agree_with: plans of different arity";
+  let n = Array.length pa in
+  let rec loop k =
+    k = n || (Value.non_null_eq a.(pa.(k)) b.(pb.(k)) && loop (k + 1))
+  in
+  loop 0
 
 let pp ppf t =
   Format.fprintf ppf "(%a)"

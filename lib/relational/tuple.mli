@@ -32,6 +32,31 @@ val set : Schema.t -> t -> string -> Value.t -> t
     order (the resulting tuple conforms to [Schema.project schema names]). *)
 val project : Schema.t -> t -> string list -> t
 
+(** Compiled projection plans: attribute names resolved to positional
+    indices once, so per-tuple projection inside hot loops (hash joins,
+    blocking buckets, rule evaluation) costs array reads instead of a
+    hashtable lookup per attribute per tuple. *)
+type plan
+
+(** [plan schema names] resolves [names] against [schema] in order.
+    @raise Schema.Unknown_attribute exactly when {!Schema.index_of}
+    would on any of the names. *)
+val plan : Schema.t -> string list -> plan
+
+val plan_arity : plan -> int
+
+(** [project_with p t = project schema t names] for [p = plan schema
+    names], for every [t] conforming to [schema]. *)
+val project_with : plan -> t -> t
+
+(** [nth_with p t k] — the value of the [k]-th planned attribute. *)
+val nth_with : plan -> t -> int -> Value.t
+
+(** [agree_with pa pb a b = agree sa a sb b names] for [pa = plan sa
+    names] and [pb = plan sb names].
+    @raise Invalid_argument if the plans have different arities. *)
+val agree_with : plan -> plan -> t -> t -> bool
+
 (** [concat a b] appends values of [b] after those of [a]. *)
 val concat : t -> t -> t
 

@@ -31,6 +31,12 @@ let rank = function
   | Float _ -> 3
   | String _ -> 4
 
+(* Int/Float pairs order numerically, but a numeric tie falls through to
+   constructor rank: [compare] must agree with [equal] (which never
+   equates across constructors), or sorted structures and hashtables
+   disagree on mixed-type keys — [List.sort_uniq] would collapse
+   [Int 1] and [Float 1.] while [Hashtbl] keeps both. Numeric matching
+   semantics live in [cmp3]/[eq3], not here. *)
 let compare a b =
   match a, b with
   | Null, Null -> 0
@@ -38,8 +44,12 @@ let compare a b =
   | Float x, Float y -> Float.compare x y
   | Bool x, Bool y -> Bool.compare x y
   | String x, String y -> String.compare x y
-  | Int x, Float y -> Float.compare (float_of_int x) y
-  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Int x, Float y ->
+      let c = Float.compare (float_of_int x) y in
+      if c <> 0 then c else -1
+  | Float x, Int y ->
+      let c = Float.compare x (float_of_int y) in
+      if c <> 0 then c else 1
   | _, _ -> Int.compare (rank a) (rank b)
 
 let truth_of_bool b = if b then True else False

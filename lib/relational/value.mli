@@ -28,8 +28,15 @@ val is_null : t -> bool
     matching notion; use {!eq3} for matching semantics. *)
 val equal : t -> t -> bool
 
-(** Total order used for sorting and set operations. [Null] sorts first;
-    values of different constructors are ordered by constructor. *)
+(** Total order used for sorting and set operations, {e compatible with}
+    {!equal}: [compare a b = 0] iff [equal a b]. [Null] sorts first and
+    values of different constructors are ordered by constructor rank,
+    except that [Int]/[Float] pairs are ordered numerically with a
+    numeric tie broken by rank ([Int] before [Float]) — so [compare
+    (Int 1) (Float 1.)] is negative, not [0], keeping sorted structures
+    and hash tables in agreement on mixed-type keys. Use {!eq3}/{!cmp3}
+    for the numeric {e matching} semantics in which [Int 1] and
+    [Float 1.] are the same quantity. *)
 val compare : t -> t -> int
 
 (** Three-valued equality: [Unknown] whenever either side is [Null]. *)

@@ -53,6 +53,42 @@ let eval_all s1 t1 s2 t2 atoms =
     (fun acc atom -> V.and3 acc (eval s1 t1 s2 t2 atom))
     V.True atoms
 
+(* Compiled form of [eval_all s1 _ s2 _ atoms]: attribute names are
+   resolved against the two schemas once, so the per-pair cost inside
+   blocking loops is array reads rather than a hashtable lookup per
+   operand. An attribute absent from its schema is constant-folded to
+   NULL, as in [operand_value]. *)
+let compile s1 s2 atoms =
+  let operand = function
+    | Const v -> fun _ _ -> v
+    | Attr (Left, a) -> (
+        match Relational.Schema.index_of_opt s1 a with
+        | Some i -> fun t1 _ -> Relational.Tuple.nth t1 i
+        | None -> fun _ _ -> V.Null)
+    | Attr (Right, a) -> (
+        match Relational.Schema.index_of_opt s2 a with
+        | Some i -> fun _ t2 -> Relational.Tuple.nth t2 i
+        | None -> fun _ _ -> V.Null)
+  in
+  let compiled =
+    List.map
+      (fun atom ->
+        let lhs = operand atom.lhs and rhs = operand atom.rhs in
+        let op = atom.op in
+        fun t1 t2 -> apply op (lhs t1 t2) (rhs t1 t2))
+      atoms
+  in
+  fun t1 t2 ->
+    (* [and3] never recovers from False, so stopping early is exact. *)
+    let rec conj acc = function
+      | [] -> acc
+      | atom :: rest -> (
+          match V.and3 acc (atom t1 t2) with
+          | V.False -> V.False
+          | acc -> conj acc rest)
+    in
+    conj V.True compiled
+
 (* Union-find over operand nodes, keyed by a tagged string. *)
 let node_key = function
   | Attr (Left, a) -> "L:" ^ a

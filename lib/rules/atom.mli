@@ -52,5 +52,18 @@ val eval_all :
   t list ->
   Relational.Value.truth
 
+(** [compile s1 s2 atoms] resolves every attribute operand to its
+    positional index once; the returned closure satisfies
+    [compile s1 s2 atoms t1 t2 = eval_all s1 t1 s2 t2 atoms] for all
+    tuples conforming to the schemas. Intended for hot loops that
+    evaluate one rule against many tuple pairs. *)
+val compile :
+  Relational.Schema.t ->
+  Relational.Schema.t ->
+  t list ->
+  Relational.Tuple.t ->
+  Relational.Tuple.t ->
+  Relational.Value.truth
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

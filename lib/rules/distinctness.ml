@@ -20,6 +20,8 @@ let make ~name atoms =
 
 let applies rule s1 t1 s2 t2 = Atom.eval_all s1 t1 s2 t2 rule.atoms
 
+let compile rule s1 s2 = Atom.compile s1 s2 rule.atoms
+
 let blocking_key rule =
   match Atom.implied_equalities rule.atoms with
   | [] -> None

@@ -24,6 +24,17 @@ val applies :
   Relational.Tuple.t ->
   Relational.Value.truth
 
+(** [compile rule s1 s2] — {!applies} with the attribute lookups resolved
+    once against the schema pair ({!Atom.compile});
+    [compile rule s1 s2 t1 t2 = applies rule s1 t1 s2 t2]. *)
+val compile :
+  t ->
+  Relational.Schema.t ->
+  Relational.Schema.t ->
+  Relational.Tuple.t ->
+  Relational.Tuple.t ->
+  Relational.Value.truth
+
 val attributes : t -> string list * string list
 
 (** [blocking_key rule] — attributes whose equality is implied by the

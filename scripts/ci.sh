@@ -1,8 +1,25 @@
 #!/bin/sh
-# Minimal CI gate: build everything, then run the full test suite.
+# CI gate: build everything, run the full test suite, then run the
+# partition and parallel benches in smoke mode — their serial-vs-engine
+# agreement assertions are cheap correctness checks worth executing on
+# every commit (both exit nonzero on any disagreement; the grep is a
+# belt-and-braces check on the JSON they emit).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
+
+dune build bench/main.exe
+bench_dir=$(mktemp -d)
+(
+  cd "$bench_dir"
+  BENCH_SMOKE=1 "$OLDPWD"/_build/default/bench/main.exe partition
+  BENCH_SMOKE=1 "$OLDPWD"/_build/default/bench/main.exe parallel
+  if grep -q '"agree": false' BENCH_partition.json BENCH_parallel.json; then
+    echo "CI: bench agreement check failed" >&2
+    exit 1
+  fi
+)
+rm -rf "$bench_dir"

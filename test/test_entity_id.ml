@@ -187,7 +187,10 @@ let decision_tests =
               E.Decision.Inconsistent { identity = i; distinctness = d } ->
               Some (i.name, d.name)
         in
-        let blocked = attempt E.Decision.partition in
+        let blocked =
+          attempt (fun ~identity ~distinctness r s ->
+              E.Decision.partition ~identity ~distinctness r s)
+        in
         Alcotest.(check bool) "raises" true (Option.is_some blocked);
         Alcotest.(check bool) "same witnesses as naive" true
           (blocked = attempt E.Decision.partition_naive));
@@ -241,6 +244,86 @@ let decision_tests =
         E.Decision.partition ~identity ~distinctness o.r_extended o.s_extended
         = E.Decision.partition_naive ~identity ~distinctness o.r_extended
             o.s_extended);
+    qtest ~count:15 "parallel partition equals serial for any jobs"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        (* The executor's contract: identical lists, identical order, for
+           every jobs value — including a count that does not divide the
+           row count. *)
+        let inst =
+          Workload.Restaurant.generate
+            {
+              Workload.Restaurant.default with
+              n_entities = 15;
+              homonym_rate = 0.2;
+              null_street_rate = 0.2;
+              seed;
+            }
+        in
+        let o = E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds in
+        let identity = [ E.Extended_key.equivalence_rule inst.key ] in
+        let distinctness =
+          E.Negative.distinctness_rules_of_ilfds inst.ilfds
+        in
+        let run jobs =
+          E.Decision.partition ~jobs ~identity ~distinctness o.r_extended
+            o.s_extended
+        in
+        let reference = run 1 in
+        List.for_all (fun jobs -> run jobs = reference) [ 2; 4; 7 ]);
+    case "parallel Inconsistent raises from the row-major-first pair"
+      (fun () ->
+        (* Two conflicting pairs witnessed by different rules: (r0, s0)
+           agrees on name only, (r1, s1) on street only. The serial scan
+           hits (r0, s0) first, so every jobs value must report the
+           name rules — even though with jobs >= 2 another domain owns
+           that chunk. *)
+        let eq_rule make name attr =
+          make ~name
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left attr)
+                R.Predicate.Eq
+                (Rules.Atom.attr Rules.Atom.Right attr);
+            ]
+        in
+        let identity =
+          [
+            eq_rule Rules.Identity.make "i-street" "street";
+            eq_rule Rules.Identity.make "i-name" "name";
+          ]
+        and distinctness =
+          [
+            eq_rule Rules.Distinctness.make "d-street" "street";
+            eq_rule Rules.Distinctness.make "d-name" "name";
+          ]
+        in
+        let r =
+          relation [ "name"; "street" ] []
+            [ [ "A"; "S1" ]; [ "B"; "S2" ] ]
+        and s =
+          relation [ "name"; "street" ] []
+            [ [ "A"; "X" ]; [ "C"; "S2" ] ]
+        in
+        let witness jobs =
+          match
+            E.Decision.partition ~jobs ~identity ~distinctness r s
+          with
+          | _ -> None
+          | exception
+              E.Decision.Inconsistent { identity = i; distinctness = d } ->
+              Some (i.name, d.name)
+        in
+        Alcotest.(check (option (pair string string)))
+          "serial witness"
+          (Some ("i-name", "d-name"))
+          (witness 1);
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (option (pair string string)))
+              (Printf.sprintf "jobs=%d witness" jobs)
+              (witness 1) (witness jobs))
+          [ 2; 4; 7 ]);
   ]
 
 (* ---- Matching_table ---- *)
@@ -311,6 +394,39 @@ let matching_table_tests =
 
 let identify_tests =
   [
+    qtest ~count:10 "run and run_rules are jobs-invariant"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let inst =
+          Workload.Restaurant.generate
+            {
+              Workload.Restaurant.default with
+              n_entities = 12;
+              homonym_rate = 0.2;
+              null_street_rate = 0.2;
+              seed;
+            }
+        in
+        let same o (o' : E.Identify.outcome) =
+          o.E.Identify.pairs = o'.pairs
+          && R.Relation.tuples o.r_extended = R.Relation.tuples o'.r_extended
+          && R.Relation.tuples o.s_extended = R.Relation.tuples o'.s_extended
+          && E.Matching_table.entries o.matching_table
+             = E.Matching_table.entries o'.matching_table
+          && o.unmatched_r = o'.unmatched_r
+          && o.unmatched_s = o'.unmatched_s
+        in
+        let run jobs =
+          E.Identify.run ~jobs ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
+        in
+        let identity = [ E.Extended_key.equivalence_rule inst.key ] in
+        let run_rules jobs =
+          E.Identify.run_rules ~jobs ~identity ~r:inst.r ~s:inst.s
+            ~key:inst.key inst.ilfds
+        in
+        same (run 1) (run 3)
+        && same (run 1) (run 8)
+        && same (run_rules 1) (run_rules 3));
     case "Example 2 / Table 3: the TwinCities pair" (fun () ->
         let o =
           E.Identify.run ~r:PD.table2_r ~s:PD.table2_s ~key:PD.example2_key

@@ -99,6 +99,9 @@ let value_gen =
       [
         return V.Null;
         map V.int (int_range (-5) 5);
+        (* Floats that collide numerically with the int range, so the
+           mixed Int/Float comparisons actually get exercised. *)
+        map V.float (oneofl [ -1.; 0.; 1.; 1.5; 2. ]);
         map V.string (oneofl [ "a"; "b"; "c" ]);
         map V.bool bool;
       ])
@@ -109,6 +112,16 @@ let value_props =
     qtest "compare antisymmetric"
       QCheck2.Gen.(pair value_gen value_gen)
       (fun (a, b) -> V.compare a b = -V.compare b a);
+    qtest "compare transitive through a pivot"
+      QCheck2.Gen.(triple value_gen value_gen value_gen)
+      (fun (a, b, c) ->
+        (* sort by compare, then every adjacent pair must be <=. *)
+        match List.sort V.compare [ a; b; c ] with
+        | [ x; y; z ] -> V.compare x y <= 0 && V.compare y z <= 0
+        | _ -> false);
+    qtest "compare is zero exactly when equal"
+      QCheck2.Gen.(pair value_gen value_gen)
+      (fun (a, b) -> V.compare a b = 0 = V.equal a b);
     qtest "equal values hash equally"
       QCheck2.Gen.(pair value_gen value_gen)
       (fun (a, b) -> (not (V.equal a b)) || V.hash a = V.hash b);
@@ -116,6 +129,19 @@ let value_props =
       QCheck2.Gen.(pair value_gen value_gen)
       (fun (a, b) ->
         V.eq3 a b <> V.True || ((not (V.is_null a)) && not (V.is_null b)));
+    case "Int/Float never compare equal across constructors" (fun () ->
+        (* equal (Int 1) (Float 1.) is false, so compare must not return
+           0 — it breaks Map/Set keying if it does. Numeric order still
+           wins when the values differ. *)
+        Alcotest.(check bool) "1 vs 1." true
+          (V.compare (V.int 1) (V.float 1.) <> 0);
+        Alcotest.(check bool) "antisym" true
+          (V.compare (V.int 1) (V.float 1.)
+          = -V.compare (V.float 1.) (V.int 1));
+        Alcotest.(check bool) "1 < 1.5" true
+          (V.compare (V.int 1) (V.float 1.5) < 0);
+        Alcotest.(check bool) "2. > 1" true
+          (V.compare (V.float 2.) (V.int 1) > 0));
   ]
 
 (* ---- Schema / Tuple ---- *)
@@ -187,6 +213,35 @@ let tuple_tests =
           (R.Tuple.has_null (R.Tuple.make s [ v "1"; V.Null ]));
         Alcotest.(check bool) "" false
           (R.Tuple.has_null (R.Tuple.make s [ v "1"; v "2" ])));
+    check_raises_any "plan on a missing attribute raises like index_of"
+      (fun () -> R.Tuple.plan (R.Schema.of_names [ "a"; "b" ]) [ "a"; "z" ]);
+    qtest "plan-based projection equals name-based projection"
+      QCheck2.Gen.(
+        let names = [ "a"; "b"; "c"; "d"; "e" ] in
+        pair
+          (list_size (0 -- 4) (oneofl names))
+          (list_size (5 -- 5) small_nat))
+      (fun (wanted, cells) ->
+        let s = R.Schema.of_names [ "a"; "b"; "c"; "d"; "e" ] in
+        let t = R.Tuple.make s (List.map R.Value.int cells) in
+        let plan = R.Tuple.plan s wanted in
+        R.Tuple.plan_arity plan = List.length wanted
+        && R.Tuple.equal
+             (R.Tuple.project_with plan t)
+             (R.Tuple.project s t wanted));
+    qtest "agree_with equals agree on shared attributes"
+      QCheck2.Gen.(
+        triple
+          (list_size (1 -- 3) (oneofl [ "a"; "b"; "c" ]))
+          (list_size (3 -- 3) (oneofl [ Some 0; Some 1; None ]))
+          (list_size (3 -- 3) (oneofl [ Some 0; Some 1; None ])))
+      (fun (attrs, cells1, cells2) ->
+        let cell = function Some i -> R.Value.int i | None -> V.Null in
+        let s = R.Schema.of_names [ "a"; "b"; "c" ] in
+        let t1 = R.Tuple.make s (List.map cell cells1)
+        and t2 = R.Tuple.make s (List.map cell cells2) in
+        let p = R.Tuple.plan s attrs in
+        R.Tuple.agree_with p p t1 t2 = R.Tuple.agree s t1 s t2 attrs);
   ]
 
 (* ---- Relation ---- *)
