@@ -49,6 +49,10 @@ let best_of reps f =
   in
   go infinity reps
 
+(* Wall clocks can't tick to exactly 0 in practice, but guard the
+   quotient anyway: a nan/inf in the JSON poisons downstream tooling. *)
+let safe_speedup num den = num /. Float.max den 0.001
+
 type row = { n : int; jobs : int; ms : float; speedup : float; agree : bool }
 
 let measure n =
@@ -65,10 +69,32 @@ let measure n =
        (fun jobs ->
          let agree = partition jobs () = reference in
          let ms = best_of reps (partition jobs) in
-         { n; jobs; ms; speedup = serial_ms /. ms; agree })
+         { n; jobs; ms; speedup = safe_speedup serial_ms ms; agree })
        job_counts
 
+(* One telemetry-enabled pipeline run per job count over the restaurant
+   workload. The contract under test: every counter outside the
+   [parallel.*] namespace is identical whatever the job count — the
+   executor parallelises without changing what the pipeline computes.
+   Returns (stats json at jobs=1, invariance verdict). *)
+let stats_json () =
+  let inst = Workload.Restaurant.generate Workload.Restaurant.default in
+  let run jobs =
+    let telemetry = Telemetry.create () in
+    ignore
+      (E.Identify.run_rules ~jobs ~telemetry
+         ~identity:[ E.Extended_key.equivalence_rule inst.key ]
+         ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds);
+    telemetry
+  in
+  let serial = run 1 and parallel4 = run 4 in
+  let invariant =
+    Telemetry.counters_stable serial = Telemetry.counters_stable parallel4
+  in
+  (Telemetry.to_json serial, invariant)
+
 let json_of_rows rows =
+  let stats, stats_jobs_invariant = stats_json () in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"benchmark\": \"partition_serial_vs_parallel\",\n";
@@ -88,7 +114,11 @@ let json_of_rows rows =
            n n jobs ms speedup agree
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"stats_jobs_invariant\": %b,\n" stats_jobs_invariant);
+  Buffer.add_string buf ("  \"stats\": " ^ stats ^ "\n");
+  Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let all () =

@@ -34,6 +34,12 @@ let time_ms f =
   let t1 = Sys.time () in
   (result, (t1 -. t0) *. 1000.)
 
+(* At smoke sizes a run can complete inside one [Sys.time] tick, making
+   the denominator 0.0 and the naive quotient inf (or nan for 0/0) —
+   which then poisons the JSON table. Clamp to the clock's granularity
+   instead; speedups are meaningless below it anyway. *)
+let safe_speedup num den = num /. Float.max den 0.001
+
 (* Best of [reps] runs, heap settled before each so neither engine is
    billed for the other's garbage; results are dropped between runs.
    Both engines allocate the same O(|R|×|S|) output, so GC treatment is
@@ -67,7 +73,20 @@ let measure n =
   let reps = if n >= 1000 then 3 else 5 in
   let naive_ms = best_of reps naive in
   let blocked_ms = best_of reps blocked in
-  { n; naive_ms; blocked_ms; speedup = naive_ms /. blocked_ms; agree }
+  { n; naive_ms; blocked_ms; speedup = safe_speedup naive_ms blocked_ms; agree }
+
+(* The telemetry story for the JSON artefact: one full [run_rules] pass
+   over the restaurant workload (extended-key identity rule over the
+   ILFD-extended relations), so the stats block carries blocking,
+   partition, ILFD-memo and phase-timing numbers at once. *)
+let stats_json () =
+  let inst = Workload.Restaurant.generate Workload.Restaurant.default in
+  let telemetry = Telemetry.create () in
+  ignore
+    (E.Identify.run_rules ~telemetry
+       ~identity:[ E.Extended_key.equivalence_rule inst.key ]
+       ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds);
+  Telemetry.to_json telemetry
 
 let json_of_rows rows =
   let buf = Buffer.create 512 in
@@ -85,7 +104,9 @@ let json_of_rows rows =
            n n naive_ms blocked_ms speedup agree
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf ("  \"stats\": " ^ stats_json () ^ "\n");
+  Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let all () =

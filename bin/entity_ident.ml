@@ -58,14 +58,48 @@ let extkey_arg =
   Arg.(required & opt (some string) None & info [ "key" ] ~docv:"ATTRS"
          ~doc:"Comma-separated extended key.")
 
+(* 0 means "one domain per host core" (make -j convention); a negative
+   count is a usage error, rejected at parse time rather than silently
+   treated as "all cores". *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ ->
+        Error (`Msg "--jobs must be >= 0 (0 = one domain per host core)")
+    | None -> Error (`Msg (Printf.sprintf "invalid job count %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+  Arg.(value & opt jobs_conv 1 & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Run the identification pipeline on $(docv) domains \
-               (default 1 = serial; 0 or negative = one per host core). \
+               (default 1 = serial; 0 = one per host core). \
                The result is identical for every value.")
 
-(* 0 / negative means "ask the runtime" — mirrors make -j conventions. *)
-let resolve_jobs n = if n <= 0 then Parallel.default_jobs () else n
+(* One resolution rule for every front end: the library's. *)
+let resolve_jobs n = Parallel.resolve (Some n)
+
+let stats_arg =
+  Arg.(value
+       & opt ~vopt:(Some `Pretty)
+           (some (enum [ ("json", `Json); ("pretty", `Pretty) ]))
+           None
+       & info [ "stats" ] ~docv:"FORMAT"
+           ~doc:"Collect pipeline telemetry (phase timings, candidate-pair \
+                 reduction, memo hit rate) and print it after the normal \
+                 output; $(docv) is json or pretty (plain --stats means \
+                 pretty).")
+
+let telemetry_of = function
+  | None -> Telemetry.off
+  | Some _ -> Telemetry.create ()
+
+let print_stats fmt telemetry =
+  match fmt with
+  | None -> ()
+  | Some `Json -> print_endline (Telemetry.to_json telemetry)
+  | Some `Pretty -> Format.printf "%a@." Telemetry.pp telemetry
 
 let setup r s rk sk rules_path =
   let r = load_relation r rk and s = load_relation s sk in
@@ -93,16 +127,18 @@ let identify_cmd =
     Arg.(value & flag & info [ "explain" ]
            ~doc:"Print, for each match, the ILFD derivations behind it.")
   in
-  let run r s rk sk rules key jobs show negative check_conflicts explain =
+  let run r s rk sk rules key jobs stats show negative check_conflicts
+      explain =
     let r, s, ilfds = setup r s rk sk rules in
     let key = Entity_id.Extended_key.make (parse_key_list key) in
     let jobs = resolve_jobs jobs in
+    let telemetry = telemetry_of stats in
     let mode =
       if check_conflicts then Ilfd.Apply.Check_conflicts
       else Ilfd.Apply.First_rule
     in
     let o =
-      try Entity_id.Identify.run ~mode ~jobs ~r ~s ~key ilfds
+      try Entity_id.Identify.run ~mode ~jobs ~telemetry ~r ~s ~key ilfds
       with Ilfd.Apply.Conflict_found c ->
         Format.eprintf "entity_ident: %a@." Ilfd.Apply.pp_conflict c;
         exit 2
@@ -146,17 +182,18 @@ let identify_cmd =
       print_endline "explanations:";
       print_string
         (Entity_id.Explain.render
-           (Entity_id.Explain.matches ~r ~s ~key ilfds))
+           (Entity_id.Explain.matches ~mode ~r ~s ~key ilfds))
     end;
     let report = Entity_id.Verify.check o.matching_table in
     Format.printf "%a@." Entity_id.Verify.pp_report report;
+    print_stats stats telemetry;
     if not (Entity_id.Verify.is_sound_wrt_constraints report) then exit 1
   in
   Cmd.v
     (Cmd.info "identify" ~doc:"Run extended-key + ILFD entity identification.")
     Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
-          $ extkey_arg $ jobs_arg $ show $ negative $ check_conflicts
-          $ explain)
+          $ extkey_arg $ jobs_arg $ stats_arg $ show $ negative
+          $ check_conflicts $ explain)
 
 (* ---- closure ---- *)
 
@@ -254,11 +291,13 @@ let fuse_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"CSV"
            ~doc:"Write the fused relation to a CSV file (default: print).")
   in
-  let run r s rk sk rules key jobs policy output =
+  let run r s rk sk rules key jobs stats policy output =
     let r, s, ilfds = setup r s rk sk rules in
     let key = Entity_id.Extended_key.make (parse_key_list key) in
+    let telemetry = telemetry_of stats in
     let o =
-      Entity_id.Identify.run ~jobs:(resolve_jobs jobs) ~r ~s ~key ilfds
+      Entity_id.Identify.run ~jobs:(resolve_jobs jobs) ~telemetry ~r ~s ~key
+        ilfds
     in
     let conflicts = Entity_id.Fusion.conflicts o in
     List.iter
@@ -274,7 +313,7 @@ let fuse_cmd =
       | `Left -> Entity_id.Fusion.Prefer_left
       | `Right -> Entity_id.Fusion.Prefer_right
     in
-    match Entity_id.Fusion.fuse ~default o with
+    (match Entity_id.Fusion.fuse ~default o with
     | fused -> (
         match output with
         | Some path -> Relational.Csv_io.save fused path
@@ -283,14 +322,15 @@ let fuse_cmd =
         Format.eprintf
           "fusion failed: unresolved conflict on %s (try --policy)@."
           attribute;
-        exit 1
+        exit 1);
+    print_stats stats telemetry
   in
   Cmd.v
     (Cmd.info "fuse"
        ~doc:"Identify entities, resolve attribute-value conflicts, and \
              emit the actually-integrated relation.")
     Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
-          $ extkey_arg $ jobs_arg $ policy_arg $ output)
+          $ extkey_arg $ jobs_arg $ stats_arg $ policy_arg $ output)
 
 (* ---- session ---- *)
 

@@ -33,6 +33,7 @@ let min_conflict a b =
     if !best = max_int then None else Some (!best / a.ns, !best mod a.ns)
 
 type 'rule spec = {
+  rule_name : 'rule -> string;
   blocking_key : 'rule -> string list option;
   applies :
     'rule -> Schema.t -> Tuple.t -> Schema.t -> Tuple.t -> V.truth;
@@ -56,11 +57,17 @@ let bucket_by schema tuples attrs =
     tuples;
   tbl
 
-let fired ?(jobs = 1) spec rules sr rt ss st =
+let fired ?(jobs = 1) ?(telemetry = Telemetry.off) ?(label = "") spec rules
+    sr rt ss st =
   let set = { ns = Array.length st; fired = Itbl.create 64 } in
   let nr = Array.length rt and ns = Array.length st in
+  (* Counter namespace: "blocking" or "blocking.<label>", so the two
+     rule kinds of a partition stay distinguishable in one sink. *)
+  let pfx = if label = "" then "blocking" else "blocking." ^ label in
+  let tele_on = Telemetry.enabled telemetry in
   List.iter
     (fun rule ->
+      let fired_before = if tele_on then Itbl.length set.fired else 0 in
       (* Resolve the rule's attribute lookups against the two schemas
          once; [hits] is then pure array/hash work per candidate pair. *)
       let applies_lr = spec.compile rule sr ss
@@ -83,6 +90,8 @@ let fired ?(jobs = 1) spec rules sr rt ss st =
                buckets against S buckets and evaluate only co-bucketed
                pairs. *)
             let s_buckets = bucket_by ss st attrs in
+            Telemetry.add telemetry (pfx ^ ".buckets")
+              (Hashtbl.length s_buckets);
             let r_plan = Tuple.plan sr attrs in
             fun i k ->
               let key = Tuple.project_with r_plan rt.(i) in
@@ -104,38 +113,64 @@ let fired ?(jobs = 1) spec rules sr rt ss st =
                 k j
               done
       in
-      if jobs <= 1 then
+      (* Candidate pairs proposed (callback invocations) are a pure
+         function of the blocking structure, not of the fired set, so
+         the counter is identical serial vs chunked. The per-pair cost
+         when the sink is off is one branch on an immutable bool —
+         dwarfed by the compiled-rule evaluation it sits next to. *)
+      if jobs <= 1 then begin
         (* Serial reference path: record hits as they are found. The
            [mem] check only skips re-evaluating pairs already recorded
            by an earlier rule; within one rule no (i, j) is proposed
            twice (each row probes exactly one bucket of distinct js). *)
+        let cand = ref 0 in
         for i = 0 to nr - 1 do
           candidates i (fun j ->
+              if tele_on then incr cand;
               let id = pair_id set i j in
               if (not (Itbl.mem set.fired id)) && hits i j then
                 Itbl.replace set.fired id ())
-        done
+        done;
+        if tele_on then Telemetry.add telemetry (pfx ^ ".candidates") !cand
+      end
       else begin
         (* Parallel path: domains scan disjoint row chunks, reading the
            tuple arrays, the frozen fired set, and the rule's buckets —
            all immutable during the scan — and accumulate newly fired
-           pair ids privately. The merge happens on the calling domain
-           between rules, so the next rule sees exactly the set the
-           serial path would. *)
+           pair ids (and telemetry) privately. The merge happens on the
+           calling domain between rules, so the next rule sees exactly
+           the set the serial path would. *)
         let chunk_hits =
           Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
+              let lt = Telemetry.local telemetry in
+              let cand = ref 0 in
               let acc = ref [] in
               for i = start to stop - 1 do
                 candidates i (fun j ->
+                    if tele_on then incr cand;
                     let id = pair_id set i j in
                     if (not (Itbl.mem set.fired id)) && hits i j then
                       acc := id :: !acc)
               done;
-              !acc)
+              if tele_on then
+                Telemetry.local_add lt (pfx ^ ".candidates") !cand;
+              (!acc, lt))
         in
         List.iter
-          (List.iter (fun id -> Itbl.replace set.fired id ()))
+          (fun (ids, lt) ->
+            List.iter (fun id -> Itbl.replace set.fired id ()) ids;
+            Telemetry.merge telemetry lt)
           chunk_hits
-      end)
+      end;
+      if tele_on then
+        Telemetry.add telemetry
+          (pfx ^ ".rule." ^ spec.rule_name rule ^ ".fired")
+          (Itbl.length set.fired - fired_before))
     rules;
+  if tele_on then begin
+    Telemetry.add telemetry (pfx ^ ".fired") (Itbl.length set.fired);
+    if jobs > 1 then
+      Telemetry.add telemetry "parallel.chunks"
+        (List.length rules * Parallel.chunk_count ~jobs nr)
+  end;
   set

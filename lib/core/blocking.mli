@@ -42,8 +42,10 @@ val min_conflict : pairset -> pairset -> (int * int) option
     orientations, as rules state symmetric facts about (e1, e2).
     [compile] is the schema-resolved form used in the probe loops; it
     must satisfy [compile rule s1 s2 t1 t2 = applies rule s1 t1 s2 t2]
-    (see {!Rules.Identity.compile}). *)
+    (see {!Rules.Identity.compile}). [rule_name] labels per-rule
+    telemetry counters. *)
 type 'rule spec = {
+  rule_name : 'rule -> string;
   blocking_key : 'rule -> string list option;
   applies :
     'rule ->
@@ -66,9 +68,20 @@ type 'rule spec = {
     that many domains ({!Parallel.map_chunks}); newly fired pairs are
     accumulated privately per chunk and merged between rules, so the
     resulting set — a pure function of the inputs — is identical to the
-    serial one. [jobs = 1] (the default) is the serial reference path. *)
+    serial one. [jobs = 1] (the default) is the serial reference path.
+
+    [telemetry] (default {!Telemetry.off}) records, under
+    ["blocking.<label>"] (or plain ["blocking"] when [label] is empty):
+    [.buckets] (hash buckets built, summed over keyed rules),
+    [.candidates] (pairs actually proposed for evaluation — compare
+    with |R|×|S|), [.fired] (final pairset cardinality), and
+    [.rule.<name>.fired] per rule (pairs first recorded by that rule, in
+    rule order). All of these are identical for every [jobs] value;
+    chunk bodies accumulate into {!Telemetry.local}s merged at join. *)
 val fired :
   ?jobs:int ->
+  ?telemetry:Telemetry.t ->
+  ?label:string ->
   'rule spec ->
   'rule list ->
   Relational.Schema.t ->

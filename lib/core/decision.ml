@@ -65,14 +65,16 @@ let partition_naive ~identity ~distinctness r s =
 
 let identity_spec =
   {
-    Blocking.blocking_key = Rules.Identity.blocking_key;
+    Blocking.rule_name = (fun (rule : Rules.Identity.t) -> rule.name);
+    blocking_key = Rules.Identity.blocking_key;
     applies = Rules.Identity.applies;
     compile = Rules.Identity.compile;
   }
 
 let distinctness_spec =
   {
-    Blocking.blocking_key = Rules.Distinctness.blocking_key;
+    Blocking.rule_name = (fun (rule : Rules.Distinctness.t) -> rule.name);
+    blocking_key = Rules.Distinctness.blocking_key;
     applies = Rules.Distinctness.applies;
     compile = Rules.Distinctness.compile;
   }
@@ -116,46 +118,71 @@ let merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
     done
   done
 
-let partition ?(jobs = 1) ~identity ~distinctness r s =
+let partition ?(jobs = 1) ?(telemetry = Telemetry.off) ~identity
+    ~distinctness r s =
   let sr = Relational.Relation.schema r
   and ss = Relational.Relation.schema s in
   let rt = Array.of_list (Relational.Relation.tuples r)
   and st = Array.of_list (Relational.Relation.tuples s) in
-  let m = Blocking.fired ~jobs identity_spec identity sr rt ss st in
-  let d = Blocking.fired ~jobs distinctness_spec distinctness sr rt ss st in
+  let m =
+    Telemetry.span telemetry "partition.block.identity" (fun () ->
+        Blocking.fired ~jobs ~telemetry ~label:"identity" identity_spec
+          identity sr rt ss st)
+  in
+  let d =
+    Telemetry.span telemetry "partition.block.distinctness" (fun () ->
+        Blocking.fired ~jobs ~telemetry ~label:"distinctness"
+          distinctness_spec distinctness sr rt ss st)
+  in
   let nr = Array.length rt in
+  Telemetry.add telemetry "partition.pairs" (nr * Array.length st);
   (* Enumerate all pairs in row-major order, merging against the (sorted,
      sparse) fired lists with integer compares — cheaper per pair than a
      hash lookup, and the dominant cost at scale. *)
-  let m_rows = Blocking.row_lists m ~nr
-  and d_rows = Blocking.row_lists d ~nr in
-  if jobs <= 1 then begin
-    let matched = ref [] and distinct = ref [] and unknown = ref [] in
-    merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows ~matched
-      ~distinct ~unknown 0 nr;
-    (List.rev !matched, List.rev !distinct, List.rev !unknown)
-  end
-  else begin
-    (* An inconsistent pair must raise from the row-major-minimal
-       conflict — the pair the serial scan hits first — not from
-       whichever chunk happens to reach one, so detect it up front
-       against the fired sets and let [decide] raise with the same
-       witnessing rules. *)
-    (match Blocking.min_conflict m d with
-    | Some (i, j) ->
-        ignore (decide ~identity ~distinctness sr rt.(i) ss st.(j));
-        assert false
-    | None -> ());
-    let chunks =
-      Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
-          let matched = ref [] and distinct = ref [] and unknown = ref [] in
-          merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
-            ~matched ~distinct ~unknown start stop;
-          (List.rev !matched, List.rev !distinct, List.rev !unknown))
-    in
-    (* Chunks cover ascending row ranges, so in-chunk-order concatenation
-       restores exactly the serial row-major output. *)
-    ( List.concat_map (fun (m, _, _) -> m) chunks,
-      List.concat_map (fun (_, d, _) -> d) chunks,
-      List.concat_map (fun (_, _, u) -> u) chunks )
-  end
+  let result =
+    Telemetry.span telemetry "partition.merge" @@ fun () ->
+    let m_rows = Blocking.row_lists m ~nr
+    and d_rows = Blocking.row_lists d ~nr in
+    if jobs <= 1 then begin
+      let matched = ref [] and distinct = ref [] and unknown = ref [] in
+      merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows ~matched
+        ~distinct ~unknown 0 nr;
+      (List.rev !matched, List.rev !distinct, List.rev !unknown)
+    end
+    else begin
+      (* An inconsistent pair must raise from the row-major-minimal
+         conflict — the pair the serial scan hits first — not from
+         whichever chunk happens to reach one, so detect it up front
+         against the fired sets and let [decide] raise with the same
+         witnessing rules. *)
+      (match Blocking.min_conflict m d with
+      | Some (i, j) ->
+          ignore (decide ~identity ~distinctness sr rt.(i) ss st.(j));
+          assert false
+      | None -> ());
+      Telemetry.add telemetry "parallel.chunks"
+        (Parallel.chunk_count ~jobs nr);
+      let chunks =
+        Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
+            let matched = ref [] and distinct = ref [] and unknown = ref [] in
+            merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
+              ~matched ~distinct ~unknown start stop;
+            (List.rev !matched, List.rev !distinct, List.rev !unknown))
+      in
+      (* Chunks cover ascending row ranges, so in-chunk-order
+         concatenation restores exactly the serial row-major output. *)
+      ( List.concat_map (fun (m, _, _) -> m) chunks,
+        List.concat_map (fun (_, d, _) -> d) chunks,
+        List.concat_map (fun (_, _, u) -> u) chunks )
+    end
+  in
+  (* Verdict counts are read off the finished lists — no accounting on
+     the per-pair path, and [List.length] runs only when the sink is
+     live. *)
+  if Telemetry.enabled telemetry then begin
+    let matched, distinct, unknown = result in
+    Telemetry.add telemetry "partition.matched" (List.length matched);
+    Telemetry.add telemetry "partition.distinct" (List.length distinct);
+    Telemetry.add telemetry "partition.undetermined" (List.length unknown)
+  end;
+  result

@@ -46,9 +46,18 @@ val decide :
     bit-identical to the serial engine's, and an inconsistency raises
     from the row-major-minimal conflicting pair ({!Blocking.min_conflict})
     with the same witnessing rules the serial scan reports. [jobs = 1]
-    takes the exact serial code path. *)
+    takes the exact serial code path.
+
+    [telemetry] (default {!Telemetry.off}) records the
+    [partition.block.identity] / [partition.block.distinctness] /
+    [partition.merge] spans, the [partition.pairs] (naive |R|×|S|) and
+    [partition.matched] / [partition.distinct] / [partition.undetermined]
+    counters, the per-kind blocking counters ({!Blocking.fired}), and
+    [parallel.chunks] (chunk utilisation; the one counter that varies
+    with [jobs] — everything else is jobs-invariant). *)
 val partition :
   ?jobs:int ->
+  ?telemetry:Telemetry.t ->
   identity:Rules.Identity.t list ->
   distinctness:Rules.Distinctness.t list ->
   Relational.Relation.t ->

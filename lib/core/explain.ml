@@ -16,15 +16,19 @@ let find_by_key rel key_attrs key_tuple =
       Tuple.equal (Tuple.project (Relation.schema rel) t key_attrs) key_tuple)
     rel
 
-let derivations_of rel key ilfds tuple =
+let derivations_of ?mode rel key ilfds tuple =
   let schema = Relation.schema rel in
   let target = Identify.extension_schema rel key in
-  match Ilfd.Apply.extend_tuple schema tuple ~target ilfds with
+  match Ilfd.Apply.extend_tuple ?mode schema tuple ~target ilfds with
   | Ok (extended, derivations) -> (extended, derivations)
-  | Error _ -> assert false (* First_rule mode reports no conflicts *)
+  | Error conflict ->
+      (* Check_conflicts mode: surface the disagreeing derivations the
+         same way the extension pipeline does, witness attached, instead
+         of dying on an assertion. *)
+      raise (Ilfd.Apply.Conflict_found conflict)
 
-let matches ~r ~s ~key ilfds =
-  let outcome = Identify.run ~r ~s ~key ilfds in
+let matches ?mode ~r ~s ~key ilfds =
+  let outcome = Identify.run ?mode ~r ~s ~key ilfds in
   let kext = Extended_key.attributes key in
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
   List.filter_map
@@ -34,8 +38,8 @@ let matches ~r ~s ~key ilfds =
           find_by_key s s_key entry.s_key )
       with
       | Some tr, Some ts ->
-          let r_ext, r_derivations = derivations_of r key ilfds tr in
-          let _, s_derivations = derivations_of s key ilfds ts in
+          let r_ext, r_derivations = derivations_of ?mode r key ilfds tr in
+          let _, s_derivations = derivations_of ?mode s key ilfds ts in
           let target = Identify.extension_schema r key in
           let key_values =
             List.map (fun a -> (a, Tuple.get target r_ext a)) kext

@@ -18,9 +18,15 @@ type explanation = {
   s_derivations : Ilfd.Apply.derivation list;
 }
 
-(** [matches ~r ~s ~key ilfds] — one explanation per matched pair, in
-    matching-table order (re-runs the pipeline capturing derivations). *)
+(** [matches ?mode ~r ~s ~key ilfds] — one explanation per matched pair,
+    in matching-table order (re-runs the pipeline capturing derivations).
+    [mode] (default [First_rule]) is the derivation mode, matching the
+    run being explained.
+    @raise Ilfd.Apply.Conflict_found in [Check_conflicts] mode when some
+    tuple's derivations disagree — the same witness the identification
+    pipeline itself reports for that instance. *)
 val matches :
+  ?mode:Ilfd.Apply.mode ->
   r:Relational.Relation.t ->
   s:Relational.Relation.t ->
   key:Extended_key.t ->

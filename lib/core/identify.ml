@@ -30,41 +30,65 @@ let extension_schema relation key =
   in
   Schema.concat schema (Schema.of_names missing)
 
-let run ?mode ?(jobs = 1) ~r ~s ~key ilfds =
+(* The NULL-key / violation / pair accounting shared by [run] and
+   [run_rules]; counter costs (List.length) are paid only when the sink
+   is live. *)
+let count_outcome telemetry o =
+  if Telemetry.enabled telemetry then begin
+    Telemetry.add telemetry "identify.pairs" (List.length o.pairs);
+    Telemetry.add telemetry "identify.unmatched_r" (List.length o.unmatched_r);
+    Telemetry.add telemetry "identify.unmatched_s" (List.length o.unmatched_s);
+    Telemetry.add telemetry "identify.violations" (List.length o.violations)
+  end;
+  o
+
+let run ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) ~r ~s ~key ilfds =
   let r_target = extension_schema r key
   and s_target = extension_schema s key in
-  let r_ext = Ilfd.Apply.extend_relation ?mode ~jobs r ~target:r_target ilfds in
-  let s_ext = Ilfd.Apply.extend_relation ?mode ~jobs s ~target:s_target ilfds in
+  let r_ext =
+    Telemetry.span telemetry "identify.extend_r" (fun () ->
+        Ilfd.Apply.extend_relation ?mode ~jobs ~telemetry r ~target:r_target
+          ilfds)
+  in
+  let s_ext =
+    Telemetry.span telemetry "identify.extend_s" (fun () ->
+        Ilfd.Apply.extend_relation ?mode ~jobs ~telemetry s ~target:s_target
+          ilfds)
+  in
   let kext = Extended_key.attributes key in
   let r_kext = Tuple.plan r_target kext
   and s_kext = Tuple.plan s_target kext in
-  (* Hash-join R′ and S′ on K_Ext; tuples with any NULL key value never
-     match (non_null_eq). Buckets are built with one probe per tuple and
-     reversed once after the pass, not once per lookup. *)
-  let buckets = Hashtbl.create (max 16 (Relation.cardinality s_ext)) in
-  Relation.iter
-    (fun ts ->
-      let k = Tuple.project_with s_kext ts in
-      if not (Tuple.has_null k) then begin
-        let key = Tuple.values k in
-        match Hashtbl.find_opt buckets key with
-        | Some partners -> partners := ts :: !partners
-        | None -> Hashtbl.add buckets key (ref [ ts ])
-      end)
-    s_ext;
-  Hashtbl.iter (fun _ partners -> partners := List.rev !partners) buckets;
+  let pairs =
+    Telemetry.span telemetry "identify.join" @@ fun () ->
+    (* Hash-join R′ and S′ on K_Ext; tuples with any NULL key value never
+       match (non_null_eq). Buckets are built with one probe per tuple
+       and reversed once after the pass, not once per lookup. *)
+    let buckets = Hashtbl.create (max 16 (Relation.cardinality s_ext)) in
+    Relation.iter
+      (fun ts ->
+        let k = Tuple.project_with s_kext ts in
+        if not (Tuple.has_null k) then begin
+          let key = Tuple.values k in
+          match Hashtbl.find_opt buckets key with
+          | Some partners -> partners := ts :: !partners
+          | None -> Hashtbl.add buckets key (ref [ ts ])
+        end)
+      s_ext;
+    Hashtbl.iter (fun _ partners -> partners := List.rev !partners) buckets;
+    Telemetry.add telemetry "identify.join.buckets" (Hashtbl.length buckets);
+    let pairs = ref [] in
+    Relation.iter
+      (fun tr ->
+        let k = Tuple.project_with r_kext tr in
+        if not (Tuple.has_null k) then
+          match Hashtbl.find_opt buckets (Tuple.values k) with
+          | Some partners ->
+              List.iter (fun ts -> pairs := (tr, ts) :: !pairs) !partners
+          | None -> ())
+      r_ext;
+    List.rev !pairs
+  in
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
-  let pairs = ref [] in
-  Relation.iter
-    (fun tr ->
-      let k = Tuple.project_with r_kext tr in
-      if not (Tuple.has_null k) then
-        match Hashtbl.find_opt buckets (Tuple.values k) with
-        | Some partners ->
-            List.iter (fun ts -> pairs := (tr, ts) :: !pairs) !partners
-        | None -> ())
-    r_ext;
-  let pairs = List.rev !pairs in
   let r_key_plan = Tuple.plan r_target r_key
   and s_key_plan = Tuple.plan s_target s_key in
   let entry_of (tr, ts) =
@@ -77,26 +101,35 @@ let run ?mode ?(jobs = 1) ~r ~s ~key ilfds =
     Matching_table.make ~r_key_attrs:r_key ~s_key_attrs:s_key
       (List.map entry_of pairs)
   in
-  {
-    r_extended = r_ext;
-    s_extended = s_ext;
-    matching_table;
-    violations = Matching_table.uniqueness_violations matching_table;
-    pairs;
-    unmatched_r = null_key_tuples r_target r_ext kext;
-    unmatched_s = null_key_tuples s_target s_ext kext;
-  }
+  count_outcome telemetry
+    {
+      r_extended = r_ext;
+      s_extended = s_ext;
+      matching_table;
+      violations = Matching_table.uniqueness_violations matching_table;
+      pairs;
+      unmatched_r = null_key_tuples r_target r_ext kext;
+      unmatched_s = null_key_tuples s_target s_ext kext;
+    }
 
 let is_verified o = o.violations = []
 
-let run_rules ?mode ?(jobs = 1) ~identity ?(distinctness = []) ~r ~s ~key
-    ilfds =
+let run_rules ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) ~identity
+    ?(distinctness = []) ~r ~s ~key ilfds =
   let r_target = extension_schema r key
   and s_target = extension_schema s key in
-  let r_ext = Ilfd.Apply.extend_relation ?mode ~jobs r ~target:r_target ilfds in
-  let s_ext = Ilfd.Apply.extend_relation ?mode ~jobs s ~target:s_target ilfds in
+  let r_ext =
+    Telemetry.span telemetry "identify.extend_r" (fun () ->
+        Ilfd.Apply.extend_relation ?mode ~jobs ~telemetry r ~target:r_target
+          ilfds)
+  in
+  let s_ext =
+    Telemetry.span telemetry "identify.extend_s" (fun () ->
+        Ilfd.Apply.extend_relation ?mode ~jobs ~telemetry s ~target:s_target
+          ilfds)
+  in
   let matched, _, _ =
-    Decision.partition ~jobs ~identity ~distinctness r_ext s_ext
+    Decision.partition ~jobs ~telemetry ~identity ~distinctness r_ext s_ext
   in
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
   let r_key_plan = Tuple.plan r_target r_key
@@ -112,12 +145,13 @@ let run_rules ?mode ?(jobs = 1) ~identity ?(distinctness = []) ~r ~s ~key
       (List.map entry_of matched)
   in
   let kext = Extended_key.attributes key in
-  {
-    r_extended = r_ext;
-    s_extended = s_ext;
-    matching_table;
-    violations = Matching_table.uniqueness_violations matching_table;
-    pairs = matched;
-    unmatched_r = null_key_tuples r_target r_ext kext;
-    unmatched_s = null_key_tuples s_target s_ext kext;
-  }
+  count_outcome telemetry
+    {
+      r_extended = r_ext;
+      s_extended = s_ext;
+      matching_table;
+      violations = Matching_table.uniqueness_violations matching_table;
+      pairs = matched;
+      unmatched_r = null_key_tuples r_target r_ext kext;
+      unmatched_s = null_key_tuples s_target s_ext kext;
+    }

@@ -30,14 +30,22 @@ type outcome = {
   unmatched_s : Relational.Tuple.t list;  (** the S′ counterpart *)
 }
 
-(** [run ?mode ?jobs ~r ~s ~key ilfds]. [jobs] (default [1]) > 1 runs
-    the ILFD extension of both relations chunked over that many domains
-    ({!Ilfd.Apply.extend_relation}); the outcome is identical for every
-    [jobs] value.
+(** [run ?mode ?jobs ?telemetry ~r ~s ~key ilfds]. [jobs] (default [1])
+    > 1 runs the ILFD extension of both relations chunked over that many
+    domains ({!Ilfd.Apply.extend_relation}); the outcome is identical
+    for every [jobs] value.
+
+    [telemetry] (default {!Telemetry.off}) records the
+    [identify.extend_r] / [identify.extend_s] / [identify.join] spans,
+    the [identify.pairs] / [identify.unmatched_r] / [identify.unmatched_s]
+    / [identify.violations] / [identify.join.buckets] counters, and the
+    ILFD extension counters ({!Ilfd.Apply.extend_relation}). Everything
+    outside the [parallel.*] namespace is identical for every [jobs].
     @raise Ilfd.Apply.Conflict_found in [Check_conflicts] mode. *)
 val run :
   ?mode:Ilfd.Apply.mode ->
   ?jobs:int ->
+  ?telemetry:Telemetry.t ->
   r:Relational.Relation.t ->
   s:Relational.Relation.t ->
   key:Extended_key.t ->
@@ -59,11 +67,14 @@ val extension_schema :
     {!Decision.Inconsistent} pair raises. [jobs] (default [1]) > 1
     parallelises both the ILFD extension and {!Decision.partition};
     results — including which pair raises — are identical to serial.
+    [telemetry] additionally collects the {!Decision.partition} blocking
+    counters (candidate-pair reduction vs the cross product).
     @raise Decision.Inconsistent when an identity and a distinctness rule
     fire on the same pair. *)
 val run_rules :
   ?mode:Ilfd.Apply.mode ->
   ?jobs:int ->
+  ?telemetry:Telemetry.t ->
   identity:Rules.Identity.t list ->
   ?distinctness:Rules.Distinctness.t list ->
   r:Relational.Relation.t ->

@@ -9,6 +9,7 @@ type t = {
   key : Extended_key.t;
   ilfds : Ilfd.t list;
   mode : Ilfd.Apply.mode;  (** derivation mode, applied to every insert *)
+  telemetry : Telemetry.t;  (** sink charged by every insertion *)
   r_target : Schema.t;
   s_target : Schema.t;
   r_ext : Tuple.t list;  (** reverse insertion order *)
@@ -16,6 +17,11 @@ type t = {
   r_index : Index.t;  (** extended R tuples on K_Ext *)
   s_index : Index.t;
   pairs : (Tuple.t * Tuple.t) list;  (** reverse order, extended tuples *)
+  unmatched_r : Tuple.t list;
+      (** extended R tuples whose K_Ext projection still carries a NULL —
+          the same accounting as {!Identify.outcome.unmatched_r}, kept
+          incrementally (reverse insertion order) *)
+  unmatched_s : Tuple.t list;
 }
 
 let kext t = Extended_key.attributes t.key
@@ -32,8 +38,8 @@ let matching_table t =
     ~s_key_attrs:(Relation.primary_key t.s)
     (List.rev_map (entry_of t) t.pairs)
 
-let of_outcome ?(mode = Ilfd.Apply.First_rule) ~r ~s ~key ~ilfds
-    (o : Identify.outcome) =
+let of_outcome ?(mode = Ilfd.Apply.First_rule) ?(telemetry = Telemetry.off)
+    ~r ~s ~key ~ilfds (o : Identify.outcome) =
   let r_target = Relation.schema o.r_extended in
   let s_target = Relation.schema o.s_extended in
   let kext = Extended_key.attributes key in
@@ -43,6 +49,7 @@ let of_outcome ?(mode = Ilfd.Apply.First_rule) ~r ~s ~key ~ilfds
     key;
     ilfds;
     mode;
+    telemetry;
     r_target;
     s_target;
     r_ext = List.rev (Relation.tuples o.r_extended);
@@ -50,10 +57,14 @@ let of_outcome ?(mode = Ilfd.Apply.First_rule) ~r ~s ~key ~ilfds
     r_index = Index.build o.r_extended kext;
     s_index = Index.build o.s_extended kext;
     pairs = List.rev o.pairs;
+    unmatched_r = List.rev o.unmatched_r;
+    unmatched_s = List.rev o.unmatched_s;
   }
 
-let create ?(mode = Ilfd.Apply.First_rule) ~r ~s ~key ilfds =
-  of_outcome ~mode ~r ~s ~key ~ilfds (Identify.run ~mode ~r ~s ~key ilfds)
+let create ?(mode = Ilfd.Apply.First_rule) ?(telemetry = Telemetry.off) ~r ~s
+    ~key ilfds =
+  of_outcome ~mode ~telemetry ~r ~s ~key ~ilfds
+    (Identify.run ~mode ~telemetry ~r ~s ~key ilfds)
 
 let extend_one t schema tuple ~target =
   match Ilfd.Apply.extend_tuple ~mode:t.mode schema tuple ~target t.ilfds with
@@ -63,7 +74,14 @@ let extend_one t schema tuple ~target =
          same way the batch pipeline does. *)
       raise (Ilfd.Apply.Conflict_found conflict)
 
+(* One insertion's worth of accounting; shared by both sides. *)
+let count_insert t ~probe_null ~pairs_added =
+  Telemetry.incr t.telemetry "incremental.inserts";
+  Telemetry.add t.telemetry "incremental.pairs_added" pairs_added;
+  if probe_null then Telemetry.incr t.telemetry "incremental.null_key"
+
 let insert_r t tuple =
+  Telemetry.span t.telemetry "incremental.insert" @@ fun () ->
   let r = Relation.add t.r tuple in
   let extended = extend_one t (Relation.schema t.r) tuple ~target:t.r_target in
   let partners = Index.lookup_tuple t.s_index t.r_target extended in
@@ -75,6 +93,7 @@ let insert_r t tuple =
   let new_pairs =
     if probe_null then [] else List.map (fun ts -> (extended, ts)) partners
   in
+  count_insert t ~probe_null ~pairs_added:(List.length new_pairs);
   let t' =
     {
       t with
@@ -82,11 +101,14 @@ let insert_r t tuple =
       r_ext = extended :: t.r_ext;
       r_index = Index.add t.r_index t.r_target extended;
       pairs = List.rev_append new_pairs t.pairs;
+      unmatched_r =
+        (if probe_null then extended :: t.unmatched_r else t.unmatched_r);
     }
   in
   (t', List.map (entry_of t') new_pairs)
 
 let insert_s t tuple =
+  Telemetry.span t.telemetry "incremental.insert" @@ fun () ->
   let s = Relation.add t.s tuple in
   let extended = extend_one t (Relation.schema t.s) tuple ~target:t.s_target in
   let partners = Index.lookup_tuple t.r_index t.s_target extended in
@@ -96,6 +118,7 @@ let insert_s t tuple =
   let new_pairs =
     if probe_null then [] else List.map (fun tr -> (tr, extended)) partners
   in
+  count_insert t ~probe_null ~pairs_added:(List.length new_pairs);
   let t' =
     {
       t with
@@ -103,23 +126,25 @@ let insert_s t tuple =
       s_ext = extended :: t.s_ext;
       s_index = Index.add t.s_index t.s_target extended;
       pairs = List.rev_append new_pairs t.pairs;
+      unmatched_s =
+        (if probe_null then extended :: t.unmatched_s else t.unmatched_s);
     }
   in
   (t', List.map (entry_of t') new_pairs)
 
 let add_ilfd t ilfd =
-  create ~mode:t.mode ~r:t.r ~s:t.s ~key:t.key (t.ilfds @ [ ilfd ])
+  create ~mode:t.mode ~telemetry:t.telemetry ~r:t.r ~s:t.s ~key:t.key
+    (t.ilfds @ [ ilfd ])
 
 let r t = t.r
 let s t = t.s
+let unmatched_r t = List.rev t.unmatched_r
+let unmatched_s t = List.rev t.unmatched_s
 
 let violations t = Matching_table.uniqueness_violations (matching_table t)
 
 let outcome t =
   let mt = matching_table t in
-  let null_key schema tuple =
-    Relational.Tuple.has_null (Tuple.project schema tuple (kext t))
-  in
   {
     Identify.r_extended =
       Relation.of_tuples t.r_target
@@ -132,6 +157,6 @@ let outcome t =
     matching_table = mt;
     violations = Matching_table.uniqueness_violations mt;
     pairs = List.rev t.pairs;
-    unmatched_r = List.filter (null_key t.r_target) (List.rev t.r_ext);
-    unmatched_s = List.filter (null_key t.s_target) (List.rev t.s_ext);
+    unmatched_r = List.rev t.unmatched_r;
+    unmatched_s = List.rev t.unmatched_s;
   }

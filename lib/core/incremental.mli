@@ -17,14 +17,21 @@
 
 type t
 
-(** [create ?mode ~r ~s ~key ilfds] — initial state from existing
-    relations. [mode] (default [First_rule]) governs ILFD derivation for
-    the initial run and every subsequent insertion; in [Check_conflicts]
-    mode, an insertion whose derivations disagree raises
-    {!Ilfd.Apply.Conflict_found} with the witness instead of silently
-    taking the first rule. *)
+(** [create ?mode ?telemetry ~r ~s ~key ilfds] — initial state from
+    existing relations. [mode] (default [First_rule]) governs ILFD
+    derivation for the initial run and every subsequent insertion; in
+    [Check_conflicts] mode, an insertion whose derivations disagree
+    raises {!Ilfd.Apply.Conflict_found} with the witness instead of
+    silently taking the first rule.
+
+    [telemetry] (default {!Telemetry.off}) is stored on the state: the
+    initial batch run charges the {!Identify.run} counters, and every
+    subsequent insertion charges the [incremental.insert] span plus the
+    [incremental.inserts] / [incremental.pairs_added] /
+    [incremental.null_key] counters. *)
 val create :
   ?mode:Ilfd.Apply.mode ->
+  ?telemetry:Telemetry.t ->
   r:Relational.Relation.t ->
   s:Relational.Relation.t ->
   key:Extended_key.t ->
@@ -50,6 +57,15 @@ val add_ilfd : t -> Ilfd.t -> t
 val matching_table : t -> Matching_table.t
 val r : t -> Relational.Relation.t
 val s : t -> Relational.Relation.t
+
+(** [unmatched_r t] — extended R tuples whose K_Ext projection still
+    carries a NULL, maintained incrementally as tuples arrive (same
+    accounting as {!Identify.outcome}'s [unmatched_r], in insertion
+    order). These are the tuples the extended-key join can never match;
+    [incremental.null_key] counts them when telemetry is live. *)
+val unmatched_r : t -> Relational.Tuple.t list
+
+val unmatched_s : t -> Relational.Tuple.t list
 
 (** [violations t] — uniqueness violations accumulated so far; a sound
     configuration keeps this empty as data arrives. *)

@@ -11,7 +11,8 @@ let of_rules ~r ~s rules =
   let d =
     Blocking.fired
       {
-        Blocking.blocking_key = Rules.Distinctness.blocking_key;
+        Blocking.rule_name = (fun (rule : Rules.Distinctness.t) -> rule.name);
+        blocking_key = Rules.Distinctness.blocking_key;
         applies = Rules.Distinctness.applies;
         compile = Rules.Distinctness.compile;
       }

@@ -19,6 +19,11 @@ let chunk_bounds ~chunks n =
       let len = base + if k < extra then 1 else 0 in
       (start, start + len))
 
+(* How many chunks a [map_chunks ?jobs n] call actually uses — the
+   telemetry "chunk utilisation" number. Mirrors [chunk_bounds]'s
+   clamping without materialising the bounds. *)
+let chunk_count ?jobs n = max 1 (min (resolve jobs) n)
+
 (* Re-raise the first chunk's exception even when several chunks failed:
    chunks scan their ranges in ascending index order, so the error of the
    lowest failing chunk is the error the serial scan would have hit. *)

@@ -25,6 +25,16 @@
 (** [default_jobs ()] is [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int
 
+(** [resolve jobs] — the effective job count: [None] and values [<= 0]
+    select {!default_jobs}; positive values pass through. The single
+    resolution rule every front end (CLI included) should reuse. *)
+val resolve : int option -> int
+
+(** [chunk_count ?jobs n] — how many chunks {!map_chunks} with the same
+    arguments would use: [max 1 (min (resolve jobs) n)]. Exposed for
+    telemetry (chunk utilisation). *)
+val chunk_count : ?jobs:int -> int -> int
+
 (** [map_chunks ?jobs n f] — run [f ~start ~stop] over a chunking of
     [0, n) and return the per-chunk results in chunk order. [jobs]
     defaults to {!default_jobs}; values [<= 0] also select the default;

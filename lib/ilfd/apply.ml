@@ -159,7 +159,9 @@ let extend_tuple_compiled ?(mode = First_rule) schema tuple ~target c =
 let extend_tuple ?mode schema tuple ~target ilfds =
   extend_tuple_compiled ?mode schema tuple ~target (compile ilfds)
 
-let extend_relation ?mode ?(jobs = 1) r ~target ilfds =
+let extend_relation ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) r ~target
+    ilfds =
+  Telemetry.span telemetry "ilfd.extend" @@ fun () ->
   let c = compile ilfds in
   let schema = Relational.Relation.schema r in
   let relevant = List.filter (Schema.mem schema) (relevant_attributes c) in
@@ -229,6 +231,45 @@ let extend_relation ?mode ?(jobs = 1) r ~target ilfds =
              List.rev !acc))
     end
   in
+  (* Telemetry is measured after the fact so the extension loop itself
+     carries no instrumentation cost when the sink is off. Memo hits are
+     reported canonically — tuples minus distinct derivation classes
+     (distinct relevant projections), i.e. what the serial single-memo
+     scan would observe — so the counters are identical for every [jobs]
+     value even though each domain keeps a private memo. *)
+  if Telemetry.enabled telemetry then begin
+    let sources = Relational.Relation.tuples r in
+    let n = List.length sources in
+    let classes = Hashtbl.create (max 16 n) in
+    List.iter
+      (fun t ->
+        Hashtbl.replace classes
+          (Tuple.values (Tuple.project_with relevant_plan t))
+          ())
+      sources;
+    let n_classes = Hashtbl.length classes in
+    let derived_cells =
+      List.fold_left2
+        (fun acc source extended ->
+          let base = base_cells source in
+          let filled = ref 0 in
+          Array.iteri
+            (fun i b ->
+              if V.is_null b && not (V.is_null (Tuple.nth extended i)) then
+                Stdlib.incr filled)
+            base;
+          acc + !filled)
+        0 sources rows
+    in
+    Telemetry.add telemetry "ilfd.tuples" n;
+    Telemetry.add telemetry "ilfd.memo_misses" n_classes;
+    Telemetry.add telemetry "ilfd.memo_hits" (n - n_classes);
+    Telemetry.add telemetry "ilfd.derivations" derived_cells;
+    if mode = Some Check_conflicts then
+      Telemetry.add telemetry "ilfd.conflict_checks" n_classes;
+    if jobs > 1 then
+      Telemetry.add telemetry "parallel.chunks" (Parallel.chunk_count ~jobs n)
+  end;
   Relational.Relation.of_tuples target
     ~keys:(Relational.Relation.declared_keys r)
     rows

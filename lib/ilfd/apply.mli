@@ -72,11 +72,21 @@ val extend_tuple :
     ({!Parallel.map_chunks}), each with a private memo; the rows — and,
     in [Check_conflicts] mode, which conflict raises — are identical to
     the serial result, and [jobs = 1] takes the exact serial code path.
+
+    [telemetry] (default {!Telemetry.off}) records the [ilfd.extend]
+    span and the [ilfd.tuples] / [ilfd.memo_hits] / [ilfd.memo_misses] /
+    [ilfd.derivations] (cells filled in) / [ilfd.conflict_checks]
+    counters. Memo hits are reported {e canonically} — tuples minus
+    distinct derivation classes, what a single shared memo would see —
+    so every counter is identical for every [jobs] value; measurement is
+    entirely post-hoc, so a disabled sink costs nothing on the per-tuple
+    path.
     @raise Conflict_found (with the witness inside) in [Check_conflicts]
     mode when some tuple has disagreeing derivations. *)
 val extend_relation :
   ?mode:mode ->
   ?jobs:int ->
+  ?telemetry:Telemetry.t ->
   Relational.Relation.t ->
   target:Relational.Schema.t ->
   Def.t list ->

@@ -23,6 +23,13 @@ let evaluate ~truth mt =
          declared_entries)
   in
   let truth_size = List.length truth in
+  (* Empty-edge conventions (every quotient below must stay finite —
+     these feed straight into bench tables):
+     - declared = 0: nothing claimed, nothing wrong — precision 1 by
+       convention (and recall 0 unless truth is empty too);
+     - truth = 0: nothing to find — recall 1 by convention;
+     - both empty: P = R = F1 = 1, the vacuous perfect score;
+     - P + R = 0: F1's quotient is 0/0 — define F1 = 0. *)
   let precision =
     if declared = 0 then 1.0 else float_of_int correct /. float_of_int declared
   in

@@ -11,6 +11,13 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 
+# The metric edge cases (empty truth / empty declaration must never
+# produce nan) and the telemetry contract run as part of `dune runtest`
+# above; run them by name too so a narrowed test filter can't silently
+# drop them.
+dune exec test/test_workload.exe -- test metrics
+dune exec test/test_telemetry.exe
+
 dune build bench/main.exe
 bench_dir=$(mktemp -d)
 (
@@ -20,6 +27,45 @@ bench_dir=$(mktemp -d)
   if grep -q '"agree": false' BENCH_partition.json BENCH_parallel.json; then
     echo "CI: bench agreement check failed" >&2
     exit 1
+  fi
+  # The stats-enabled artefacts must be well-formed JSON with no
+  # non-finite numbers and the keys downstream tooling reads.
+  for f in BENCH_partition.json BENCH_parallel.json; do
+    if grep -Eq '(^|[^a-zA-Z])(nan|inf)' "$f"; then
+      echo "CI: non-finite number in $f" >&2
+      exit 1
+    fi
+  done
+  if command -v python3 > /dev/null; then
+    python3 - <<'EOF'
+import json, sys
+
+for path in ("BENCH_partition.json", "BENCH_parallel.json"):
+    with open(path) as f:
+        doc = json.load(f)  # raises on malformed JSON
+    for key in ("results", "stats"):
+        if key not in doc:
+            sys.exit(f"CI: {path} is missing the {key!r} object")
+    stats = doc["stats"]
+    for key in ("counters", "spans", "derived"):
+        if key not in stats:
+            sys.exit(f"CI: {path} stats block is missing {key!r}")
+    def walk(x):
+        if isinstance(x, float) and (x != x or abs(x) == float("inf")):
+            sys.exit(f"CI: non-finite number in {path}")
+        if isinstance(x, dict):
+            for v in x.values():
+                walk(v)
+        elif isinstance(x, list):
+            for v in x:
+                walk(v)
+    walk(doc)
+
+doc = json.load(open("BENCH_parallel.json"))
+if doc.get("stats_jobs_invariant") is not True:
+    sys.exit("CI: telemetry counters differ between job counts")
+print("CI: bench JSON artefacts are well-formed")
+EOF
   fi
 )
 rm -rf "$bench_dir"

@@ -152,10 +152,18 @@ let incremental_tests =
         Alcotest.(check int) "" 4
           (E.Matching_table.cardinality (E.Incremental.matching_table t)));
     case "insertion with underivable key attrs matches nothing" (fun () ->
+        let telemetry = Telemetry.create () in
         let t =
-          E.Incremental.create ~r:PD.table5_r ~s:PD.table5_s
+          E.Incremental.create ~telemetry ~r:PD.table5_r ~s:PD.table5_s
             ~key:PD.example3_key PD.ilfds_i1_i8
         in
+        (* Example 3 ships two R tuples whose speciality no ILFD reaches
+           (the TwinCities Indian/Vietnamese rows) — the initial batch
+           accounting must already show them. *)
+        let before_r = List.length (E.Incremental.unmatched_r t) in
+        Alcotest.(check int) "initial unmatched_r" 2 before_r;
+        Alcotest.(check int) "initial unmatched_s" 0
+          (List.length (E.Incremental.unmatched_s t));
         let r_tuple =
           R.Tuple.make
             (R.Relation.schema PD.table5_r)
@@ -164,7 +172,19 @@ let incremental_tests =
         let t, created = E.Incremental.insert_r t r_tuple in
         Alcotest.(check int) "" 0 (List.length created);
         Alcotest.(check int) "table unchanged" 3
-          (E.Matching_table.cardinality (E.Incremental.matching_table t)));
+          (E.Matching_table.cardinality (E.Incremental.matching_table t));
+        (* No ILFD derives its speciality, so its K_Ext stays NULL: the
+           tuple must surface in the unmatched accounting, not vanish. *)
+        Alcotest.(check int) "one more unmatched R tuple" (before_r + 1)
+          (List.length (E.Incremental.unmatched_r t));
+        Alcotest.(check int) "unmatched_s untouched" 0
+          (List.length (E.Incremental.unmatched_s t));
+        Alcotest.(check int) "null_key counter" 1
+          (Telemetry.counter telemetry "incremental.null_key");
+        Alcotest.(check int) "inserts counter" 1
+          (Telemetry.counter telemetry "incremental.inserts");
+        Alcotest.(check int) "pairs_added counter" 0
+          (Telemetry.counter telemetry "incremental.pairs_added"));
     check_raises_any "key violation surfaces on insert" (fun () ->
         let t =
           E.Incremental.create ~r:PD.table5_r ~s:PD.table5_s
@@ -195,9 +215,16 @@ let incremental_tests =
     qtest ~count:10 "random insert order equals batch"
       QCheck2.Gen.(int_range 0 10_000)
       (fun seed ->
+        (* NULL streets leave some specialities underivable, so the
+           NULL-key (unmatched) accounting is non-trivially exercised. *)
         let inst =
           Workload.Restaurant.generate
-            { Workload.Restaurant.default with n_entities = 20; seed }
+            {
+              Workload.Restaurant.default with
+              n_entities = 20;
+              null_street_rate = 0.25;
+              seed;
+            }
         in
         (* Start empty, stream all tuples in, compare with batch. *)
         let empty_r =
@@ -224,9 +251,13 @@ let incremental_tests =
         let batch =
           E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
         in
+        (* The NULL-key accounting must agree tuple-for-tuple, not just
+           the matches. *)
         mt_entries_equal
           (E.Incremental.matching_table t)
-          batch.matching_table);
+          batch.matching_table
+        && E.Incremental.unmatched_r t = batch.unmatched_r
+        && E.Incremental.unmatched_s t = batch.unmatched_s);
     case "outcome integrates like batch" (fun () ->
         let t =
           E.Incremental.create ~r:PD.table5_r ~s:PD.table5_s
@@ -723,6 +754,33 @@ let explain_tests =
                      (E.Explain.prove_derivation PD.ilfds_i1_i8 s_schema ts d)))
               e.s_derivations)
           es);
+    case "check-conflicts explanation reports the witness" (fun () ->
+        (* Regression: a conflicting instance used to kill the explainer
+           with [assert false]; it must raise [Conflict_found] with the
+           disagreeing derivations attached, like the pipeline itself. *)
+        let explain mode =
+          E.Explain.matches ?mode
+            ~r:(relation [ "name" ] [ [ "name" ] ] [ [ "alpha" ] ])
+            ~s:
+              (relation
+                 [ "name"; "cuisine" ]
+                 [ [ "name" ] ]
+                 [ [ "alpha"; "first" ] ])
+            ~key:(E.Extended_key.make [ "name"; "cuisine" ])
+            [
+              Ilfd.parse "name = alpha -> cuisine = first";
+              Ilfd.parse "name = alpha -> cuisine = second";
+            ]
+        in
+        (match explain (Some Ilfd.Apply.Check_conflicts) with
+        | _ -> Alcotest.fail "Conflict_found expected"
+        | exception Ilfd.Apply.Conflict_found c ->
+            Alcotest.(check string) "attribute" "cuisine" c.attribute;
+            Alcotest.(check string) "first" "first" (V.to_string c.first);
+            Alcotest.(check string) "second" "second" (V.to_string c.second));
+        (* First-rule (cut) semantics still explains the same instance. *)
+        Alcotest.(check int) "first-rule explains" 1
+          (List.length (explain None)));
     case "render mentions rules and values" (fun () ->
         let es =
           E.Explain.matches ~r:PD.table2_r ~s:PD.table2_s

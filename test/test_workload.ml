@@ -241,6 +241,33 @@ let metrics_tests =
         let bad = mt [ entry "1" "a"; entry "9" "z" ] in
         Alcotest.(check int) "" 1
           (List.length (W.Metrics.soundness_violations ~truth bad)));
+    case "all empty is the vacuous perfect score" (fun () ->
+        let m = W.Metrics.evaluate ~truth:[] (mt []) in
+        Alcotest.(check (float 0.0001)) "precision" 1.0 m.precision;
+        Alcotest.(check (float 0.0001)) "recall" 1.0 m.recall;
+        Alcotest.(check (float 0.0001)) "f1" 1.0 m.f1);
+    case "empty truth with declared entries" (fun () ->
+        (* Nothing to find, but matches were declared anyway: recall is
+           vacuously 1, precision 0, and F1 must come out 0 — not nan. *)
+        let m = W.Metrics.evaluate ~truth:[] (mt [ entry "1" "a" ]) in
+        Alcotest.(check (float 0.0001)) "precision" 0.0 m.precision;
+        Alcotest.(check (float 0.0001)) "recall" 1.0 m.recall;
+        Alcotest.(check (float 0.0001)) "f1" 0.0 m.f1);
+    qtest ~count:50 "metrics are always finite"
+      QCheck2.Gen.(
+        pair (list_size (0 -- 4) (int_range 0 3))
+          (list_size (0 -- 4) (int_range 0 3)))
+      (fun (declared, truth) ->
+        let to_entries = List.map (fun i -> entry (string_of_int i) "s") in
+        let m =
+          W.Metrics.evaluate ~truth:(to_entries truth)
+            (mt
+               (List.sort_uniq compare declared
+               |> List.map (fun i -> entry (string_of_int i) "s")))
+        in
+        Float.is_finite m.precision
+        && Float.is_finite m.recall
+        && Float.is_finite m.f1);
   ]
 
 let () =
