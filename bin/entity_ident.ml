@@ -7,6 +7,8 @@
      mine       mine candidate ILFDs from a relation instance
      fuse       identify + resolve attribute-value conflicts -> one CSV
      session    replay the paper's Section 6 Prolog session on given data
+     check      differential/metamorphic correctness harness (seeded)
+     soak       long-running check with progress reporting
 
    A rules file holds one ILFD per line in the concrete syntax
    "attr = value & attr = value -> attr = value"; blank lines and lines
@@ -350,11 +352,130 @@ let session_cmd =
     Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
           $ extkey_arg)
 
+(* ---- check / soak ---- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+         ~doc:"First scenario seed; scenario $(i,i) uses seed N+i, so a \
+               failing seed replays alone with --seed SEED --scenarios 1.")
+
+let fault_conv =
+  let parse s =
+    match Checker.Oracle.fault_of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown fault %S (one of: %s)" s
+                (String.concat ", "
+                   (List.map Checker.Oracle.fault_to_string
+                      Checker.Oracle.all_faults))))
+  in
+  Arg.conv
+    (parse, fun ppf f -> Format.pp_print_string ppf
+                           (Checker.Oracle.fault_to_string f))
+
+let fault_arg =
+  Arg.(value & opt fault_conv Checker.Oracle.No_fault
+       & info [ "fault" ] ~docv:"FAULT"
+           ~doc:"Inject a seeded engine fault (mutation sanity check): the \
+                 harness must catch it. One of none, broken-blocking-key, \
+                 drop-last-pair, lost-insert.")
+
+let shrink_arg =
+  Arg.(value & opt ~vopt:true bool true & info [ "shrink" ] ~docv:"BOOL"
+         ~doc:"Greedily minimise each counterexample before printing it \
+               (default true; --shrink=false prints the raw scenario).")
+
+let corpus_arg =
+  Arg.(value & opt (some file) None & info [ "corpus" ] ~docv:"FILE"
+         ~doc:"Also replay every seed listed in $(docv) (one integer per \
+               line, # comments) before the --seed/--scenarios range.")
+
+let max_failures_arg =
+  Arg.(value & opt int 1 & info [ "max-failures" ] ~docv:"M"
+         ~doc:"Stop after $(docv) counterexamples (default 1; 0 = collect \
+               them all).")
+
+let run_checker ~progress seed scenarios fault shrink corpus max_failures
+    stats =
+  let corpus_seeds =
+    match corpus with
+    | None -> []
+    | Some path -> (
+        match Checker.Harness.load_corpus path with
+        | Ok seeds -> seeds
+        | Error msg ->
+            Format.eprintf "entity_ident: %s@." msg;
+            exit 2)
+  in
+  let seeds =
+    corpus_seeds @ Checker.Harness.seed_range ~seed ~scenarios
+  in
+  let telemetry = telemetry_of stats in
+  let max_failures = if max_failures = 0 then None else Some max_failures in
+  let progress =
+    if not progress then None
+    else begin
+      let every = max 1 (List.length seeds / 20) in
+      Some
+        (fun ~scenario ~total ~failures ->
+          if scenario mod every = 0 || scenario = total then
+            Format.eprintf "checker: scenario %d/%d, %d counterexample(s)@."
+              scenario total failures)
+    end
+  in
+  let outcome =
+    Checker.Harness.run ~fault ~shrink ~telemetry ?progress ?max_failures
+      ~seeds ()
+  in
+  Format.printf "%a@." Checker.Harness.pp_outcome outcome;
+  print_stats stats telemetry;
+  if not (Checker.Harness.ok outcome) then exit 1
+
+let check_cmd =
+  let scenarios_arg =
+    Arg.(value & opt int 100 & info [ "scenarios" ] ~docv:"K"
+           ~doc:"Number of generated scenarios (default 100).")
+  in
+  let run seed scenarios fault shrink corpus max_failures stats =
+    run_checker ~progress:false seed scenarios fault shrink corpus
+      max_failures stats
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the differential/metamorphic correctness harness: every \
+             engine (naive, blocked, parallel, incremental, rule-driven, \
+             clustering) must agree on every seeded scenario, constraints \
+             and metamorphic laws must hold, and any counterexample is \
+             shrunk to a minimal replayable scenario. Exits 1 on a \
+             counterexample.")
+    Term.(const run $ seed_arg $ scenarios_arg $ fault_arg $ shrink_arg
+          $ corpus_arg $ max_failures_arg $ stats_arg)
+
+let soak_cmd =
+  let scenarios_arg =
+    Arg.(value & opt int 1000 & info [ "scenarios" ] ~docv:"K"
+           ~doc:"Number of generated scenarios (default 1000).")
+  in
+  let run seed scenarios fault shrink corpus max_failures stats =
+    run_checker ~progress:true seed scenarios fault shrink corpus
+      max_failures stats
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Long-running check: same harness, more scenarios, with \
+             progress counters on stderr (add --stats for the telemetry \
+             report).")
+    Term.(const run $ seed_arg $ scenarios_arg $ fault_arg $ shrink_arg
+          $ corpus_arg $ max_failures_arg $ stats_arg)
+
 let main =
   Cmd.group
     (Cmd.info "entity_ident" ~version:"1.0.0"
        ~doc:"Entity identification in database integration (Lim et al., \
              ICDE 1993).")
-    [ identify_cmd; closure_cmd; cover_cmd; mine_cmd; fuse_cmd; session_cmd ]
+    [ identify_cmd; closure_cmd; cover_cmd; mine_cmd; fuse_cmd; session_cmd;
+      check_cmd; soak_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,9 @@
+(* Facade: the correctness harness — deterministic scenario generation
+   ({!Scenario}), the differential/metamorphic oracle ({!Oracle}),
+   greedy counterexample minimisation ({!Shrink}) and the check/soak
+   driver ({!Harness}). *)
+
+module Scenario = Scenario
+module Oracle = Oracle
+module Shrink = Shrink
+module Harness = Harness

@@ -1,0 +1,98 @@
+type failure = {
+  seed : int;
+  scenario : Scenario.t;
+  discrepancy : Oracle.discrepancy;
+  shrunk : (Scenario.t * Oracle.discrepancy * Shrink.stats) option;
+}
+
+type outcome = { scenarios_run : int; failures : failure list }
+
+let ok o = o.failures = []
+
+let seed_range ~seed ~scenarios = List.init scenarios (fun i -> seed + i)
+
+let load_corpus path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec loop acc lineno =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | line -> (
+                let line =
+                  match String.index_opt line '#' with
+                  | Some i -> String.sub line 0 i
+                  | None -> line
+                in
+                match String.trim line with
+                | "" -> loop acc (lineno + 1)
+                | body -> (
+                    match int_of_string_opt body with
+                    | Some seed -> loop (seed :: acc) (lineno + 1)
+                    | None ->
+                        Error
+                          (Printf.sprintf "%s:%d: not a seed: %S" path lineno
+                             body)))
+          in
+          loop [] 1)
+
+let run ?(fault = Oracle.No_fault) ?(shrink = true)
+    ?(telemetry = Telemetry.off) ?progress ?max_failures ~seeds () =
+  let total = List.length seeds in
+  let failures = ref [] and ran = ref 0 in
+  (try
+     List.iteri
+       (fun i seed ->
+         (match max_failures with
+         | Some m when List.length !failures >= m -> raise Exit
+         | _ -> ());
+         incr ran;
+         Telemetry.incr telemetry "checker.scenarios";
+         let scenario = Scenario.generate ~seed in
+         (match Oracle.run ~fault ~telemetry scenario with
+         | Ok () -> ()
+         | Error discrepancy ->
+             Telemetry.incr telemetry "checker.failures";
+             let shrunk =
+               if shrink then
+                 Some
+                   (Telemetry.span telemetry "checker.shrink" (fun () ->
+                        Shrink.minimise ~fault ~telemetry scenario discrepancy))
+               else None
+             in
+             failures := { seed; scenario; discrepancy; shrunk } :: !failures);
+         match progress with
+         | Some f ->
+             f ~scenario:(i + 1) ~total ~failures:(List.length !failures)
+         | None -> ())
+       seeds
+   with Exit -> ());
+  { scenarios_run = !ran; failures = List.rev !failures }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v>seed %d: %a@," f.seed Oracle.pp_discrepancy
+    f.discrepancy;
+  (match f.shrunk with
+  | Some (sc, d, st) ->
+      Format.fprintf ppf
+        "shrunk to %d tuples + %d ILFDs (%d/%d removals kept): %a@,%a"
+        (Scenario.size sc)
+        (List.length sc.Scenario.ilfds)
+        st.Shrink.kept st.Shrink.attempts Oracle.pp_discrepancy d Scenario.pp
+        sc
+  | None -> Format.fprintf ppf "%a" Scenario.pp f.scenario);
+  Format.fprintf ppf "@]"
+
+let pp_outcome ppf o =
+  if ok o then
+    Format.fprintf ppf "checker: %d scenarios, all engines agree"
+      o.scenarios_run
+  else begin
+    Format.fprintf ppf "@[<v>checker: %d scenarios, %d counterexamples@,"
+      o.scenarios_run (List.length o.failures);
+    List.iter (fun f -> Format.fprintf ppf "%a@," pp_failure f) o.failures;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,49 @@
+(** The check/soak driver: generate seeds, run the oracle, shrink
+    failures, report.
+
+    One scenario per seed; a counterexample report carries the seed (so
+    [check --seed N --scenarios 1] replays it exactly), the original
+    scenario, the discrepancy, and — when shrinking is on — the minimal
+    scenario still exhibiting it. *)
+
+type failure = {
+  seed : int;
+  scenario : Scenario.t;
+  discrepancy : Oracle.discrepancy;
+  shrunk : (Scenario.t * Oracle.discrepancy * Shrink.stats) option;
+}
+
+type outcome = { scenarios_run : int; failures : failure list }
+
+val ok : outcome -> bool
+
+(** [seed_range ~seed ~scenarios] — [seed, seed+1, …] ([scenarios] of
+    them): the seed list [check --seed N --scenarios K] walks, so any
+    single failing scenario replays from its own printed seed. *)
+val seed_range : seed:int -> scenarios:int -> int list
+
+(** [load_corpus path] — regression seeds from a text file: one integer
+    per line; blank lines and [#] comments ignored. *)
+val load_corpus : string -> (int list, string) result
+
+(** [run ?fault ?shrink ?telemetry ?progress ?max_failures ~seeds ()].
+    [shrink] defaults to [true]. [max_failures] (default unlimited)
+    stops the sweep early once that many counterexamples are in hand.
+    [progress] is called after every scenario. [telemetry] charges the
+    [checker.scenarios] / [checker.failures] counters, the
+    [checker.oracle] and [checker.shrink] spans, and the shrinker's
+    counters. *)
+val run :
+  ?fault:Oracle.fault ->
+  ?shrink:bool ->
+  ?telemetry:Telemetry.t ->
+  ?progress:(scenario:int -> total:int -> failures:int -> unit) ->
+  ?max_failures:int ->
+  seeds:int list ->
+  unit ->
+  outcome
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** Summary line plus every failure's report. *)
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,53 @@
+(** The differential/metamorphic oracle: one scenario, every engine, one
+    verdict.
+
+    A scenario is pushed through the whole engine matrix — per-tuple vs
+    memoised ILFD extension, the naive reference join, the blocked
+    partition, the parallel executor, the rule-driven matcher, the
+    incremental replay, k-ary clustering — and through the metamorphic
+    transformations (ILFD prefixes, tuple removal, tuple-order
+    permutation, attribute relabeling). The first check that fails
+    yields a {!discrepancy}; checks run in a fixed order so the failing
+    check's name is a stable identity the shrinker can preserve.
+
+    Constraint-level expectations (uniqueness, MT/NMT consistency,
+    soundness against the generator's ground truth) only apply when the
+    scenario is {!Scenario.t.strict}; the differential checks apply
+    always — corrupted inputs have no "right" answer, but every engine
+    must still give the {e same} answer. *)
+
+(** A seeded mutation: a deliberately wrong engine variant the harness
+    must catch (the mutation sanity check). [No_fault] runs the real
+    code. *)
+type fault =
+  | No_fault
+  | Broken_blocking_key
+      (** the engine's matching join keys on only the {e first}
+          extended-key attribute — homonyms and underived tuples
+          over-match *)
+  | Drop_last_pair
+      (** the engine's matching table silently loses its last entry *)
+  | Lost_insert
+      (** the incremental replay drops every 7th insertion *)
+
+val all_faults : fault list
+val fault_to_string : fault -> string
+val fault_of_string : string -> fault option
+
+type discrepancy = {
+  check : string;  (** stable check name, e.g. ["verdict-tables"] *)
+  detail : string;  (** human-readable evidence *)
+}
+
+val pp_discrepancy : Format.formatter -> discrepancy -> unit
+
+(** [run ?fault ?telemetry scenario] — [Ok ()] when every check passes.
+    Engine exceptions other than the ones a check expects are converted
+    into an ["exception"] discrepancy rather than escaping, so the
+    shrinker can minimise crashes too. [telemetry] charges the
+    [checker.oracle] span. *)
+val run :
+  ?fault:fault ->
+  ?telemetry:Telemetry.t ->
+  Scenario.t ->
+  (unit, discrepancy) result

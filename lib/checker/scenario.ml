@@ -1,0 +1,206 @@
+module R = Relational
+module V = R.Value
+module Rng = Workload.Rng
+module Restaurant = Workload.Restaurant
+module Pools = Workload.Pools
+
+type corruption = {
+  weak_key : bool;
+  conflict_rules : int;
+  duplicates : int;
+  swap_rate : float;
+  check_conflicts : bool;
+}
+
+type t = {
+  seed : int;
+  config : Restaurant.config;
+  corruption : corruption;
+  r : R.Relation.t;
+  s : R.Relation.t;
+  key : Entity_id.Extended_key.t;
+  ilfds : Ilfd.t list;
+  truth : Entity_id.Matching_table.entry list;
+  strict : bool;
+}
+
+(* Swap speciality and county inside selected S tuples. The two value
+   pools are disjoint, so a swapped key (name, county-value) cannot
+   collide with an untouched (name, speciality) key; two swapped
+   homonyms sharing a county still could, so keys are tracked and a
+   colliding swap is skipped. *)
+let swap_fields rng rate s =
+  if rate <= 0.0 then s
+  else begin
+    let schema = R.Relation.schema s in
+    let spec_i = R.Schema.index_of schema "speciality"
+    and county_i = R.Schema.index_of schema "county"
+    and name_i = R.Schema.index_of schema "name" in
+    let used = Hashtbl.create 16 in
+    R.Relation.iter
+      (fun t ->
+        Hashtbl.replace used (R.Tuple.nth t name_i, R.Tuple.nth t spec_i) ())
+      s;
+    let rows =
+      List.map
+        (fun t ->
+          if not (Rng.bool rng rate) then t
+          else begin
+            let a = R.Tuple.to_array t in
+            let key = (a.(name_i), a.(county_i)) in
+            if Hashtbl.mem used key then t
+            else begin
+              Hashtbl.remove used (a.(name_i), a.(spec_i));
+              Hashtbl.replace used key ();
+              let sp = a.(spec_i) in
+              a.(spec_i) <- a.(county_i);
+              a.(county_i) <- sp;
+              R.Tuple.of_array schema a
+            end
+          end)
+        (R.Relation.tuples s)
+    in
+    match
+      R.Relation.of_tuples schema ~keys:(R.Relation.declared_keys s) rows
+    with
+    | swapped -> swapped
+    | exception R.Relation.Key_violation _ -> s
+  end
+
+(* Clone [count] random R tuples under a cuisine fresh for that name:
+   key-valid fake entities. Their derived speciality is the donor's, so
+   the full extended key can never match them against S (the cuisine
+   disagrees with every derivation) — pure noise unless the key is
+   weakened. *)
+let inject_duplicates rng count r =
+  if count = 0 || R.Relation.is_empty r then r
+  else begin
+    let schema = R.Relation.schema r in
+    let name_i = R.Schema.index_of schema "name"
+    and cuisine_i = R.Schema.index_of schema "cuisine" in
+    let used = Hashtbl.create 16 in
+    R.Relation.iter
+      (fun t ->
+        Hashtbl.replace used
+          (R.Tuple.nth t name_i, R.Tuple.nth t cuisine_i)
+          ())
+      r;
+    let tuples = Array.of_list (R.Relation.tuples r) in
+    let extra = ref [] in
+    for _ = 1 to count do
+      let donor = Rng.choice rng tuples in
+      let name = R.Tuple.nth donor name_i in
+      let candidates =
+        Array.to_list Pools.cuisines
+        |> List.filter (fun c -> not (Hashtbl.mem used (name, V.string c)))
+      in
+      match candidates with
+      | [] -> ()
+      | cs ->
+          let cuisine = V.string (List.nth cs (Rng.below rng (List.length cs))) in
+          Hashtbl.replace used (name, cuisine) ();
+          let a = R.Tuple.to_array donor in
+          a.(cuisine_i) <- cuisine;
+          extra := R.Tuple.of_array schema a :: !extra
+    done;
+    match
+      R.Relation.of_tuples schema
+        ~keys:(R.Relation.declared_keys r)
+        (R.Relation.tuples r @ List.rev !extra)
+    with
+    | widened -> widened
+    | exception R.Relation.Key_violation _ -> r
+  end
+
+(* ILFDs that contradict the hidden speciality→cuisine structure,
+   appended after the true rules so first-rule derivation is unchanged
+   but conflict checking has something to find. *)
+let conflict_ilfds rng count =
+  List.init count (fun _ ->
+      let sp, cu = Rng.choice rng Pools.speciality_cuisine in
+      let rec wrong () =
+        let c = Rng.choice rng Pools.cuisines in
+        if String.equal c cu then wrong () else c
+      in
+      Ilfd.make1
+        [ Ilfd.condition "speciality" (V.string sp) ]
+        "cuisine"
+        (V.string (wrong ())))
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let config =
+    {
+      Restaurant.n_entities = 4 + Rng.below rng 22;
+      r_coverage = 0.7 +. (0.3 *. Rng.float rng);
+      s_coverage = 0.7 +. (0.3 *. Rng.float rng);
+      homonym_rate = 0.3 *. Rng.float rng;
+      spec_ilfd_coverage = 0.5 +. (0.5 *. Rng.float rng);
+      entity_ilfd_coverage = 0.5 +. (0.5 *. Rng.float rng);
+      street_ilfd_coverage = 0.5 +. (0.5 *. Rng.float rng);
+      null_street_rate = 0.3 *. Rng.float rng;
+      typo_rate = 0.25 *. Rng.float rng;
+      seed = Rng.next rng;
+    }
+  in
+  let conflict_rules = if Rng.bool rng 0.2 then 1 + Rng.below rng 3 else 0 in
+  let corruption =
+    {
+      weak_key = Rng.bool rng 0.15;
+      conflict_rules;
+      duplicates = (if Rng.bool rng 0.2 then 1 + Rng.below rng 2 else 0);
+      swap_rate = (if Rng.bool rng 0.25 then 0.3 *. Rng.float rng else 0.0);
+      check_conflicts = conflict_rules > 0 && Rng.bool rng 0.5;
+    }
+  in
+  let inst = Restaurant.generate config in
+  let r = inject_duplicates rng corruption.duplicates inst.r in
+  let s = swap_fields rng corruption.swap_rate inst.s in
+  let key =
+    if corruption.weak_key then Entity_id.Extended_key.make [ "name" ]
+    else inst.key
+  in
+  let ilfds = inst.ilfds @ conflict_ilfds rng corruption.conflict_rules in
+  {
+    seed;
+    config;
+    corruption;
+    r;
+    s;
+    key;
+    ilfds;
+    truth = inst.truth;
+    strict = (not corruption.weak_key) && corruption.conflict_rules = 0;
+  }
+
+let with_instance t ~r ~s ~ilfds = { t with r; s; ilfds }
+
+let size t = R.Relation.cardinality t.r + R.Relation.cardinality t.s
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>scenario seed=%d (replay: check --seed %d --scenarios 1)@," t.seed
+    t.seed;
+  Format.fprintf ppf
+    "  base: entities=%d r_cov=%.2f s_cov=%.2f homonym=%.2f null_street=%.2f \
+     typo=%.2f ilfd_cov=(%.2f,%.2f,%.2f)@,"
+    t.config.n_entities t.config.r_coverage t.config.s_coverage
+    t.config.homonym_rate t.config.null_street_rate t.config.typo_rate
+    t.config.spec_ilfd_coverage t.config.entity_ilfd_coverage
+    t.config.street_ilfd_coverage;
+  Format.fprintf ppf
+    "  corruption: weak_key=%b conflict_rules=%d duplicates=%d \
+     swap_rate=%.2f check_conflicts=%b strict=%b@,"
+    t.corruption.weak_key t.corruption.conflict_rules t.corruption.duplicates
+    t.corruption.swap_rate t.corruption.check_conflicts t.strict;
+  Format.fprintf ppf "  extended key: %a@," Entity_id.Extended_key.pp t.key;
+  Format.fprintf ppf "%s@,"
+    (R.Pretty.render ~title:(Printf.sprintf "R (%d tuples)"
+                               (R.Relation.cardinality t.r))
+       t.r);
+  Format.fprintf ppf "%s@,"
+    (R.Pretty.render ~title:(Printf.sprintf "S (%d tuples)"
+                               (R.Relation.cardinality t.s))
+       t.s);
+  Format.fprintf ppf "  ILFDs (%d):@," (List.length t.ilfds);
+  List.iter (fun i -> Format.fprintf ppf "    %s@," (Ilfd.to_string i)) t.ilfds;
+  Format.fprintf ppf "@]"

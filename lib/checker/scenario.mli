@@ -1,0 +1,71 @@
+(** Seedable scenario generation for the correctness harness.
+
+    A scenario is a complete identification problem — paired relations,
+    an extended key, an ILFD family — produced deterministically from a
+    single integer seed. The base instance comes from the restaurant
+    workload ({!Workload.Restaurant}, which already models typos, NULLed
+    key attributes and homonyms); on top of it the generator draws a
+    {e corruption model}: swapped fields, duplicate injection, an
+    under-specified (weak) extended key, and ILFD-violating conflict
+    rules. Corruptions that can legitimately break the paper's
+    constraints (weak keys, conflicting rules) clear the [strict] flag so
+    the oracle knows which expectations still apply; every scenario,
+    strict or not, is still subject to the differential checks (all
+    engines must agree on whatever the answer is). *)
+
+type corruption = {
+  weak_key : bool;
+      (** use a name-only extended key: homonyms then produce genuine
+          uniqueness violations all engines must agree on *)
+  conflict_rules : int;
+      (** ILFDs contradicting the instance's true rules, appended after
+          them (first-rule semantics keeps derivations stable; the
+          conflict-checking paths must all report the same witness) *)
+  duplicates : int;
+      (** extra R tuples cloned from real ones under a fresh cuisine —
+          key-valid noise that must never match *)
+  swap_rate : float;
+      (** probability an S tuple has speciality and county swapped —
+          field-transposition dirt that defeats derivation *)
+  check_conflicts : bool;
+      (** also exercise [Check_conflicts] mode agreement on this
+          scenario *)
+}
+
+type t = {
+  seed : int;
+  config : Workload.Restaurant.config;  (** base-instance parameters *)
+  corruption : corruption;
+  r : Relational.Relation.t;
+  s : Relational.Relation.t;
+  key : Entity_id.Extended_key.t;
+  ilfds : Ilfd.t list;
+  truth : Entity_id.Matching_table.entry list;
+      (** true key pairs of the {e uncorrupted} instance; consulted only
+          when [strict] *)
+  strict : bool;
+      (** uniqueness, MT/NMT consistency and soundness-vs-truth are
+          expected to hold (no weak key, no conflict rules) *)
+}
+
+(** [generate ~seed] — the scenario for this seed. Deterministic: equal
+    seeds yield structurally equal scenarios. *)
+val generate : seed:int -> t
+
+(** [with_instance t ~r ~s ~ilfds] — [t] with a reduced instance
+    substituted (the shrinker's rebuild step). Seed, corruption flags and
+    expectations are preserved. *)
+val with_instance :
+  t ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  ilfds:Ilfd.t list ->
+  t
+
+(** [size t] — [|R| + |S|], the tuple count minimisation is measured on. *)
+val size : t -> int
+
+(** [pp] — a replayable dump: the seed, the drawn configuration, both
+    relations and the rule list. This is what a counterexample report
+    embeds. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+module R = Relational
+
+type stats = { attempts : int; kept : int }
+
+let remove_nth n = List.filteri (fun i _ -> i <> n)
+
+let rebuild rel rows =
+  R.Relation.of_tuples (R.Relation.schema rel)
+    ~keys:(R.Relation.declared_keys rel)
+    rows
+
+let minimise ?(fault = Oracle.No_fault) ?(telemetry = Telemetry.off) sc0
+    (d0 : Oracle.discrepancy) =
+  let attempts = ref 0 and kept = ref 0 in
+  let still_fails (sc : Scenario.t) =
+    incr attempts;
+    Telemetry.incr telemetry "checker.shrink.attempts";
+    match Oracle.run ~fault sc with
+    | Error d when String.equal d.Oracle.check d0.check ->
+        incr kept;
+        Telemetry.incr telemetry "checker.shrink.kept";
+        Some d
+    | Ok () | Error _ -> None
+  in
+  (* Scan one component, retrying the same index after a successful
+     removal (the next element shifts into it). *)
+  let scan get put (sc, d) =
+    let rec loop sc d i =
+      let items = get sc in
+      if i >= List.length items then (sc, d)
+      else
+        let candidate = put sc (remove_nth i items) in
+        match still_fails candidate with
+        | Some d' -> loop candidate d' i
+        | None -> loop sc d (i + 1)
+    in
+    loop sc d 0
+  in
+  let shrink_r =
+    scan
+      (fun (sc : Scenario.t) -> R.Relation.tuples sc.r)
+      (fun (sc : Scenario.t) rows ->
+        Scenario.with_instance sc ~r:(rebuild sc.r rows) ~s:sc.s
+          ~ilfds:sc.ilfds)
+  and shrink_s =
+    scan
+      (fun (sc : Scenario.t) -> R.Relation.tuples sc.s)
+      (fun (sc : Scenario.t) rows ->
+        Scenario.with_instance sc ~r:sc.r ~s:(rebuild sc.s rows)
+          ~ilfds:sc.ilfds)
+  and shrink_ilfds =
+    scan
+      (fun (sc : Scenario.t) -> sc.ilfds)
+      (fun (sc : Scenario.t) ilfds ->
+        Scenario.with_instance sc ~r:sc.r ~s:sc.s ~ilfds)
+  in
+  let measure (sc : Scenario.t) = Scenario.size sc + List.length sc.ilfds in
+  (* Sweep to a fixpoint: removing an ILFD can unlock tuple removals and
+     vice versa. *)
+  let rec fix (sc, d) =
+    let before = measure sc in
+    let sc, d = shrink_ilfds (shrink_s (shrink_r (sc, d))) in
+    if measure sc < before then fix (sc, d) else (sc, d)
+  in
+  let sc, d = fix (sc0, d0) in
+  (sc, d, { attempts = !attempts; kept = !kept })

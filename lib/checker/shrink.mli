@@ -1,0 +1,26 @@
+(** Greedy minimal-counterexample shrinking.
+
+    Given a scenario the oracle rejects, repeatedly drop single R
+    tuples, S tuples and ILFDs — keeping a removal whenever the oracle
+    {e still} fails with the same check name — until a full sweep
+    removes nothing. The result is 1-minimal: removing any one remaining
+    component makes the discrepancy disappear (or mutate into a
+    different check, which counts as disappearing — the shrinker
+    preserves the failure's identity, not just failure itself). *)
+
+type stats = {
+  attempts : int;  (** oracle runs spent probing removals *)
+  kept : int;  (** removals that preserved the discrepancy *)
+}
+
+(** [minimise ?fault ?telemetry scenario discrepancy] — the reduced
+    scenario, its (re-derived) discrepancy, and the search stats.
+    [discrepancy] must be what {!Oracle.run} returned for [scenario]
+    under the same [fault]. [telemetry] charges the
+    [checker.shrink.attempts] / [checker.shrink.kept] counters. *)
+val minimise :
+  ?fault:Oracle.fault ->
+  ?telemetry:Telemetry.t ->
+  Scenario.t ->
+  Oracle.discrepancy ->
+  Scenario.t * Oracle.discrepancy * stats

@@ -11,6 +11,11 @@ exception Inconsistent of {
   distinctness : Rules.Distinctness.t;
 }
 
+exception Blocking_desync of {
+  r_tuple : Relational.Tuple.t;
+  s_tuple : Relational.Tuple.t;
+}
+
 let decide ~identity ~distinctness s1 t1 s2 t2 =
   (* Both rule kinds state symmetric facts about (e1, e2); try each rule
      in both orientations. *)
@@ -83,7 +88,7 @@ let distinctness_spec =
    shared inner loop of both the serial and the chunked engines.
    Accumulators are whatever the caller passes — global refs serially,
    chunk-private refs in parallel. *)
-let merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
+let merge_rows ~decide_pair sr rt ss st ~m_rows ~d_rows
     ~matched ~distinct ~unknown start stop =
   let ns = Array.length st in
   for i = start to stop - 1 do
@@ -108,9 +113,12 @@ let merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
       if in_m then
         if in_d then begin
           (* Reproduce the nested loop's exception exactly: [decide]
-             raises with the first rule of each kind that fires. *)
-          ignore (decide ~identity ~distinctness sr tr ss ts);
-          assert false
+             raises with the first rule of each kind that fires. If it
+             returns instead, the blocking index and the decision
+             function disagree about this pair — surface the witness
+             rather than dying on an assertion. *)
+          ignore (decide_pair sr tr ss ts : verdict);
+          raise (Blocking_desync { r_tuple = tr; s_tuple = ts })
         end
         else matched := (tr, ts) :: !matched
       else if in_d then distinct := (tr, ts) :: !distinct
@@ -118,10 +126,19 @@ let merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
     done
   done
 
-let partition ?(jobs = 1) ?(telemetry = Telemetry.off) ~identity
-    ~distinctness r s =
+let partition ?(jobs = 1) ?(telemetry = Telemetry.off) ?decide:decide_hook
+    ~identity ~distinctness r s =
   let sr = Relational.Relation.schema r
   and ss = Relational.Relation.schema s in
+  (* [decide_pair] is what the both-fired arms re-run to reproduce the
+     naive engine's exception; the hook exists so the correctness
+     harness can inject a desynchronised decision function and exercise
+     the [Blocking_desync] path. *)
+  let decide_pair =
+    match decide_hook with
+    | Some f -> f
+    | None -> fun sr tr ss ts -> decide ~identity ~distinctness sr tr ss ts
+  in
   let rt = Array.of_list (Relational.Relation.tuples r)
   and st = Array.of_list (Relational.Relation.tuples s) in
   let m =
@@ -145,7 +162,7 @@ let partition ?(jobs = 1) ?(telemetry = Telemetry.off) ~identity
     and d_rows = Blocking.row_lists d ~nr in
     if jobs <= 1 then begin
       let matched = ref [] and distinct = ref [] and unknown = ref [] in
-      merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows ~matched
+      merge_rows ~decide_pair sr rt ss st ~m_rows ~d_rows ~matched
         ~distinct ~unknown 0 nr;
       (List.rev !matched, List.rev !distinct, List.rev !unknown)
     end
@@ -157,15 +174,15 @@ let partition ?(jobs = 1) ?(telemetry = Telemetry.off) ~identity
          witnessing rules. *)
       (match Blocking.min_conflict m d with
       | Some (i, j) ->
-          ignore (decide ~identity ~distinctness sr rt.(i) ss st.(j));
-          assert false
+          ignore (decide_pair sr rt.(i) ss st.(j) : verdict);
+          raise (Blocking_desync { r_tuple = rt.(i); s_tuple = st.(j) })
       | None -> ());
       Telemetry.add telemetry "parallel.chunks"
         (Parallel.chunk_count ~jobs nr);
       let chunks =
         Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
             let matched = ref [] and distinct = ref [] and unknown = ref [] in
-            merge_rows ~identity ~distinctness sr rt ss st ~m_rows ~d_rows
+            merge_rows ~decide_pair sr rt ss st ~m_rows ~d_rows
               ~matched ~distinct ~unknown start stop;
             (List.rev !matched, List.rev !distinct, List.rev !unknown))
       in

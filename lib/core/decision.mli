@@ -17,6 +17,17 @@ exception Inconsistent of {
   distinctness : Rules.Distinctness.t;
 }
 
+(** The blocking index claimed both an identity and a distinctness rule
+    fire on this pair, but re-running the decision function did not
+    raise {!Inconsistent} — an engine-internal invariant breach (only
+    reachable when the two are genuinely desynchronised, e.g. through
+    {!partition}'s [decide] fault-injection hook). Carries the offending
+    tuple pair as the witness, mirroring {!Ilfd.Apply.Conflict_found}. *)
+exception Blocking_desync of {
+  r_tuple : Relational.Tuple.t;
+  s_tuple : Relational.Tuple.t;
+}
+
 (** [decide ~identity ~distinctness s1 t1 s2 t2].
     @raise Inconsistent when both an identity and a distinctness rule
     apply to the same pair. *)
@@ -54,10 +65,25 @@ val decide :
     [partition.matched] / [partition.distinct] / [partition.undetermined]
     counters, the per-kind blocking counters ({!Blocking.fired}), and
     [parallel.chunks] (chunk utilisation; the one counter that varies
-    with [jobs] — everything else is jobs-invariant). *)
+    with [jobs] — everything else is jobs-invariant).
+
+    [decide] (default {!decide} over the given rules) is what the
+    both-fired arms re-run to reproduce the naive engine's
+    {!Inconsistent} witness. It is a fault-injection hook for the
+    correctness harness: substituting a decision function that disagrees
+    with the blocking index makes {!partition} raise {!Blocking_desync}
+    with the offending pair instead of crashing on an assertion.
+    @raise Blocking_desync when the blocking index reports a conflict on
+    a pair for which [decide] does not raise. *)
 val partition :
   ?jobs:int ->
   ?telemetry:Telemetry.t ->
+  ?decide:
+    (Relational.Schema.t ->
+    Relational.Tuple.t ->
+    Relational.Schema.t ->
+    Relational.Tuple.t ->
+    verdict) ->
   identity:Rules.Identity.t list ->
   distinctness:Rules.Distinctness.t list ->
   Relational.Relation.t ->

@@ -47,7 +47,10 @@ let map_chunks ?jobs n f =
       let head = guarded first () in
       let tail = List.map Domain.join spawned in
       force (head :: tail)
-  | [] -> assert false
+  (* [chunk_bounds] never returns fewer than one chunk (n = 0 yields the
+     single empty range [(0, 0)]), but keep the function total: an empty
+     chunking means no work, not a crash. *)
+  | [] -> []
 
 let iter_rows ?jobs n f =
   ignore

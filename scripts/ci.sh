@@ -18,6 +18,28 @@ dune runtest
 dune exec test/test_workload.exe -- test metrics
 dune exec test/test_telemetry.exe
 
+# ---- correctness harness gate ----
+#
+# 1. Fixed-seed soak: 200 deterministic scenarios through the full
+#    differential/metamorphic oracle. Any counterexample exits nonzero
+#    (and prints a shrunk, replayable scenario dump).
+dune exec bin/entity_ident.exe -- check --seed 1 --scenarios 200
+
+# 2. Corpus replay: seeds that once exposed a bug stay green forever.
+#    To add one, copy the seed from a counterexample's replay line into
+#    test/corpus/regression-seeds.txt (see the comment header there).
+dune exec bin/entity_ident.exe -- check --scenarios 0 \
+  --corpus test/corpus/regression-seeds.txt
+
+# 3. Mutation sanity: a deliberately broken engine variant MUST be
+#    caught — if the harness waves the broken blocking key through, the
+#    harness itself has rotted, so invert the exit code.
+if dune exec bin/entity_ident.exe -- check --seed 1 --scenarios 10 \
+    --fault broken-blocking-key > /dev/null 2>&1; then
+  echo "CI: checker failed to catch the seeded blocking-key fault" >&2
+  exit 1
+fi
+
 dune build bench/main.exe
 bench_dir=$(mktemp -d)
 (

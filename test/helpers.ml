@@ -72,6 +72,73 @@ let ilfd_gen =
 
 let ilfds_gen = QCheck2.Gen.(list_size (0 -- 6) ilfd_gen)
 
+(* ---- shared workload / relational generators ----
+
+   QCheck2 generators carry integrated shrinking, so properties built on
+   these report reduced counterexamples for free: instance generators
+   shrink the seed toward 0 (a smaller, still-replayable instance
+   parameter), and tuple/relation/entry generators shrink structurally
+   (shorter row lists, earlier alphabet values). *)
+
+(* Scenario seeds for deterministic random-instance properties. *)
+let seed_gen = QCheck2.Gen.int_range 0 10_000
+
+(* A bounded restaurant instance — the workhorse of the randomized
+   engine-agreement properties that used to inline this expression. *)
+let restaurant_gen ?(n_entities = 15) ?(homonym_rate = 0.2)
+    ?(null_street_rate = 0.2) ?(typo_rate = 0.0) () =
+  QCheck2.Gen.map
+    (fun seed ->
+      Workload.Restaurant.generate
+        {
+          Workload.Restaurant.default with
+          n_entities;
+          homonym_rate;
+          null_street_rate;
+          typo_rate;
+          seed;
+        })
+    seed_gen
+
+(* Random tuples over a small named schema; NULL appears at a 1-in-5
+   rate (the interesting case for key projection and non_null_eq). *)
+let tuple_gen names =
+  let schema = R.Schema.of_names names in
+  let cell =
+    QCheck2.Gen.(
+      frequency
+        [ (4, map v (oneofl [ "x"; "y"; "z" ])); (1, return R.Value.null) ])
+  in
+  QCheck2.Gen.(
+    map
+      (fun vs -> R.Tuple.make schema vs)
+      (flatten_l (List.map (fun _ -> cell) names)))
+
+(* Random relations with no declared key: set semantics make any row
+   list valid, so list shrinking applies directly. *)
+let relation_gen ?(max_rows = 8) names =
+  let schema = R.Schema.of_names names in
+  QCheck2.Gen.(
+    map
+      (fun rows -> R.Relation.of_tuples schema rows)
+      (list_size (0 -- max_rows) (tuple_gen names)))
+
+(* Matching-table entries over one-attribute keys, small alphabets on
+   both sides so uniqueness collisions are likely. *)
+let entry_gen =
+  let key_schema = R.Schema.of_names [ "k" ] in
+  QCheck2.Gen.(
+    map2
+      (fun a b ->
+        {
+          Entity_id.Matching_table.r_key = R.Tuple.make key_schema [ v a ];
+          s_key = R.Tuple.make key_schema [ v b ];
+        })
+      (oneofl [ "a"; "b"; "c"; "d" ])
+      (oneofl [ "1"; "2"; "3"; "4" ]))
+
+let entries_gen = QCheck2.Gen.(list_size (0 -- 10) entry_gen)
+
 let mt_entries_equal a b =
   Entity_id.Matching_table.cardinality a
   = Entity_id.Matching_table.cardinality b

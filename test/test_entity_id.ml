@@ -220,22 +220,12 @@ let decision_tests =
           (E.Decision.partition ~identity ~distinctness:[ neq ] r s
           = E.Decision.partition_naive ~identity ~distinctness:[ neq ] r s));
     qtest ~count:20 "blocked partition equals naive on random instances"
-      QCheck2.Gen.(int_range 0 10_000)
-      (fun seed ->
+      (restaurant_gen ())
+      (fun inst ->
         (* Randomized extended relations (including NULL keys and
            homonyms) partitioned under both the extended-key identity
            rule and ILFD-induced distinctness rules: all three lists
            must agree element-for-element, in order. *)
-        let inst =
-          Workload.Restaurant.generate
-            {
-              Workload.Restaurant.default with
-              n_entities = 15;
-              homonym_rate = 0.2;
-              null_street_rate = 0.2;
-              seed;
-            }
-        in
         let o = E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds in
         let identity = [ E.Extended_key.equivalence_rule inst.key ] in
         let distinctness =
@@ -245,21 +235,11 @@ let decision_tests =
         = E.Decision.partition_naive ~identity ~distinctness o.r_extended
             o.s_extended);
     qtest ~count:15 "parallel partition equals serial for any jobs"
-      QCheck2.Gen.(int_range 0 10_000)
-      (fun seed ->
+      (restaurant_gen ())
+      (fun inst ->
         (* The executor's contract: identical lists, identical order, for
            every jobs value — including a count that does not divide the
            row count. *)
-        let inst =
-          Workload.Restaurant.generate
-            {
-              Workload.Restaurant.default with
-              n_entities = 15;
-              homonym_rate = 0.2;
-              null_street_rate = 0.2;
-              seed;
-            }
-        in
         let o = E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds in
         let identity = [ E.Extended_key.equivalence_rule inst.key ] in
         let distinctness =
@@ -324,6 +304,106 @@ let decision_tests =
               (Printf.sprintf "jobs=%d witness" jobs)
               (witness 1) (witness jobs))
           [ 2; 4; 7 ]);
+    case "desynchronised decide raises Blocking_desync (serial arm)"
+      (fun () ->
+        (* The blocking index says an identity and a distinctness rule
+           both fire on the only pair, but the injected decision function
+           disagrees and returns Undetermined instead of raising
+           Inconsistent — the serial merge must surface the offending
+           pair as a Blocking_desync witness rather than die on an
+           assertion. *)
+        let eq_rule make name attr =
+          make ~name
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left attr)
+                R.Predicate.Eq
+                (Rules.Atom.attr Rules.Atom.Right attr);
+            ]
+        in
+        let identity = [ eq_rule Rules.Identity.make "i-name" "name" ]
+        and distinctness =
+          [ eq_rule Rules.Distinctness.make "d-name" "name" ]
+        in
+        let rel = relation [ "name"; "street" ] [] [ [ "A"; "S1" ] ] in
+        let quiet _ _ _ _ =
+          {
+            E.Decision.result = E.Match_result.Undetermined;
+            identity = None;
+            distinctness = None;
+          }
+        in
+        let witness = List.hd (R.Relation.tuples rel) in
+        match
+          E.Decision.partition ~decide:quiet ~identity ~distinctness rel
+            rel
+        with
+        | _ -> Alcotest.fail "Blocking_desync expected"
+        | exception E.Decision.Blocking_desync { r_tuple; s_tuple } ->
+            Alcotest.(check bool) "r witness" true
+              (R.Tuple.equal r_tuple witness);
+            Alcotest.(check bool) "s witness" true
+              (R.Tuple.equal s_tuple witness));
+    case "desynchronised decide raises Blocking_desync (parallel arm)"
+      (fun () ->
+        (* Same desynchronisation under jobs > 1: the min_conflict
+           pre-scan owns the both-fired arm there, and must report the
+           row-major-minimal conflicting pair — (r0, s0) on name — for
+           every jobs value, with the same witness the serial arm
+           reports. *)
+        let eq_rule make name attr =
+          make ~name
+            [
+              Rules.Atom.make
+                (Rules.Atom.attr Rules.Atom.Left attr)
+                R.Predicate.Eq
+                (Rules.Atom.attr Rules.Atom.Right attr);
+            ]
+        in
+        let identity =
+          [
+            eq_rule Rules.Identity.make "i-street" "street";
+            eq_rule Rules.Identity.make "i-name" "name";
+          ]
+        and distinctness =
+          [
+            eq_rule Rules.Distinctness.make "d-street" "street";
+            eq_rule Rules.Distinctness.make "d-name" "name";
+          ]
+        in
+        let r =
+          relation [ "name"; "street" ] []
+            [ [ "A"; "S1" ]; [ "B"; "S2" ] ]
+        and s =
+          relation [ "name"; "street" ] []
+            [ [ "A"; "X" ]; [ "C"; "S2" ] ]
+        in
+        let quiet _ _ _ _ =
+          {
+            E.Decision.result = E.Match_result.Undetermined;
+            identity = None;
+            distinctness = None;
+          }
+        in
+        let witness jobs =
+          match
+            E.Decision.partition ~jobs ~decide:quiet ~identity
+              ~distinctness r s
+          with
+          | _ -> None
+          | exception E.Decision.Blocking_desync { r_tuple; s_tuple } ->
+              Some
+                ( R.Tuple.equal r_tuple (List.nth (R.Relation.tuples r) 0),
+                  R.Tuple.equal s_tuple (List.nth (R.Relation.tuples s) 0)
+                )
+        in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (option (pair bool bool)))
+              (Printf.sprintf "jobs=%d row-major-first witness" jobs)
+              (Some (true, true))
+              (witness jobs))
+          [ 1; 2; 4; 7 ]);
   ]
 
 (* ---- Matching_table ---- *)
@@ -395,18 +475,8 @@ let matching_table_tests =
 let identify_tests =
   [
     qtest ~count:10 "run and run_rules are jobs-invariant"
-      QCheck2.Gen.(int_range 0 10_000)
-      (fun seed ->
-        let inst =
-          Workload.Restaurant.generate
-            {
-              Workload.Restaurant.default with
-              n_entities = 12;
-              homonym_rate = 0.2;
-              null_street_rate = 0.2;
-              seed;
-            }
-        in
+      (restaurant_gen ~n_entities:12 ())
+      (fun inst ->
         let same o (o' : E.Identify.outcome) =
           o.E.Identify.pairs = o'.pairs
           && R.Relation.tuples o.r_extended = R.Relation.tuples o'.r_extended
@@ -730,17 +800,8 @@ let monotonic_tests =
         Alcotest.(check int) "3 matched" 3
           (E.Matching_table.cardinality snap.matched));
     qtest ~count:8 "any ILFD prefix chain is monotone (random instances)"
-      QCheck2.Gen.(int_range 0 10_000)
-      (fun seed ->
-        let inst =
-          Workload.Restaurant.generate
-            {
-              Workload.Restaurant.default with
-              n_entities = 12;
-              seed;
-              homonym_rate = 0.2;
-            }
-        in
+      (restaurant_gen ~n_entities:12 ~null_street_rate:0.0 ())
+      (fun inst ->
         let state =
           E.Monotonic.create ~r:inst.r ~s:inst.s ~key:inst.key ()
         in
@@ -835,17 +896,8 @@ let algebraic_tests =
         in
         Alcotest.(check bool) "" true (E.Algebraic.agrees plan o));
     qtest ~count:10 "agrees on random restaurant instances"
-      QCheck2.Gen.(int_range 0 10_000)
-      (fun seed ->
-        let inst =
-          Workload.Restaurant.generate
-            {
-              Workload.Restaurant.default with
-              n_entities = 25;
-              seed;
-              homonym_rate = 0.2;
-            }
-        in
+      (restaurant_gen ~n_entities:25 ~null_street_rate:0.0 ())
+      (fun inst ->
         let o =
           E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
         in

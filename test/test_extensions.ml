@@ -800,6 +800,52 @@ let explain_tests =
           [ "TwinCities"; "cuisine=Indian"; "Mughalai" ]);
   ]
 
+(* ---- Parallel ---- *)
+
+let parallel_tests =
+  [
+    case "map_chunks on empty range is total for every jobs" (fun () ->
+        (* n = 0 must not crash (the old assert-false path): the clamped
+           chunking is a single empty range run inline — a no-op chunk,
+           no domain spawn — whatever the jobs count. *)
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (list (pair int int)))
+              (Printf.sprintf "jobs=%d" jobs)
+              [ (0, 0) ]
+              (Parallel.map_chunks ~jobs 0 (fun ~start ~stop ->
+                   (start, stop)));
+            Alcotest.(check int)
+              (Printf.sprintf "jobs=%d chunk_count" jobs)
+              1
+              (Parallel.chunk_count ~jobs 0))
+          [ 1; 2; 3; 4 ]);
+    case "map_chunks on singleton range is one full chunk" (fun () ->
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (list (pair int int)))
+              (Printf.sprintf "jobs=%d" jobs)
+              [ (0, 1) ]
+              (Parallel.map_chunks ~jobs 1 (fun ~start ~stop ->
+                   (start, stop))))
+          [ 1; 2; 3; 4 ]);
+    qtest ~count:50 "map_chunks covers [0, n) in order for any jobs"
+      QCheck2.Gen.(pair (0 -- 33) (1 -- 4))
+      (fun (n, jobs) ->
+        (* Chunks must be ascending, contiguous, and cover exactly
+           [0, n) — including the degenerate n = 0 and n = 1 inputs. *)
+        let chunks =
+          Parallel.map_chunks ~jobs n (fun ~start ~stop -> (start, stop))
+        in
+        let rec contiguous at = function
+          | [] -> at = n
+          | (start, stop) :: rest ->
+              start = at && stop >= start && contiguous stop rest
+        in
+        List.length chunks = Parallel.chunk_count ~jobs n
+        && contiguous 0 chunks);
+  ]
+
 let () =
   Alcotest.run "extensions"
     [
@@ -811,4 +857,5 @@ let () =
       ("align", align_tests);
       ("fusion", fusion_tests);
       ("cluster", cluster_tests);
+      ("parallel", parallel_tests);
     ]
