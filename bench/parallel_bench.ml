@@ -61,7 +61,11 @@ let measure n =
     E.Decision.partition ~jobs ~identity ~distinctness r s
   in
   let reference = partition 1 () in
-  let reps = if n >= 5000 then 2 else 3 in
+  (* The smoke run gates jobs=2 wall time against serial at 1k, where a
+     single noisy reading is ~10% of the measurement — take the best of
+     more repetitions there so the gate reflects the code, not the
+     scheduler. *)
+  let reps = if smoke then 7 else if n >= 5000 then 2 else 3 in
   let serial_ms = best_of reps (partition 1) in
   let job_counts = if smoke then [ 2; 3 ] else [ 2; 4; 8 ] in
   { n; jobs = 1; ms = serial_ms; speedup = 1.0; agree = true }
@@ -128,7 +132,10 @@ let all () =
     (Domain.recommended_domain_count ())
     (if smoke then " (smoke mode)" else "");
   Gc.set { (Gc.get ()) with minor_heap_size = 32 * 1024 * 1024 };
-  let sizes = if smoke then [ 200 ] else [ 1000; 5000 ] in
+  (* The smoke sweep includes 1000 on purpose: that is the size where
+     spawn-per-call parallelism was 14x slower than serial, and the CI
+     gate holds jobs=2 at 1k to within 15% of serial wall time. *)
+  let sizes = if smoke then [ 200; 1000 ] else [ 1000; 5000 ] in
   let rows = List.concat_map measure sizes in
   print_string
     (R.Pretty.render_rows

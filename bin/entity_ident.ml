@@ -79,8 +79,59 @@ let jobs_arg =
                (default 1 = serial; 0 = one per host core). \
                The result is identical for every value.")
 
-(* One resolution rule for every front end: the library's. *)
-let resolve_jobs n = Parallel.resolve (Some n)
+(* One resolution rule for every front end: the library's. The CLI's 0
+   means "default" (make -j convention) and maps to [None]; the library
+   itself raises on non-positive counts. *)
+let resolve_jobs n = Parallel.resolve (if n = 0 then None else Some n)
+
+let shards_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "--shards must be >= 1")
+    | None -> Error (`Msg (Printf.sprintf "invalid shard count %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let shards_arg =
+  Arg.(value & opt shards_conv 1 & info [ "shards" ] ~docv:"N"
+         ~doc:"Key-shard the blocking and join hash tables into $(docv) \
+               partitions processed one at a time (default 1 = \
+               unsharded). The result is identical for every value.")
+
+(* Accept the usual size suffixes so "--mem-budget 64M" works; a bare
+   number is bytes. *)
+let mem_budget_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid memory budget %S (bytes, or K/M/G suffix)" s))
+    in
+    let n = String.length s in
+    if n = 0 then fail ()
+    else
+      let unit, digits =
+        match Char.uppercase_ascii s.[n - 1] with
+        | 'K' -> (1024, String.sub s 0 (n - 1))
+        | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+        | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+        | _ -> (1, s)
+      in
+      match int_of_string_opt digits with
+      | Some b when b > 0 -> Ok (b * unit)
+      | _ -> fail ()
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let mem_budget_arg =
+  Arg.(value & opt (some mem_budget_conv) None
+       & info [ "mem-budget" ] ~docv:"BYTES"
+           ~doc:"Per-stage memory budget for sharded hash inputs (bytes; \
+                 K/M/G suffixes accepted). Buffered shard partitions \
+                 spill to temp files above $(docv)/shards each. Only \
+                 meaningful with --shards > 1.")
 
 let stats_arg =
   Arg.(value
@@ -129,8 +180,8 @@ let identify_cmd =
     Arg.(value & flag & info [ "explain" ]
            ~doc:"Print, for each match, the ILFD derivations behind it.")
   in
-  let run r s rk sk rules key jobs stats show negative check_conflicts
-      explain =
+  let run r s rk sk rules key jobs shards mem_budget stats show negative
+      check_conflicts explain =
     let r, s, ilfds = setup r s rk sk rules in
     let key = Entity_id.Extended_key.make (parse_key_list key) in
     let jobs = resolve_jobs jobs in
@@ -140,7 +191,9 @@ let identify_cmd =
       else Ilfd.Apply.First_rule
     in
     let o =
-      try Entity_id.Identify.run ~mode ~jobs ~telemetry ~r ~s ~key ilfds
+      try
+        Entity_id.Identify.run ~mode ~jobs ~shards ?mem_budget ~telemetry ~r
+          ~s ~key ilfds
       with Ilfd.Apply.Conflict_found c ->
         Format.eprintf "entity_ident: %a@." Ilfd.Apply.pp_conflict c;
         exit 2
@@ -194,8 +247,8 @@ let identify_cmd =
   Cmd.v
     (Cmd.info "identify" ~doc:"Run extended-key + ILFD entity identification.")
     Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
-          $ extkey_arg $ jobs_arg $ stats_arg $ show $ negative
-          $ check_conflicts $ explain)
+          $ extkey_arg $ jobs_arg $ shards_arg $ mem_budget_arg $ stats_arg
+          $ show $ negative $ check_conflicts $ explain)
 
 (* ---- closure ---- *)
 
@@ -293,13 +346,13 @@ let fuse_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"CSV"
            ~doc:"Write the fused relation to a CSV file (default: print).")
   in
-  let run r s rk sk rules key jobs stats policy output =
+  let run r s rk sk rules key jobs shards mem_budget stats policy output =
     let r, s, ilfds = setup r s rk sk rules in
     let key = Entity_id.Extended_key.make (parse_key_list key) in
     let telemetry = telemetry_of stats in
     let o =
-      Entity_id.Identify.run ~jobs:(resolve_jobs jobs) ~telemetry ~r ~s ~key
-        ilfds
+      Entity_id.Identify.run ~jobs:(resolve_jobs jobs) ~shards ?mem_budget
+        ~telemetry ~r ~s ~key ilfds
     in
     let conflicts = Entity_id.Fusion.conflicts o in
     List.iter
@@ -332,7 +385,8 @@ let fuse_cmd =
        ~doc:"Identify entities, resolve attribute-value conflicts, and \
              emit the actually-integrated relation.")
     Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
-          $ extkey_arg $ jobs_arg $ stats_arg $ policy_arg $ output)
+          $ extkey_arg $ jobs_arg $ shards_arg $ mem_budget_arg $ stats_arg
+          $ policy_arg $ output)
 
 (* ---- session ---- *)
 

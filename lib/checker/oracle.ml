@@ -231,6 +231,48 @@ let check_jobs (sc : Scenario.t) (base : Identify.outcome) =
       (List.length o.violations)
       (List.length base.violations)
 
+(* Sharded execution must be observationally identical to shards=1 —
+   same outcome, same partition, byte-for-byte pair order. The tiny
+   budget (1 KiB per shard after the split) forces the spill-to-disk
+   path on any scenario with more than a few tuples, so the out-of-core
+   machinery is exercised by every run, not just the benchmarks. *)
+let check_shards (sc : Scenario.t) (base : Identify.outcome) =
+  let o : Identify.outcome =
+    Identify.run ~shards:3 ~mem_budget:3072 ~r:sc.r ~s:sc.s ~key:sc.key
+      sc.ilfds
+  in
+  if
+    not
+      (List.equal entry_equal
+         (MT.entries o.matching_table)
+         (MT.entries base.matching_table)
+      && pairs_equal o.pairs base.pairs
+      && List.length o.violations = List.length base.violations)
+  then
+    fail "shard-agreement"
+      "outcome at shards=3 differs from shards=1 (%d vs %d entries, %d vs \
+       %d pairs)"
+      (MT.cardinality o.matching_table)
+      (MT.cardinality base.matching_table)
+      (List.length o.pairs) (List.length base.pairs)
+  else
+    let identity = [ EK.equivalence_rule sc.key ] in
+    let m1, d1, u1 =
+      Decision.partition ~identity ~distinctness:[] base.r_extended
+        base.s_extended
+    in
+    let m3, d3, u3 =
+      Decision.partition ~shards:3 ~mem_budget:3072 ~identity
+        ~distinctness:[] base.r_extended base.s_extended
+    in
+    if pairs_equal m1 m3 && pairs_equal d1 d3 && pairs_equal u1 u3 then Ok ()
+    else
+      fail "shard-agreement"
+        "partition at shards=3 differs from shards=1: %d/%d/%d vs %d/%d/%d \
+         (matched/distinct/undetermined)"
+        (List.length m3) (List.length d3) (List.length u3) (List.length m1)
+        (List.length d1) (List.length u1)
+
 let check_rules (sc : Scenario.t) ~engine_entries =
   let o : Identify.outcome =
     Identify.run_rules
@@ -434,6 +476,7 @@ let run ?(fault = No_fault) ?(telemetry = Telemetry.off) (sc : Scenario.t) =
     in
     let* () = check_partition sc base in
     let* () = check_jobs sc base in
+    let* () = check_shards sc base in
     let* () = check_rules sc ~engine_entries in
     let* () = check_incremental ~fault sc ~engine_entries in
     let* () = check_cluster sc base in

@@ -57,14 +57,16 @@ let bucket_by schema tuples attrs =
     tuples;
   tbl
 
-let fired ?(jobs = 1) ?(telemetry = Telemetry.off) ?(label = "") spec rules
-    sr rt ss st =
+let fired ?(jobs = 1) ?(shards = 1) ?mem_budget ?(telemetry = Telemetry.off)
+    ?(label = "") spec rules sr rt ss st =
+  if shards <= 0 then invalid_arg "Blocking.fired: shards must be positive";
   let set = { ns = Array.length st; fired = Itbl.create 64 } in
   let nr = Array.length rt and ns = Array.length st in
   (* Counter namespace: "blocking" or "blocking.<label>", so the two
      rule kinds of a partition stay distinguishable in one sink. *)
   let pfx = if label = "" then "blocking" else "blocking." ^ label in
   let tele_on = Telemetry.enabled telemetry in
+  let chunks = ref 0 and spill_count = ref 0 and spill_bytes = ref 0 in
   List.iter
     (fun rule ->
       let fired_before = if tele_on then Itbl.length set.fired else 0 in
@@ -76,92 +78,168 @@ let fired ?(jobs = 1) ?(telemetry = Telemetry.off) ?(label = "") spec rules
         applies_lr rt.(i) st.(j) = V.True
         || applies_rl st.(j) rt.(i) = V.True
       in
-      (* [candidates i k] calls [k j] for every j the rule could fire on
-         with row i — co-bucketed pairs when the rule has a usable
-         blocking key, all of S otherwise. *)
-      let candidates =
-        match spec.blocking_key rule with
-        | Some attrs
-          when List.for_all (Schema.mem sr) attrs
-               && List.for_all (Schema.mem ss) attrs ->
-            (* The rule only fires on pairs with identical non-NULL
-               values on [attrs] — in either orientation, since the
-               implied equality is attribute-to-same-attribute. Probe R
-               buckets against S buckets and evaluate only co-bucketed
-               pairs. *)
+      (* [scan m row_of candidates] — evaluate the rule over the row set
+         [row_of 0 .. row_of (m-1)], where [candidates i k] calls [k j]
+         for every j the rule could fire on with row i. Candidate pairs
+         proposed (callback invocations) are a pure function of the
+         blocking structure, not of the fired set or the scan order, so
+         the counter is identical serial vs chunked vs sharded. The
+         per-pair cost when the sink is off is one branch on an
+         immutable bool — dwarfed by the compiled-rule evaluation it
+         sits next to. *)
+      let scan m row_of candidates =
+        if jobs <= 1 then begin
+          (* Serial reference path: record hits as they are found. The
+             [mem] check only skips re-evaluating pairs already recorded
+             by an earlier rule; within one rule no (i, j) is proposed
+             twice (each row probes exactly one bucket of distinct js). *)
+          let cand = ref 0 in
+          for p = 0 to m - 1 do
+            let i = row_of p in
+            candidates i (fun j ->
+                if tele_on then incr cand;
+                let id = pair_id set i j in
+                if (not (Itbl.mem set.fired id)) && hits i j then
+                  Itbl.replace set.fired id ())
+          done;
+          if tele_on then Telemetry.add telemetry (pfx ^ ".candidates") !cand
+        end
+        else begin
+          (* Parallel path: pool domains scan disjoint row chunks,
+             reading the tuple arrays, the frozen fired set, and the
+             rule's buckets — all immutable during the scan — and
+             accumulate newly fired pair ids (and telemetry) privately.
+             The merge happens on the calling domain between scans, so
+             the next rule sees exactly the set the serial path would. *)
+          if tele_on then chunks := !chunks + Parallel.chunk_count ~jobs m;
+          let chunk_hits =
+            Parallel.map_chunks ~jobs m (fun ~start ~stop ->
+                let lt = Telemetry.local telemetry in
+                let cand = ref 0 in
+                let acc = ref [] in
+                for p = start to stop - 1 do
+                  let i = row_of p in
+                  candidates i (fun j ->
+                      if tele_on then incr cand;
+                      let id = pair_id set i j in
+                      if (not (Itbl.mem set.fired id)) && hits i j then
+                        acc := id :: !acc)
+                done;
+                if tele_on then
+                  Telemetry.local_add lt (pfx ^ ".candidates") !cand;
+                (!acc, lt))
+          in
+          List.iter
+            (fun (ids, lt) ->
+              List.iter (fun id -> Itbl.replace set.fired id ()) ids;
+              Telemetry.merge telemetry lt)
+            chunk_hits
+        end
+      in
+      let all_rows = scan nr (fun p -> p) in
+      (match spec.blocking_key rule with
+      | Some attrs
+        when List.for_all (Schema.mem sr) attrs
+             && List.for_all (Schema.mem ss) attrs ->
+          (* The rule only fires on pairs with identical non-NULL values
+             on [attrs] — in either orientation, since the implied
+             equality is attribute-to-same-attribute. Probe R buckets
+             against S buckets and evaluate only co-bucketed pairs. *)
+          if shards = 1 then begin
             let s_buckets = bucket_by ss st attrs in
             Telemetry.add telemetry (pfx ^ ".buckets")
               (Hashtbl.length s_buckets);
             let r_plan = Tuple.plan sr attrs in
-            fun i k ->
+            all_rows (fun i k ->
+                let key = Tuple.project_with r_plan rt.(i) in
+                if not (Tuple.has_null key) then
+                  match Hashtbl.find_opt s_buckets (Tuple.values key) with
+                  | Some js -> List.iter k !js
+                  | None -> ()
+                else ())
+          end
+          else begin
+            (* Key-sharded: a pair can only fire when both sides carry
+               the same key value, so hashing the key assigns each
+               bucket — and every candidate pair — to exactly one shard.
+               S-side entries are buffered per shard (spilling to temp
+               files above the budget), R rows are routed once, and each
+               shard builds and probes its own bucket table with only
+               that table resident. The fired pairset is a set of pair
+               ids, so shard processing order cannot change it, and the
+               bucket/candidate counters sum to exactly the unsharded
+               values (each key lives in one shard). *)
+            let s_plan = Tuple.plan ss attrs
+            and r_plan = Tuple.plan sr attrs in
+            let per_budget =
+              Option.map (fun b -> max 1024 (b / shards)) mem_budget
+            in
+            let s_parts =
+              Array.init shards (fun _ -> Shard.Spill.create ?budget:per_budget ())
+            in
+            Fun.protect
+              ~finally:(fun () -> Array.iter Shard.Spill.close s_parts)
+            @@ fun () ->
+            for j = 0 to ns - 1 do
+              let key = Tuple.project_with s_plan st.(j) in
+              if not (Tuple.has_null key) then begin
+                let kv = Tuple.values key in
+                Shard.Spill.add
+                  s_parts.(Shard.router ~shards kv)
+                  ~bytes:(Shard.estimate_values kv)
+                  (kv, j)
+              end
+            done;
+            let r_parts = Array.make shards [] in
+            for i = nr - 1 downto 0 do
               let key = Tuple.project_with r_plan rt.(i) in
-              if not (Tuple.has_null key) then
-                match Hashtbl.find_opt s_buckets (Tuple.values key) with
-                | Some js -> List.iter k !js
-                | None -> ()
-              else ()
-        | Some _ ->
-            (* A blocking attribute is missing from one of the schemas:
-               it reads as NULL on every tuple of that side, so the
-               implied equality can never hold and the rule never
-               fires. *)
-            fun _ _ -> ()
-        | None ->
-            (* No equality atoms to block on: nested-loop fallback. *)
-            fun _ k ->
+              if not (Tuple.has_null key) then begin
+                let kv = Tuple.values key in
+                let sh = Shard.router ~shards kv in
+                r_parts.(sh) <- i :: r_parts.(sh)
+              end
+            done;
+            let buckets = ref 0 in
+            Array.iteri
+              (fun sh part ->
+                let tbl =
+                  Hashtbl.create (max 16 (Shard.Spill.length part))
+                in
+                Shard.Spill.iter part (fun (kv, j) ->
+                    match Hashtbl.find_opt tbl kv with
+                    | Some l -> l := j :: !l
+                    | None -> Hashtbl.add tbl kv (ref [ j ]));
+                Hashtbl.iter (fun _ l -> l := List.rev !l) tbl;
+                if tele_on then begin
+                  buckets := !buckets + Hashtbl.length tbl;
+                  spill_count := !spill_count + Shard.Spill.spills part;
+                  spill_bytes := !spill_bytes + Shard.Spill.spilled_bytes part
+                end;
+                Shard.Spill.close part;
+                let rows = Array.of_list r_parts.(sh) in
+                scan (Array.length rows)
+                  (fun p -> rows.(p))
+                  (fun i k ->
+                    let key = Tuple.project_with r_plan rt.(i) in
+                    match Hashtbl.find_opt tbl (Tuple.values key) with
+                    | Some js -> List.iter k !js
+                    | None -> ()))
+              s_parts;
+            Telemetry.add telemetry (pfx ^ ".buckets") !buckets
+          end
+      | Some _ ->
+          (* A blocking attribute is missing from one of the schemas: it
+             reads as NULL on every tuple of that side, so the implied
+             equality can never hold and the rule never fires — no scan
+             at all. *)
+          ()
+      | None ->
+          (* No equality atoms to block on: nested-loop fallback over
+             the full S side; key sharding does not apply. *)
+          all_rows (fun _ k ->
               for j = 0 to ns - 1 do
                 k j
-              done
-      in
-      (* Candidate pairs proposed (callback invocations) are a pure
-         function of the blocking structure, not of the fired set, so
-         the counter is identical serial vs chunked. The per-pair cost
-         when the sink is off is one branch on an immutable bool —
-         dwarfed by the compiled-rule evaluation it sits next to. *)
-      if jobs <= 1 then begin
-        (* Serial reference path: record hits as they are found. The
-           [mem] check only skips re-evaluating pairs already recorded
-           by an earlier rule; within one rule no (i, j) is proposed
-           twice (each row probes exactly one bucket of distinct js). *)
-        let cand = ref 0 in
-        for i = 0 to nr - 1 do
-          candidates i (fun j ->
-              if tele_on then incr cand;
-              let id = pair_id set i j in
-              if (not (Itbl.mem set.fired id)) && hits i j then
-                Itbl.replace set.fired id ())
-        done;
-        if tele_on then Telemetry.add telemetry (pfx ^ ".candidates") !cand
-      end
-      else begin
-        (* Parallel path: domains scan disjoint row chunks, reading the
-           tuple arrays, the frozen fired set, and the rule's buckets —
-           all immutable during the scan — and accumulate newly fired
-           pair ids (and telemetry) privately. The merge happens on the
-           calling domain between rules, so the next rule sees exactly
-           the set the serial path would. *)
-        let chunk_hits =
-          Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
-              let lt = Telemetry.local telemetry in
-              let cand = ref 0 in
-              let acc = ref [] in
-              for i = start to stop - 1 do
-                candidates i (fun j ->
-                    if tele_on then incr cand;
-                    let id = pair_id set i j in
-                    if (not (Itbl.mem set.fired id)) && hits i j then
-                      acc := id :: !acc)
-              done;
-              if tele_on then
-                Telemetry.local_add lt (pfx ^ ".candidates") !cand;
-              (!acc, lt))
-        in
-        List.iter
-          (fun (ids, lt) ->
-            List.iter (fun id -> Itbl.replace set.fired id ()) ids;
-            Telemetry.merge telemetry lt)
-          chunk_hits
-      end;
+              done));
       if tele_on then
         Telemetry.add telemetry
           (pfx ^ ".rule." ^ spec.rule_name rule ^ ".fired")
@@ -169,8 +247,11 @@ let fired ?(jobs = 1) ?(telemetry = Telemetry.off) ?(label = "") spec rules
     rules;
   if tele_on then begin
     Telemetry.add telemetry (pfx ^ ".fired") (Itbl.length set.fired);
-    if jobs > 1 then
-      Telemetry.add telemetry "parallel.chunks"
-        (List.length rules * Parallel.chunk_count ~jobs nr)
+    if jobs > 1 then Telemetry.add telemetry "parallel.chunks" !chunks;
+    if shards > 1 then begin
+      Telemetry.add telemetry "parallel.shards" shards;
+      Telemetry.add telemetry "parallel.shard.spills" !spill_count;
+      Telemetry.add telemetry "parallel.shard.spilled_bytes" !spill_bytes
+    end
   end;
   set

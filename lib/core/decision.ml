@@ -84,53 +84,44 @@ let distinctness_spec =
     compile = Rules.Distinctness.compile;
   }
 
-(* The row-major pair-enumeration merge over rows [start, stop): the
-   shared inner loop of both the serial and the chunked engines.
-   Accumulators are whatever the caller passes — global refs serially,
-   chunk-private refs in parallel. *)
-let merge_rows ~decide_pair sr rt ss st ~m_rows ~d_rows
-    ~matched ~distinct ~unknown start stop =
+(* The sparse row-major merge over rows [start, stop): matched and
+   distinct pairs come straight off the (sorted, disjoint) fired lists,
+   and the undetermined remainder of each row is emitted by walking
+   [0, ns) against those lists with integer compares. Nothing is decided
+   per pair any more — both-fired conflicts are detected from the fired
+   sets before the merge starts — so the cost is O(fired) for the
+   verdict lists plus one cons per undetermined pair, not a decision
+   branch per cell of the nr × ns cross product. Accumulators are
+   whatever the caller passes — global refs serially, chunk-private refs
+   in parallel. *)
+let merge_rows rt st ~m_rows ~d_rows ~matched ~distinct ~unknown start stop =
   let ns = Array.length st in
   for i = start to stop - 1 do
     let tr = rt.(i) in
-    let mj = ref m_rows.(i) and dj = ref d_rows.(i) in
-    for j = 0 to ns - 1 do
-      let in_m =
-        match !mj with
-        | j' :: rest when j' = j ->
-            mj := rest;
-            true
-        | _ -> false
-      in
-      let in_d =
-        match !dj with
-        | j' :: rest when j' = j ->
-            dj := rest;
-            true
-        | _ -> false
-      in
-      let ts = st.(j) in
-      if in_m then
-        if in_d then begin
-          (* Reproduce the nested loop's exception exactly: [decide]
-             raises with the first rule of each kind that fires. If it
-             returns instead, the blocking index and the decision
-             function disagree about this pair — surface the witness
-             rather than dying on an assertion. *)
-          ignore (decide_pair sr tr ss ts : verdict);
-          raise (Blocking_desync { r_tuple = tr; s_tuple = ts })
-        end
-        else matched := (tr, ts) :: !matched
-      else if in_d then distinct := (tr, ts) :: !distinct
-      else unknown := (tr, ts) :: !unknown
-    done
+    List.iter (fun j -> matched := (tr, st.(j)) :: !matched) m_rows.(i);
+    List.iter (fun j -> distinct := (tr, st.(j)) :: !distinct) d_rows.(i);
+    (* The row's undetermined remainder, in ascending j: skip past the
+       two ascending fired lists. *)
+    let rec remainder j ms ds =
+      if j < ns then
+        match ms with
+        | jm :: mrest when jm = j -> remainder (j + 1) mrest ds
+        | _ -> (
+            match ds with
+            | jd :: drest when jd = j -> remainder (j + 1) ms drest
+            | _ ->
+                unknown := (tr, st.(j)) :: !unknown;
+                remainder (j + 1) ms ds)
+    in
+    remainder 0 m_rows.(i) d_rows.(i)
   done
 
-let partition ?(jobs = 1) ?(telemetry = Telemetry.off) ?decide:decide_hook
-    ~identity ~distinctness r s =
+let partition ?(jobs = 1) ?(shards = 1) ?mem_budget
+    ?(telemetry = Telemetry.off) ?decide:decide_hook ~identity ~distinctness
+    r s =
   let sr = Relational.Relation.schema r
   and ss = Relational.Relation.schema s in
-  (* [decide_pair] is what the both-fired arms re-run to reproduce the
+  (* [decide_pair] is what the both-fired arm re-runs to reproduce the
      naive engine's exception; the hook exists so the correctness
      harness can inject a desynchronised decision function and exercise
      the [Blocking_desync] path. *)
@@ -141,56 +132,79 @@ let partition ?(jobs = 1) ?(telemetry = Telemetry.off) ?decide:decide_hook
   in
   let rt = Array.of_list (Relational.Relation.tuples r)
   and st = Array.of_list (Relational.Relation.tuples s) in
+  let nr = Array.length rt and ns = Array.length st in
+  let tele_on = Telemetry.enabled telemetry in
+  (* Candidate counters accumulate across [Blocking.fired] calls in one
+     sink, so the pairs actually considered by THIS partition are the
+     delta around its two blocking passes. *)
+  let considered_counters t =
+    Telemetry.counter t "blocking.identity.candidates"
+    + Telemetry.counter t "blocking.distinctness.candidates"
+  in
+  let considered_before = if tele_on then considered_counters telemetry else 0 in
   let m =
     Telemetry.span telemetry "partition.block.identity" (fun () ->
-        Blocking.fired ~jobs ~telemetry ~label:"identity" identity_spec
-          identity sr rt ss st)
+        Blocking.fired ~jobs ~shards ?mem_budget ~telemetry ~label:"identity"
+          identity_spec identity sr rt ss st)
   in
   let d =
     Telemetry.span telemetry "partition.block.distinctness" (fun () ->
-        Blocking.fired ~jobs ~telemetry ~label:"distinctness"
-          distinctness_spec distinctness sr rt ss st)
+        Blocking.fired ~jobs ~shards ?mem_budget ~telemetry
+          ~label:"distinctness" distinctness_spec distinctness sr rt ss st)
   in
-  let nr = Array.length rt in
-  Telemetry.add telemetry "partition.pairs" (nr * Array.length st);
-  (* Enumerate all pairs in row-major order, merging against the (sorted,
-     sparse) fired lists with integer compares — cheaper per pair than a
-     hash lookup, and the dominant cost at scale. *)
+  (* [pairs_naive] is the theoretical |R|×|S| pair space; what the merge
+     actually enumerates is the blocking candidates ([pairs_considered])
+     plus the undetermined remainders. Recording the cross product under
+     the old single [partition.pairs] name made the blocked path read as
+     if it enumerated all of it. *)
+  Telemetry.add telemetry "partition.pairs_naive" (nr * ns);
+  if tele_on then
+    Telemetry.add telemetry "partition.pairs_considered"
+      (considered_counters telemetry - considered_before);
   let result =
     Telemetry.span telemetry "partition.merge" @@ fun () ->
+    (* A pair in both fired sets is an Inconsistent/Blocking_desync
+       witness; the merge below assumes the sets are disjoint, so detect
+       the conflict up front. [min_conflict] returns the row-major-
+       minimal shared pair — the one the naive nested scan raises on
+       first, whatever the job or shard count — and [decide] then raises
+       with the same witnessing rules. The scan is skipped entirely when
+       either side fired nothing (the common case: the flagship workload
+       has no distinctness firings at all), instead of paying a full
+       conflict scan per run for nothing. *)
+    (if Blocking.cardinality m > 0 && Blocking.cardinality d > 0 then
+       match Blocking.min_conflict m d with
+       | Some (i, j) ->
+           ignore (decide_pair sr rt.(i) ss st.(j) : verdict);
+           raise (Blocking_desync { r_tuple = rt.(i); s_tuple = st.(j) })
+       | None -> ());
     let m_rows = Blocking.row_lists m ~nr
     and d_rows = Blocking.row_lists d ~nr in
     if jobs <= 1 then begin
       let matched = ref [] and distinct = ref [] and unknown = ref [] in
-      merge_rows ~decide_pair sr rt ss st ~m_rows ~d_rows ~matched
-        ~distinct ~unknown 0 nr;
+      merge_rows rt st ~m_rows ~d_rows ~matched ~distinct ~unknown 0 nr;
       (List.rev !matched, List.rev !distinct, List.rev !unknown)
     end
     else begin
-      (* An inconsistent pair must raise from the row-major-minimal
-         conflict — the pair the serial scan hits first — not from
-         whichever chunk happens to reach one, so detect it up front
-         against the fired sets and let [decide] raise with the same
-         witnessing rules. *)
-      (match Blocking.min_conflict m d with
-      | Some (i, j) ->
-          ignore (decide_pair sr rt.(i) ss st.(j) : verdict);
-          raise (Blocking_desync { r_tuple = rt.(i); s_tuple = st.(j) })
-      | None -> ());
       Telemetry.add telemetry "parallel.chunks"
         (Parallel.chunk_count ~jobs nr);
       let chunks =
         Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
             let matched = ref [] and distinct = ref [] and unknown = ref [] in
-            merge_rows ~decide_pair sr rt ss st ~m_rows ~d_rows
-              ~matched ~distinct ~unknown start stop;
+            merge_rows rt st ~m_rows ~d_rows ~matched ~distinct ~unknown
+              start stop;
             (List.rev !matched, List.rev !distinct, List.rev !unknown))
       in
       (* Chunks cover ascending row ranges, so in-chunk-order
-         concatenation restores exactly the serial row-major output. *)
-      ( List.concat_map (fun (m, _, _) -> m) chunks,
-        List.concat_map (fun (_, d, _) -> d) chunks,
-        List.concat_map (fun (_, _, u) -> u) chunks )
+         concatenation restores exactly the serial row-major output. A
+         lone chunk (the below-threshold serial fallback) is returned
+         as-is: concat_map would copy the whole pair space again. *)
+      match chunks with
+      | [ single ] -> single
+      | chunks ->
+          ( List.concat_map (fun (m, _, _) -> m) chunks,
+            List.concat_map (fun (_, d, _) -> d) chunks,
+            List.concat_map (fun (_, _, u) -> u) chunks )
     end
   in
   (* Verdict counts are read off the finished lists — no accounting on

@@ -51,21 +51,34 @@ val decide :
     pair raises {!Inconsistent}, and with which witnessing rules — is
     identical to {!partition_naive}'s.
 
-    [jobs] (default [1]) > 1 runs the blocking probes and the pair
-    enumeration chunked over that many domains ({!Parallel}); chunk
-    results are concatenated in chunk order, so the three lists are
-    bit-identical to the serial engine's, and an inconsistency raises
-    from the row-major-minimal conflicting pair ({!Blocking.min_conflict})
-    with the same witnessing rules the serial scan reports. [jobs = 1]
-    takes the exact serial code path.
+    The merge enumerates only the fired pairs plus each row's
+    undetermined remainder against the sorted fired lists — never a
+    per-pair decision over the full cross product. A pair in both fired
+    sets (an inconsistent rule base) is detected up front from the sets
+    themselves: the engine raises from the row-major-minimal conflicting
+    pair ({!Blocking.min_conflict}) with the same witnessing rules the
+    naive serial scan reports, for every [jobs] and [shards] value; the
+    conflict pre-scan is skipped when either fired set is empty.
+
+    [jobs] (default [1]) > 1 runs the blocking probes and the merge
+    chunked over that many domains ({!Parallel}); chunk results are
+    concatenated in chunk order, so the three lists are bit-identical to
+    the serial engine's. [jobs = 1] takes the exact serial code path.
+
+    [shards] (default [1]) > 1 runs the keyed blocking rules key-sharded
+    with an optional spill budget of [mem_budget] bytes — see
+    {!Blocking.fired}. Results and stable counters are invariant in
+    both.
 
     [telemetry] (default {!Telemetry.off}) records the
     [partition.block.identity] / [partition.block.distinctness] /
-    [partition.merge] spans, the [partition.pairs] (naive |R|×|S|) and
+    [partition.merge] spans, the [partition.pairs_naive] (theoretical
+    |R|×|S|) and [partition.pairs_considered] (candidate pairs the
+    blocking passes actually proposed) counters, the
     [partition.matched] / [partition.distinct] / [partition.undetermined]
     counters, the per-kind blocking counters ({!Blocking.fired}), and
-    [parallel.chunks] (chunk utilisation; the one counter that varies
-    with [jobs] — everything else is jobs-invariant).
+    the [parallel.*] execution-configuration counters (the only ones
+    that vary with [jobs]/[shards] — everything else is invariant).
 
     [decide] (default {!decide} over the given rules) is what the
     both-fired arms re-run to reproduce the naive engine's
@@ -77,6 +90,8 @@ val decide :
     a pair for which [decide] does not raise. *)
 val partition :
   ?jobs:int ->
+  ?shards:int ->
+  ?mem_budget:int ->
   ?telemetry:Telemetry.t ->
   ?decide:
     (Relational.Schema.t ->

@@ -42,7 +42,9 @@ let count_outcome telemetry o =
   end;
   o
 
-let run ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) ~r ~s ~key ilfds =
+let run ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
+    ?(telemetry = Telemetry.off) ~r ~s ~key ilfds =
+  if shards <= 0 then invalid_arg "Identify.run: shards must be positive";
   let r_target = extension_schema r key
   and s_target = extension_schema s key in
   let r_ext =
@@ -60,33 +62,119 @@ let run ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) ~r ~s ~key ilfds =
   and s_kext = Tuple.plan s_target kext in
   let pairs =
     Telemetry.span telemetry "identify.join" @@ fun () ->
-    (* Hash-join R′ and S′ on K_Ext; tuples with any NULL key value never
-       match (non_null_eq). Buckets are built with one probe per tuple
-       and reversed once after the pass, not once per lookup. *)
-    let buckets = Hashtbl.create (max 16 (Relation.cardinality s_ext)) in
-    Relation.iter
-      (fun ts ->
-        let k = Tuple.project_with s_kext ts in
+    if shards = 1 then begin
+      (* Hash-join R′ and S′ on K_Ext; tuples with any NULL key value
+         never match (non_null_eq). Buckets are built with one probe per
+         tuple and reversed once after the pass, not once per lookup. *)
+      let buckets = Hashtbl.create (max 16 (Relation.cardinality s_ext)) in
+      Relation.iter
+        (fun ts ->
+          let k = Tuple.project_with s_kext ts in
+          if not (Tuple.has_null k) then begin
+            let key = Tuple.values k in
+            match Hashtbl.find_opt buckets key with
+            | Some partners -> partners := ts :: !partners
+            | None -> Hashtbl.add buckets key (ref [ ts ])
+          end)
+        s_ext;
+      Hashtbl.iter (fun _ partners -> partners := List.rev !partners) buckets;
+      Telemetry.add telemetry "identify.join.buckets"
+        (Hashtbl.length buckets);
+      let pairs = ref [] in
+      Relation.iter
+        (fun tr ->
+          let k = Tuple.project_with r_kext tr in
+          if not (Tuple.has_null k) then
+            match Hashtbl.find_opt buckets (Tuple.values k) with
+            | Some partners ->
+                List.iter (fun ts -> pairs := (tr, ts) :: !pairs) !partners
+            | None -> ())
+        r_ext;
+      List.rev !pairs
+    end
+    else begin
+      (* Grace hash join: matching tuples carry equal K_Ext values, so
+         hashing the key assigns every join bucket to exactly one shard.
+         S′ entries are buffered per shard with a spill budget of
+         [mem_budget / shards] bytes each — only one shard's hash table
+         is ever resident — and each R′ row's partners are written into
+         its own slot, so reading the slots back in ascending row order
+         reproduces the serial join output exactly, whatever the shard
+         count. *)
+      let tele_on = Telemetry.enabled telemetry in
+      let per_budget =
+        Option.map (fun b -> max 1024 (b / shards)) mem_budget
+      in
+      let s_parts =
+        Array.init shards (fun _ -> Shard.Spill.create ?budget:per_budget ())
+      in
+      Fun.protect ~finally:(fun () -> Array.iter Shard.Spill.close s_parts)
+      @@ fun () ->
+      Relation.iter
+        (fun ts ->
+          let k = Tuple.project_with s_kext ts in
+          if not (Tuple.has_null k) then begin
+            let kv = Tuple.values k in
+            Shard.Spill.add
+              s_parts.(Shard.router ~shards kv)
+              ~bytes:(Shard.estimate_values kv + 64)
+              (kv, ts)
+          end)
+        s_ext;
+      let rt = Array.of_list (Relation.tuples r_ext) in
+      let nr = Array.length rt in
+      let r_parts = Array.make shards [] in
+      for i = nr - 1 downto 0 do
+        let k = Tuple.project_with r_kext rt.(i) in
         if not (Tuple.has_null k) then begin
-          let key = Tuple.values k in
-          match Hashtbl.find_opt buckets key with
-          | Some partners -> partners := ts :: !partners
-          | None -> Hashtbl.add buckets key (ref [ ts ])
-        end)
-      s_ext;
-    Hashtbl.iter (fun _ partners -> partners := List.rev !partners) buckets;
-    Telemetry.add telemetry "identify.join.buckets" (Hashtbl.length buckets);
-    let pairs = ref [] in
-    Relation.iter
-      (fun tr ->
-        let k = Tuple.project_with r_kext tr in
-        if not (Tuple.has_null k) then
-          match Hashtbl.find_opt buckets (Tuple.values k) with
-          | Some partners ->
-              List.iter (fun ts -> pairs := (tr, ts) :: !pairs) !partners
-          | None -> ())
-      r_ext;
-    List.rev !pairs
+          let sh = Shard.router ~shards (Tuple.values k) in
+          r_parts.(sh) <- i :: r_parts.(sh)
+        end
+      done;
+      let partners = Array.make nr [] in
+      let buckets = ref 0
+      and spill_count = ref 0
+      and spill_bytes = ref 0 in
+      Array.iteri
+        (fun sh part ->
+          let tbl = Hashtbl.create (max 16 (Shard.Spill.length part)) in
+          Shard.Spill.iter part (fun (kv, ts) ->
+              match Hashtbl.find_opt tbl kv with
+              | Some l -> l := ts :: !l
+              | None -> Hashtbl.add tbl kv (ref [ ts ]));
+          Hashtbl.iter (fun _ l -> l := List.rev !l) tbl;
+          if tele_on then begin
+            buckets := !buckets + Hashtbl.length tbl;
+            spill_count := !spill_count + Shard.Spill.spills part;
+            spill_bytes := !spill_bytes + Shard.Spill.spilled_bytes part
+          end;
+          Shard.Spill.close part;
+          List.iter
+            (fun i ->
+              let k = Tuple.project_with r_kext rt.(i) in
+              match Hashtbl.find_opt tbl (Tuple.values k) with
+              | Some l -> partners.(i) <- !l
+              | None -> ())
+            r_parts.(sh))
+        s_parts;
+      if tele_on then begin
+        Telemetry.add telemetry "identify.join.buckets" !buckets;
+        Telemetry.add telemetry "parallel.shards" shards;
+        Telemetry.add telemetry "parallel.shard.spills" !spill_count;
+        Telemetry.add telemetry "parallel.shard.spilled_bytes" !spill_bytes
+      end;
+      let pairs = ref [] in
+      for i = nr - 1 downto 0 do
+        let tr = rt.(i) in
+        (* Partner lists are ascending; descending row order with a
+           right fold keeps the final list row-major ascending. *)
+        pairs :=
+          List.fold_right
+            (fun ts acc -> (tr, ts) :: acc)
+            partners.(i) !pairs
+      done;
+      !pairs
+    end
   in
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
   let r_key_plan = Tuple.plan r_target r_key
@@ -114,8 +202,9 @@ let run ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) ~r ~s ~key ilfds =
 
 let is_verified o = o.violations = []
 
-let run_rules ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) ~identity
-    ?(distinctness = []) ~r ~s ~key ilfds =
+let run_rules ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
+    ?(telemetry = Telemetry.off) ~identity ?(distinctness = []) ~r ~s ~key
+    ilfds =
   let r_target = extension_schema r key
   and s_target = extension_schema s key in
   let r_ext =
@@ -129,7 +218,8 @@ let run_rules ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) ~identity
           ilfds)
   in
   let matched, _, _ =
-    Decision.partition ~jobs ~telemetry ~identity ~distinctness r_ext s_ext
+    Decision.partition ~jobs ~shards ?mem_budget ~telemetry ~identity
+      ~distinctness r_ext s_ext
   in
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
   let r_key_plan = Tuple.plan r_target r_key

@@ -30,21 +30,36 @@ type outcome = {
   unmatched_s : Relational.Tuple.t list;  (** the S′ counterpart *)
 }
 
-(** [run ?mode ?jobs ?telemetry ~r ~s ~key ilfds]. [jobs] (default [1])
-    > 1 runs the ILFD extension of both relations chunked over that many
-    domains ({!Ilfd.Apply.extend_relation}); the outcome is identical
-    for every [jobs] value.
+(** [run ?mode ?jobs ?shards ?mem_budget ?telemetry ~r ~s ~key ilfds].
+    [jobs] (default [1]) > 1 runs the ILFD extension of both relations
+    chunked over that many domains ({!Ilfd.Apply.extend_relation}); the
+    outcome is identical for every [jobs] value.
+
+    [shards] (default [1]) > 1 runs the K_Ext join as a grace hash join:
+    S′ entries are routed by key hash into [shards] partitions
+    ({!Shard.router}) buffered with a spill-to-temp-file budget of
+    [mem_budget / shards] bytes each ({!Shard.Spill}), and each shard
+    builds and probes its own hash table with only that table resident —
+    the out-of-core configuration. Matching tuples carry equal key
+    values, so every join bucket lives in exactly one shard; per-row
+    partner slots read back in ascending row order make the outcome
+    identical for every [shards] value. [mem_budget] without
+    [shards > 1] has no effect.
 
     [telemetry] (default {!Telemetry.off}) records the
     [identify.extend_r] / [identify.extend_s] / [identify.join] spans,
     the [identify.pairs] / [identify.unmatched_r] / [identify.unmatched_s]
     / [identify.violations] / [identify.join.buckets] counters, and the
     ILFD extension counters ({!Ilfd.Apply.extend_relation}). Everything
-    outside the [parallel.*] namespace is identical for every [jobs].
+    outside the [parallel.*] namespace is identical for every [jobs] and
+    [shards] value.
+    @raise Invalid_argument when [shards <= 0].
     @raise Ilfd.Apply.Conflict_found in [Check_conflicts] mode. *)
 val run :
   ?mode:Ilfd.Apply.mode ->
   ?jobs:int ->
+  ?shards:int ->
+  ?mem_budget:int ->
   ?telemetry:Telemetry.t ->
   r:Relational.Relation.t ->
   s:Relational.Relation.t ->
@@ -66,14 +81,19 @@ val extension_schema :
     rules mention). Distinctness rules contribute nothing to MT but an
     {!Decision.Inconsistent} pair raises. [jobs] (default [1]) > 1
     parallelises both the ILFD extension and {!Decision.partition};
-    results — including which pair raises — are identical to serial.
-    [telemetry] additionally collects the {!Decision.partition} blocking
-    counters (candidate-pair reduction vs the cross product).
+    [shards] (default [1]) > 1 runs the keyed blocking rules key-sharded
+    with an optional [mem_budget] spill budget ({!Blocking.fired}).
+    Results — including which pair raises — are identical to serial for
+    every [jobs] and [shards] value. [telemetry] additionally collects
+    the {!Decision.partition} blocking counters (candidate-pair
+    reduction vs the cross product).
     @raise Decision.Inconsistent when an identity and a distinctness rule
     fire on the same pair. *)
 val run_rules :
   ?mode:Ilfd.Apply.mode ->
   ?jobs:int ->
+  ?shards:int ->
+  ?mem_budget:int ->
   ?telemetry:Telemetry.t ->
   identity:Rules.Identity.t list ->
   ?distinctness:Rules.Distinctness.t list ->

@@ -12,36 +12,91 @@
     Contract:
     + [0, n) is split into at most [jobs] contiguous chunks whose sizes
       differ by at most one, in ascending order;
-    + each chunk body runs on its own domain (the first on the calling
-      domain), with no shared mutable state unless the caller introduces
-      it;
+    + chunk bodies run concurrently on pool domains (the first on the
+      calling domain), with no shared mutable state unless the caller
+      introduces it;
     + results are returned in chunk order, so concatenating them yields
       the serial scan order;
-    + if chunk bodies raise, every domain is joined first and then the
-      exception of the {e lowest} failing chunk is re-raised — the one
-      the serial scan would have hit first, provided each body scans its
-      range in ascending order and stops at its first error. *)
+    + if chunk bodies raise, the whole batch is completed first and then
+      the exception of the {e lowest} failing chunk is re-raised — the
+      one the serial scan would have hit first, provided each body scans
+      its range in ascending order and stops at its first error;
+    + when [n < threshold] (default {!default_threshold}) the call runs
+      as a {e single serial chunk} on the calling domain, whatever
+      [jobs] — at that size the cross-domain handoff and GC interaction
+      cost more than the scan, which is precisely the small-input
+      regression the threshold removes.
+
+    {b Execution.} Worker domains are not spawned per call. The first
+    call that needs them builds a process-wide {!Pool} of parked domains
+    (work handed over via mutex/condition); subsequent calls reuse it,
+    growing it if they ask for more parallelism than any call before.
+    The pool is joined automatically at process exit. *)
 
 (** [default_jobs ()] is [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int
 
-(** [resolve jobs] — the effective job count: [None] and values [<= 0]
-    select {!default_jobs}; positive values pass through. The single
-    resolution rule every front end (CLI included) should reuse. *)
+(** [resolve jobs] — the effective job count: [None] selects
+    {!default_jobs}; positive values pass through. The single resolution
+    rule every front end (CLI included) should reuse.
+    @raise Invalid_argument on [Some j] with [j <= 0] — matching the
+    CLI, which rejects non-positive counts at parse time (its [0] means
+    "default" and must be translated to [None], not passed through). *)
 val resolve : int option -> int
 
-(** [chunk_count ?jobs n] — how many chunks {!map_chunks} with the same
-    arguments would use: [max 1 (min (resolve jobs) n)]. Exposed for
-    telemetry (chunk utilisation). *)
-val chunk_count : ?jobs:int -> int -> int
+(** Rows below which {!map_chunks} ignores [jobs] and runs one serial
+    chunk (4096). Override per call with [?threshold]; [~threshold:0]
+    forces the parallel path for any [n]. *)
+val default_threshold : int
 
-(** [map_chunks ?jobs n f] — run [f ~start ~stop] over a chunking of
-    [0, n) and return the per-chunk results in chunk order. [jobs]
-    defaults to {!default_jobs}; values [<= 0] also select the default;
-    [jobs = 1] (or [n <= 1]) runs the single chunk inline, spawning no
-    domain. *)
-val map_chunks : ?jobs:int -> int -> (start:int -> stop:int -> 'a) -> 'a list
+(** The reusable worker-domain pool behind {!map_chunks}. Exposed for
+    lifecycle tests and embedders that want their own pool lifetime;
+    ordinary callers never touch it. *)
+module Pool : sig
+  type t
 
-(** [iter_rows ?jobs n f] — run [f i] for every [i] in [0, n), chunked as
-    in {!map_chunks}. [f] must be safe to call concurrently. *)
-val iter_rows : ?jobs:int -> int -> (int -> unit) -> unit
+  (** A fresh pool with no workers; they are spawned on demand by
+      {!run_batch} and parked between batches. *)
+  val create : unit -> t
+
+  (** Current worker-domain count (grows, never shrinks). *)
+  val size : t -> int
+
+  (** Domains ever spawned by this pool — the reuse diagnostic: it must
+      not grow once the pool has seen the largest batch. *)
+  val spawned : t -> int
+
+  (** [run_batch t thunks] — run every thunk (the first on the calling
+      domain, which also helps drain the queue), returning per-thunk
+      results in order. *)
+  val run_batch : t -> (unit -> 'a) list -> ('a, exn) result list
+
+  (** Wake every worker, join them all, and empty the pool. The pool is
+      reusable afterwards (workers respawn on demand). *)
+  val shutdown : t -> unit
+end
+
+(** Domains ever spawned by the process-wide pool ([0] before the first
+    parallel call). A sequence of equal-[jobs] parallel calls must not
+    move this number — that is the whole point of the pool. *)
+val pool_spawned : unit -> int
+
+(** [chunk_count ?jobs ?threshold n] — how many chunks {!map_chunks}
+    with the same arguments would use: [1] below the threshold,
+    [max 1 (min (resolve jobs) n)] otherwise. Exposed for telemetry
+    (chunk utilisation). *)
+val chunk_count : ?jobs:int -> ?threshold:int -> int -> int
+
+(** [map_chunks ?jobs ?threshold n f] — run [f ~start ~stop] over a
+    chunking of [0, n) and return the per-chunk results in chunk order.
+    [jobs] defaults to {!default_jobs}; [jobs = 1], [n <= 1], or
+    [n < threshold] runs the single chunk inline on the calling domain,
+    touching no pool.
+    @raise Invalid_argument on negative [n] or non-positive [jobs]. *)
+val map_chunks :
+  ?jobs:int -> ?threshold:int -> int -> (start:int -> stop:int -> 'a) -> 'a list
+
+(** [iter_rows ?jobs ?threshold n f] — run [f i] for every [i] in
+    [0, n), chunked as in {!map_chunks}. [f] must be safe to call
+    concurrently. *)
+val iter_rows : ?jobs:int -> ?threshold:int -> int -> (int -> unit) -> unit

@@ -1,0 +1,108 @@
+(* Key-space sharding and budgeted spill buffers. See shard.mli for the
+   ordering and invariance contracts. *)
+
+module V = Relational.Value
+
+type key = V.t list
+
+let router ~shards key =
+  if shards <= 0 then invalid_arg "Shard.router: shards must be positive";
+  Hashtbl.hash key mod shards
+
+(* A cheap, stable per-value byte estimate: boxed scalars cost a couple
+   of words, strings their length plus a header. Exact heap accounting
+   (Obj.reachable_words) costs a traversal per tuple — far too much for
+   a hot partitioning loop — and the budget only needs to be honest to
+   within a small constant factor to bound memory. *)
+let estimate_value = function
+  | V.Null | V.Int _ | V.Bool _ -> 8
+  | V.Float _ -> 16
+  | V.String s -> 24 + String.length s
+
+let estimate_values vs = List.fold_left (fun a v -> a + estimate_value v) 16 vs
+
+module Spill = struct
+  type 'a t = {
+    budget : int option;
+    mutable buf : 'a list;  (* newest first; reversed on flush/iter *)
+    mutable buf_bytes : int;
+    mutable file : (string * out_channel) option;
+    mutable spills : int;
+    mutable spilled_bytes : int;
+    mutable count : int;
+  }
+
+  let create ?budget () =
+    (match budget with
+    | Some b when b <= 0 ->
+        invalid_arg "Shard.Spill.create: budget must be positive"
+    | _ -> ());
+    {
+      budget;
+      buf = [];
+      buf_bytes = 0;
+      file = None;
+      spills = 0;
+      spilled_bytes = 0;
+      count = 0;
+    }
+
+  let length t = t.count
+  let spills t = t.spills
+  let spilled_bytes t = t.spilled_bytes
+
+  let flush_buf t =
+    if t.buf <> [] then begin
+      let oc =
+        match t.file with
+        | Some (_, oc) -> oc
+        | None ->
+            let path, oc =
+              Filename.open_temp_file ~mode:[ Open_binary ]
+                "entity_ident_shard" ".spill"
+            in
+            t.file <- Some (path, oc);
+            oc
+      in
+      Marshal.to_channel oc (Array.of_list (List.rev t.buf)) [];
+      t.spills <- t.spills + 1;
+      t.spilled_bytes <- t.spilled_bytes + t.buf_bytes;
+      t.buf <- [];
+      t.buf_bytes <- 0
+    end
+
+  let add t ~bytes x =
+    t.buf <- x :: t.buf;
+    t.buf_bytes <- t.buf_bytes + bytes;
+    t.count <- t.count + 1;
+    match t.budget with
+    | Some budget when t.buf_bytes >= budget -> flush_buf t
+    | _ -> ()
+
+  let iter t f =
+    (match t.file with
+    | None -> ()
+    | Some (path, oc) ->
+        Stdlib.flush oc;
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec batches () =
+              match Marshal.from_channel ic with
+              | batch ->
+                  Array.iter f batch;
+                  batches ()
+              | exception End_of_file -> ()
+            in
+            batches ()));
+    List.iter f (List.rev t.buf)
+
+  let close t =
+    match t.file with
+    | None -> ()
+    | Some (path, oc) ->
+        close_out_noerr oc;
+        (try Sys.remove path with Sys_error _ -> ());
+        t.file <- None
+end

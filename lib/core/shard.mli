@@ -1,0 +1,70 @@
+(** Key-space sharding and budgeted spill-to-disk buffers.
+
+    The blocked pipeline is embarrassingly partitionable by blocking
+    key: a rule (or the K_Ext join) can only relate tuples whose key
+    projections are {e equal}, so hashing the key value assigns every
+    bucket — and with it every candidate pair — to exactly one shard.
+    Shards are then processed one at a time: only one shard's hash
+    table is resident, and the buffered shard inputs spill to temp
+    files when they exceed a memory budget. That is what takes the
+    pair-space sweeps from memory-bound to out-of-core
+    ({!Blocking.fired}, {!Identify.run}).
+
+    Because every row's key lives in exactly one shard, emitting shard
+    results into per-row slots and reading the slots back in ascending
+    row order reproduces the serial row-major output exactly, whatever
+    the shard count — the merge discipline that keeps sharded execution
+    observationally identical to [shards = 1]. *)
+
+(** A blocking/join key: the projected attribute values. *)
+type key = Relational.Value.t list
+
+(** [router ~shards key] — the shard owning [key], in [0, shards).
+    Deterministic across runs and processes (no hash randomisation).
+    @raise Invalid_argument when [shards <= 0]. *)
+val router : shards:int -> key -> int
+
+(** A cheap byte estimate of a key (or any value list) for budget
+    accounting: boxed scalars a couple of words, strings their length
+    plus a header. Honest to a small constant factor, O(values) cheap —
+    deliberately {e not} [Obj.reachable_words]. *)
+val estimate_values : Relational.Value.t list -> int
+
+(** Append-only buffers that overflow to a temp file.
+
+    Items accumulate in memory until the running byte estimate reaches
+    the budget, at which point the whole buffer is marshalled to the
+    buffer's temp file as one batch. {!Spill.iter} replays items in
+    {e insertion order} (spilled batches first — they are strictly
+    older — then the in-memory remainder), which is what preserves the
+    ascending-index order the sharded engines rely on. *)
+module Spill : sig
+  type 'a t
+
+  (** [create ?budget ()] — unbounded in memory when [budget] is
+      omitted; otherwise spills every time the buffered estimate
+      reaches [budget] bytes.
+      @raise Invalid_argument when [budget <= 0]. *)
+  val create : ?budget:int -> unit -> 'a t
+
+  (** [add t ~bytes x] — append [x], charging [bytes] against the
+      budget. *)
+  val add : 'a t -> bytes:int -> 'a -> unit
+
+  (** Items added so far (buffered + spilled). *)
+  val length : 'a t -> int
+
+  (** Flush events so far — [> 0] iff the buffer went out-of-core. *)
+  val spills : 'a t -> int
+
+  (** Total estimated bytes written to disk. *)
+  val spilled_bytes : 'a t -> int
+
+  (** [iter t f] — every item in insertion order. May be called more
+      than once; the buffer remains intact. *)
+  val iter : 'a t -> ('a -> unit) -> unit
+
+  (** Remove the temp file, if any. The buffer must not be used after.
+      Idempotent; never raises on a missing file. *)
+  val close : 'a t -> unit
+end

@@ -124,11 +124,10 @@ let derived t =
         else metrics
       in
       let metrics =
-        if have "partition.pairs" then
+        if have "partition.pairs_naive" then
           ( "candidate_pair_reduction",
-            reduction (c "partition.pairs")
-              (c "blocking.identity.candidates"
-              + c "blocking.distinctness.candidates") )
+            reduction (c "partition.pairs_naive")
+              (c "partition.pairs_considered") )
           :: metrics
         else metrics
       in

@@ -82,9 +82,11 @@ val spans : t -> span_stat list
 
 (** Derived metrics computed from the pipeline's counter conventions,
     each guarded against zero denominators (never NaN/infinite):
-    - ["candidate_pair_reduction"]: [partition.pairs] over the blocking
-      candidates actually evaluated (capped at [partition.pairs] when
-      blocking pruned everything); present when a partition ran.
+    - ["candidate_pair_reduction"]: [partition.pairs_naive] (the
+      theoretical |R|×|S| pair space) over [partition.pairs_considered]
+      (the candidate pairs blocking actually proposed; capped at
+      [partition.pairs_naive] when blocking pruned everything); present
+      when a partition ran.
     - ["ilfd_memo_hit_rate"]: [ilfd.memo_hits / ilfd.tuples] (0 when no
       tuples were extended); present when an extension ran. *)
 val derived : t -> (string * float) list

@@ -46,13 +46,15 @@ bench_dir=$(mktemp -d)
   cd "$bench_dir"
   BENCH_SMOKE=1 "$OLDPWD"/_build/default/bench/main.exe partition
   BENCH_SMOKE=1 "$OLDPWD"/_build/default/bench/main.exe parallel
-  if grep -q '"agree": false' BENCH_partition.json BENCH_parallel.json; then
+  BENCH_SMOKE=1 "$OLDPWD"/_build/default/bench/main.exe shard
+  if grep -q '"agree": false' BENCH_partition.json BENCH_parallel.json \
+      BENCH_shard.json; then
     echo "CI: bench agreement check failed" >&2
     exit 1
   fi
   # The stats-enabled artefacts must be well-formed JSON with no
   # non-finite numbers and the keys downstream tooling reads.
-  for f in BENCH_partition.json BENCH_parallel.json; do
+  for f in BENCH_partition.json BENCH_parallel.json BENCH_shard.json; do
     if grep -Eq '(^|[^a-zA-Z])(nan|inf)' "$f"; then
       echo "CI: non-finite number in $f" >&2
       exit 1
@@ -62,7 +64,8 @@ bench_dir=$(mktemp -d)
     python3 - <<'EOF'
 import json, sys
 
-for path in ("BENCH_partition.json", "BENCH_parallel.json"):
+for path in ("BENCH_partition.json", "BENCH_parallel.json",
+             "BENCH_shard.json"):
     with open(path) as f:
         doc = json.load(f)  # raises on malformed JSON
     for key in ("results", "stats"):
@@ -86,6 +89,26 @@ for path in ("BENCH_partition.json", "BENCH_parallel.json"):
 doc = json.load(open("BENCH_parallel.json"))
 if doc.get("stats_jobs_invariant") is not True:
     sys.exit("CI: telemetry counters differ between job counts")
+
+# The small-input regression gate: at 1k x 1k the parallel partition
+# must cost at most 15% over serial (spawn-per-call made jobs=2 run
+# 14x slower; the pool + serial-fallback threshold is what this holds).
+rows = {(r["n_r"], r["jobs"]): r["ms"] for r in doc["results"]}
+serial, j2 = rows.get((1000, 1)), rows.get((1000, 2))
+if serial is None or j2 is None:
+    sys.exit("CI: parallel bench smoke sweep is missing the 1k x 1k rows")
+if j2 > serial * 1.15:
+    sys.exit(
+        f"CI: jobs=2 at 1k x 1k took {j2:.2f} ms vs {serial:.2f} ms serial "
+        "(> 1.15x) — the small-input parallel regression is back")
+
+doc = json.load(open("BENCH_shard.json"))
+if doc.get("stats_shards_invariant") is not True:
+    sys.exit("CI: telemetry counters differ between shard counts")
+if not any(r["agree"] for r in doc["results"]):
+    sys.exit("CI: shard bench recorded no agreeing configuration")
+if not any(r["spills"] > 0 for r in doc["results"]):
+    sys.exit("CI: shard bench smoke run never exercised the spill path")
 print("CI: bench JSON artefacts are well-formed")
 EOF
   fi

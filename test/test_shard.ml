@@ -1,0 +1,217 @@
+(* Tests for the sharded-execution substrate: the key router, the
+   budgeted spill buffers, the domain pool's reuse/fallback behaviour,
+   and the end-to-end invariance of the pipeline in the shard count. *)
+
+module R = Relational
+module E = Entity_id
+open Helpers
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ---- router ---- *)
+
+let router_tests =
+  [
+    case "router lands in [0, shards) and is deterministic" (fun () ->
+        let keys =
+          [ [ v "a" ]; [ v "a"; vi 3 ]; [ R.Value.null ]; [ vi 42 ] ]
+        in
+        List.iter
+          (fun shards ->
+            List.iter
+              (fun key ->
+                let sh = E.Shard.router ~shards key in
+                Alcotest.(check bool) "in range" true (sh >= 0 && sh < shards);
+                Alcotest.(check int) "deterministic" sh
+                  (E.Shard.router ~shards key))
+              keys)
+          [ 1; 2; 7 ]);
+    case "one shard owns everything" (fun () ->
+        Alcotest.(check int) "" 0 (E.Shard.router ~shards:1 [ v "anything" ]));
+    check_raises_any "router rejects shards = 0" (fun () ->
+        E.Shard.router ~shards:0 [ v "x" ]);
+    case "estimate grows with string size" (fun () ->
+        let small = E.Shard.estimate_values [ v "ab" ]
+        and large = E.Shard.estimate_values [ v (String.make 100 'x') ] in
+        Alcotest.(check bool) "positive" true (small > 0);
+        Alcotest.(check bool) "monotone" true (large > small));
+  ]
+
+(* ---- spill buffers ---- *)
+
+let spill_tests =
+  [
+    case "unbudgeted buffer keeps insertion order in memory" (fun () ->
+        let t = E.Shard.Spill.create () in
+        for i = 0 to 99 do
+          E.Shard.Spill.add t ~bytes:8 i
+        done;
+        Alcotest.(check int) "length" 100 (E.Shard.Spill.length t);
+        Alcotest.(check int) "no spills" 0 (E.Shard.Spill.spills t);
+        let seen = ref [] in
+        E.Shard.Spill.iter t (fun i -> seen := i :: !seen);
+        Alcotest.(check (list int)) "order" (List.init 100 Fun.id)
+          (List.rev !seen);
+        E.Shard.Spill.close t);
+    case "tight budget spills and replays in insertion order" (fun () ->
+        (* 8 bytes per item against a 32-byte budget: a flush every 4
+           items, with a 2-item in-memory remainder at the end — both the
+           on-disk batches and the tail must replay in order. *)
+        let t = E.Shard.Spill.create ~budget:32 () in
+        for i = 0 to 29 do
+          E.Shard.Spill.add t ~bytes:8 i
+        done;
+        Alcotest.(check int) "length" 30 (E.Shard.Spill.length t);
+        Alcotest.(check bool) "spilled" true (E.Shard.Spill.spills t > 0);
+        Alcotest.(check bool) "bytes accounted" true
+          (E.Shard.Spill.spilled_bytes t > 0);
+        let replay () =
+          let seen = ref [] in
+          E.Shard.Spill.iter t (fun i -> seen := i :: !seen);
+          List.rev !seen
+        in
+        Alcotest.(check (list int)) "order" (List.init 30 Fun.id) (replay ());
+        (* iter is non-destructive: a second pass sees the same stream. *)
+        Alcotest.(check (list int)) "re-iterable" (List.init 30 Fun.id)
+          (replay ());
+        E.Shard.Spill.close t;
+        E.Shard.Spill.close t (* idempotent *));
+    case "spilled structured values survive the round trip" (fun () ->
+        let t = E.Shard.Spill.create ~budget:64 () in
+        let items =
+          List.init 20 (fun i -> ([ v (Printf.sprintf "k%d" i) ], i))
+        in
+        List.iter
+          (fun ((kv, _) as item) ->
+            E.Shard.Spill.add t ~bytes:(E.Shard.estimate_values kv) item)
+          items;
+        let seen = ref [] in
+        E.Shard.Spill.iter t (fun item -> seen := item :: !seen);
+        Alcotest.(check bool) "identical" true (List.rev !seen = items);
+        E.Shard.Spill.close t);
+    check_raises_any "budget must be positive" (fun () ->
+        E.Shard.Spill.create ~budget:0 ());
+  ]
+
+(* ---- the domain pool ---- *)
+
+let pool_tests =
+  [
+    case "resolve rejects non-positive job counts" (fun () ->
+        Alcotest.(check int) "passthrough" 3 (Parallel.resolve (Some 3));
+        Alcotest.(check bool) "default positive" true
+          (Parallel.resolve None > 0);
+        let raises j =
+          match Parallel.resolve (Some j) with
+          | _ -> false
+          | exception Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "jobs = 0" true (raises 0);
+        Alcotest.(check bool) "jobs = -4" true (raises (-4)));
+    case "small inputs fall back to one serial chunk" (fun () ->
+        let before = Parallel.pool_spawned () in
+        let chunks =
+          Parallel.map_chunks ~jobs:4 100 (fun ~start ~stop -> (start, stop))
+        in
+        Alcotest.(check (list (pair int int))) "one chunk" [ (0, 100) ] chunks;
+        Alcotest.(check int) "chunk_count agrees" 1
+          (Parallel.chunk_count ~jobs:4 100);
+        Alcotest.(check int) "no domains spawned" before
+          (Parallel.pool_spawned ()));
+    case "above the threshold the pool engages and is reused" (fun () ->
+        (* threshold:1 forces the pool even on a small range; repeated
+           batches must not spawn fresh domains — that spawn-per-call
+           cost was the 14x small-input regression. *)
+        let run () =
+          Parallel.map_chunks ~jobs:2 ~threshold:1 64 (fun ~start ~stop ->
+              let s = ref 0 in
+              for i = start to stop - 1 do
+                s := !s + i
+              done;
+              !s)
+        in
+        let total l = List.fold_left ( + ) 0 l in
+        Alcotest.(check int) "sum" (64 * 63 / 2) (total (run ()));
+        let after_first = Parallel.pool_spawned () in
+        Alcotest.(check bool) "spawned something" true (after_first > 0);
+        for _ = 1 to 10 do
+          Alcotest.(check int) "sum" (64 * 63 / 2) (total (run ()))
+        done;
+        Alcotest.(check int) "no further spawns" after_first
+          (Parallel.pool_spawned ()));
+    case "chunk exceptions re-raise from the lowest chunk" (fun () ->
+        match
+          Parallel.map_chunks ~jobs:4 ~threshold:1 16 (fun ~start ~stop:_ ->
+              if start >= 0 then failwith (string_of_int start))
+        with
+        | _ -> Alcotest.fail "expected an exception"
+        | exception Failure s -> Alcotest.(check string) "chunk 0" "0" s);
+  ]
+
+(* ---- shard invariance of the pipeline ---- *)
+
+let instance () =
+  Workload.Restaurant.generate
+    { Workload.Restaurant.default with n_entities = 60; seed = 11 }
+
+let pair_equal (a1, a2) (b1, b2) = R.Tuple.equal a1 b1 && R.Tuple.equal a2 b2
+let pairs = Alcotest.testable (fun ppf _ -> Format.fprintf ppf "<pairs>")
+    (List.equal pair_equal)
+
+let invariance_tests =
+  [
+    case "Identify.run is invariant in the shard count" (fun () ->
+        let inst = instance () in
+        let run shards mem_budget =
+          E.Identify.run ~shards ?mem_budget ~r:inst.r ~s:inst.s ~key:inst.key
+            inst.ilfds
+        in
+        let base = run 1 None in
+        List.iter
+          (fun shards ->
+            (* The 4 KiB budget forces the spill path at 60 entities. *)
+            let o = run shards (Some 4096) in
+            Alcotest.check pairs
+              (Printf.sprintf "pairs shards=%d" shards)
+              base.pairs o.pairs;
+            Alcotest.(check bool)
+              (Printf.sprintf "entries shards=%d" shards)
+              true
+              (mt_entries_equal base.matching_table o.matching_table);
+            Alcotest.(check (list (pair int int))) "extended untouched" []
+              [])
+          [ 2; 7 ]);
+    case "Decision.partition is invariant in the shard count" (fun () ->
+        let inst = instance () in
+        let identity = [ E.Extended_key.equivalence_rule inst.key ] in
+        let r_ext = inst.r and s_ext = inst.s in
+        let part shards mem_budget =
+          E.Decision.partition ~shards ?mem_budget ~identity ~distinctness:[]
+            r_ext s_ext
+        in
+        let m1, d1, u1 = part 1 None in
+        List.iter
+          (fun shards ->
+            let m, d, u = part shards (Some 2048) in
+            Alcotest.check pairs "matched" m1 m;
+            Alcotest.check pairs "distinct" d1 d;
+            Alcotest.check pairs "undetermined" u1 u)
+          [ 2; 7 ]);
+    check_raises_any "Identify.run rejects shards = 0" (fun () ->
+        let inst = instance () in
+        E.Identify.run ~shards:0 ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds);
+    check_raises_any "Blocking.fired rejects shards = -1" (fun () ->
+        let inst = instance () in
+        E.Decision.partition ~shards:(-1)
+          ~identity:[ E.Extended_key.equivalence_rule inst.key ]
+          ~distinctness:[] inst.r inst.s);
+  ]
+
+let () =
+  Alcotest.run "shard"
+    [
+      ("router", router_tests);
+      ("spill", spill_tests);
+      ("pool", pool_tests);
+      ("invariance", invariance_tests);
+    ]

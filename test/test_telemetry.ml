@@ -87,10 +87,10 @@ let sink_tests =
     case "counters_stable filters the parallel namespace" (fun () ->
         let t = Telemetry.create () in
         Telemetry.add t "parallel.chunks" 7;
-        Telemetry.add t "partition.pairs" 9;
+        Telemetry.add t "partition.pairs_naive" 9;
         Alcotest.(check (list (pair string int)))
           ""
-          [ ("partition.pairs", 9) ]
+          [ ("partition.pairs_naive", 9) ]
           (Telemetry.counters_stable t));
     case "reset clears everything" (fun () ->
         let t = Telemetry.create () in
@@ -101,7 +101,7 @@ let sink_tests =
         Alcotest.(check int) "spans" 0 (List.length (Telemetry.spans t)));
     case "json renders finite numbers and expected keys" (fun () ->
         let t = Telemetry.create () in
-        Telemetry.add t "partition.pairs" 100;
+        Telemetry.add t "partition.pairs_naive" 100;
         Telemetry.add t "blocking.identity.candidates" 0;
         Telemetry.add t "blocking.distinctness.candidates" 0;
         Telemetry.add t "ilfd.tuples" 0;
@@ -114,7 +114,7 @@ let sink_tests =
             "\"counters\"";
             "\"spans\"";
             "\"derived\"";
-            "\"partition.pairs\":100";
+            "\"partition.pairs_naive\":100";
             "\"phase\":{\"ms\":";
             "\"candidate_pair_reduction\"";
             "\"ilfd_memo_hit_rate\"";
@@ -127,7 +127,8 @@ let sink_tests =
         let t = Telemetry.create () in
         Telemetry.add t "ilfd.tuples" 0;
         Telemetry.add t "ilfd.memo_hits" 0;
-        Telemetry.add t "partition.pairs" 0;
+        Telemetry.add t "partition.pairs_naive" 0;
+        Telemetry.add t "partition.pairs_considered" 0;
         List.iter
           (fun (_, value) ->
             Alcotest.(check bool) "finite" true (Float.is_finite value))
@@ -136,11 +137,11 @@ let sink_tests =
 
 (* ---- the pipeline contract ---- *)
 
-let run_paper_pipeline ?(jobs = 1) () =
+let run_paper_pipeline ?(jobs = 1) ?(shards = 1) ?mem_budget () =
   let telemetry = Telemetry.create () in
   let o =
-    E.Identify.run ~jobs ~telemetry ~r:PD.table5_r ~s:PD.table5_s
-      ~key:PD.example3_key PD.ilfds_i1_i8
+    E.Identify.run ~jobs ~shards ?mem_budget ~telemetry ~r:PD.table5_r
+      ~s:PD.table5_s ~key:PD.example3_key PD.ilfds_i1_i8
   in
   (telemetry, o)
 
@@ -148,11 +149,11 @@ let restaurant_instance () =
   Workload.Restaurant.generate
     { Workload.Restaurant.default with n_entities = 40; seed = 7 }
 
-let run_rules_pipeline ?(jobs = 1) () =
+let run_rules_pipeline ?(jobs = 1) ?(shards = 1) ?mem_budget () =
   let telemetry = Telemetry.create () in
   let inst = restaurant_instance () in
   let o =
-    E.Identify.run_rules ~jobs ~telemetry
+    E.Identify.run_rules ~jobs ~shards ?mem_budget ~telemetry
       ~identity:[ E.Extended_key.equivalence_rule inst.key ]
       ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
   in
@@ -178,7 +179,7 @@ let pipeline_tests =
         let t, _ = run_rules_pipeline () in
         let c = Telemetry.counter t in
         Alcotest.(check int) "matched + distinct + undetermined = pairs"
-          (c "partition.pairs")
+          (c "partition.pairs_naive")
           (c "partition.matched" + c "partition.distinct"
           + c "partition.undetermined"));
     case "blocking counters expose the candidate reduction" (fun () ->
@@ -188,7 +189,14 @@ let pipeline_tests =
            pairs of the only identity rule, and every match came through
            it. *)
         Alcotest.(check bool) "candidates <= pairs" true
-          (c "blocking.identity.candidates" <= c "partition.pairs");
+          (c "blocking.identity.candidates" <= c "partition.pairs_naive");
+        (* The considered count is precisely what the two blocking passes
+           proposed — the actually-enumerated pair space the reduction
+           metric divides by. *)
+        Alcotest.(check int) "pairs_considered = blocking candidates"
+          (c "blocking.identity.candidates"
+          + c "blocking.distinctness.candidates")
+          (c "partition.pairs_considered");
         Alcotest.(check int) "fired = matched" (List.length o.pairs)
           (c "blocking.identity.fired");
         Alcotest.(check bool) "per-rule breakdown present" true
@@ -231,6 +239,22 @@ let pipeline_tests =
           "identify jobs 1 = jobs 3"
           (Telemetry.counters_stable i1)
           (Telemetry.counters_stable i4));
+    case "stable counters are shards-invariant" (fun () ->
+        (* The 2 KiB budget forces the spill path; spill/shard accounting
+           stays in the parallel.* namespace, so the stable sets must
+           still be byte-identical. *)
+        let t1, _ = run_rules_pipeline ~shards:1 () in
+        let t5, _ = run_rules_pipeline ~shards:5 ~mem_budget:2048 () in
+        Alcotest.(check (list (pair string int)))
+          "shards 1 = shards 5"
+          (Telemetry.counters_stable t1)
+          (Telemetry.counters_stable t5);
+        let i1, _ = run_paper_pipeline ~shards:1 () in
+        let i3, _ = run_paper_pipeline ~shards:3 ~mem_budget:2048 () in
+        Alcotest.(check (list (pair string int)))
+          "identify shards 1 = shards 3"
+          (Telemetry.counters_stable i1)
+          (Telemetry.counters_stable i3));
     case "disabled telemetry changes nothing" (fun () ->
         let _, on = run_rules_pipeline () in
         let inst = restaurant_instance () in
