@@ -75,10 +75,55 @@ let measure n =
   let blocked_ms = best_of reps blocked in
   { n; naive_ms; blocked_ms; speedup = safe_speedup naive_ms blocked_ms; agree }
 
+(* The extension phase head-to-head: the production semi-naive fixpoint
+   vs the per-tuple recursive reference engine, on a restaurant instance
+   sized so both sides hold about a thousand tuples (the generator's 0.8
+   coverage over n_entities). Exact agreement is asserted on both
+   relations before timing. *)
+type ext_row = {
+  ext_n_r : int;
+  ext_n_s : int;
+  fixpoint_ms : float;
+  recursive_ms : float;
+  ext_speedup : float;
+  ext_agree : bool;
+}
+
+let measure_extension () =
+  let n_entities =
+    if Sys.getenv_opt "BENCH_SMOKE" <> None then 300 else 1250
+  in
+  let inst =
+    Workload.Restaurant.generate
+      { Workload.Restaurant.default with n_entities; seed = 5 }
+  in
+  let r_target = E.Identify.extension_schema inst.r inst.key
+  and s_target = E.Identify.extension_schema inst.s inst.key in
+  let fixpoint () =
+    ( Ilfd.Apply.extend_relation inst.r ~target:r_target inst.ilfds,
+      Ilfd.Apply.extend_relation inst.s ~target:s_target inst.ilfds )
+  and recursive () =
+    ( Ilfd.Apply.extend_relation_recursive inst.r ~target:r_target inst.ilfds,
+      Ilfd.Apply.extend_relation_recursive inst.s ~target:s_target inst.ilfds
+    )
+  in
+  let fr, fs = fixpoint () and rr, rs = recursive () in
+  let ext_agree = R.Relation.equal fr rr && R.Relation.equal fs rs in
+  let fixpoint_ms = best_of 3 fixpoint in
+  let recursive_ms = best_of 3 recursive in
+  {
+    ext_n_r = R.Relation.cardinality inst.r;
+    ext_n_s = R.Relation.cardinality inst.s;
+    fixpoint_ms;
+    recursive_ms;
+    ext_speedup = safe_speedup recursive_ms fixpoint_ms;
+    ext_agree;
+  }
+
 (* The telemetry story for the JSON artefact: one full [run_rules] pass
    over the restaurant workload (extended-key identity rule over the
    ILFD-extended relations), so the stats block carries blocking,
-   partition, ILFD-memo and phase-timing numbers at once. *)
+   partition, ILFD-fixpoint and phase-timing numbers at once. *)
 let stats_json () =
   let inst = Workload.Restaurant.generate Workload.Restaurant.default in
   let telemetry = Telemetry.create () in
@@ -88,7 +133,7 @@ let stats_json () =
        ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds);
   Telemetry.to_json telemetry
 
-let json_of_rows rows =
+let json_of_rows rows ext =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"benchmark\": \"partition_naive_vs_blocked\",\n";
@@ -105,6 +150,12 @@ let json_of_rows rows =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"extension\": {\"n_r\": %d, \"n_s\": %d, \"fixpoint_ms\": %.3f, \
+        \"recursive_ms\": %.3f, \"speedup\": %.2f, \"agree\": %b},\n"
+       ext.ext_n_r ext.ext_n_s ext.fixpoint_ms ext.recursive_ms
+       ext.ext_speedup ext.ext_agree);
   Buffer.add_string buf ("  \"stats\": " ^ stats_json () ^ "\n");
   Buffer.add_string buf "}\n";
   Buffer.contents buf
@@ -134,11 +185,29 @@ let all () =
               string_of_bool agree;
             ])
           rows));
+  let ext = measure_extension () in
+  print_string
+    (R.Pretty.render_rows
+       ~header:[ "extension |R|,|S|"; "recursive"; "fixpoint"; "speedup"; "agree" ]
+       [
+         [
+           Printf.sprintf "%d,%d" ext.ext_n_r ext.ext_n_s;
+           Printf.sprintf "%.2f ms" ext.recursive_ms;
+           Printf.sprintf "%.2f ms" ext.fixpoint_ms;
+           Printf.sprintf "%.1fx" ext.ext_speedup;
+           string_of_bool ext.ext_agree;
+         ];
+       ]);
   let out = open_out "BENCH_partition.json" in
-  output_string out (json_of_rows rows);
+  output_string out (json_of_rows rows ext);
   close_out out;
   print_endline "wrote BENCH_partition.json";
   if List.exists (fun row -> not row.agree) rows then begin
     prerr_endline "partition_bench: blocked partition DISAGREES with naive";
+    exit 1
+  end;
+  if not ext.ext_agree then begin
+    prerr_endline
+      "partition_bench: fixpoint extension DISAGREES with recursive engine";
     exit 1
   end

@@ -140,7 +140,8 @@ let stats_arg =
            None
        & info [ "stats" ] ~docv:"FORMAT"
            ~doc:"Collect pipeline telemetry (phase timings, candidate-pair \
-                 reduction, memo hit rate) and print it after the normal \
+                 reduction, fixpoint rounds and class sharing) and print it \
+                 after the normal \
                  output; $(docv) is json or pretty (plain --stats means \
                  pretty).")
 

@@ -80,8 +80,8 @@ let rebuild rel rows =
     rows
 
 (* The from-first-principles reference: extend every tuple individually
-   (no memo, no blocking) and nested-loop join on the full extended
-   key — Section 4.2 executed literally. *)
+   with the recursive engine (no fixpoint, no blocking) and nested-loop
+   join on the full extended key — Section 4.2 executed literally. *)
 
 let manual_extension (sc : Scenario.t) rel =
   let schema = R.Relation.schema rel in
@@ -172,13 +172,15 @@ let describe_conflict (c : Ilfd.Apply.conflict) =
 
 (* ---- the checks, in their fixed order ---- *)
 
-let check_memo (sc : Scenario.t) (base : Identify.outcome) =
+let check_fixpoint (sc : Scenario.t) (base : Identify.outcome) =
   let side name rel ext =
     let _, manual = manual_extension sc rel in
     if List.equal R.Tuple.equal manual (R.Relation.tuples ext) then Ok ()
     else
-      fail "ilfd-memo"
-        "%s': memoised extension disagrees with per-tuple derivation" name
+      fail "fixpoint-agreement"
+        "%s': semi-naive fixpoint extension disagrees with per-tuple \
+         recursive derivation"
+        name
   in
   let* () = side "R" sc.r base.r_extended in
   side "S" sc.s base.s_extended
@@ -469,7 +471,7 @@ let run ?(fault = No_fault) ?(telemetry = Telemetry.off) (sc : Scenario.t) =
         ~s_key_attrs:(R.Relation.primary_key sc.s)
         engine_entries
     in
-    let* () = check_memo sc base in
+    let* () = check_fixpoint sc base in
     let* () =
       entry_sets_equal "verdict-tables" ~left:"engine" ~right:"reference"
         engine_entries (reference_entries sc)

@@ -1,8 +1,9 @@
 (** The differential/metamorphic oracle: one scenario, every engine, one
     verdict.
 
-    A scenario is pushed through the whole engine matrix — per-tuple vs
-    memoised ILFD extension, the naive reference join, the blocked
+    A scenario is pushed through the whole engine matrix — recursive
+    per-tuple vs semi-naive fixpoint ILFD extension
+    ([fixpoint-agreement]), the naive reference join, the blocked
     partition, the parallel executor, the rule-driven matcher, the
     incremental replay, k-ary clustering — and through the metamorphic
     transformations (ILFD prefixes, tuple removal, tuple-order

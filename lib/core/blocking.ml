@@ -1,6 +1,7 @@
 module Schema = Relational.Schema
 module Tuple = Relational.Tuple
 module V = Relational.Value
+module Columnar = Relational.Columnar
 
 module Itbl = Hashtbl.Make (Int)
 
@@ -17,7 +18,7 @@ let row_lists set ~nr =
       let i = id / set.ns in
       rows.(i) <- (id mod set.ns) :: rows.(i))
     set.fired;
-  Array.map (List.sort compare) rows
+  Array.map (List.sort Int.compare) rows
 
 let min_conflict a b =
   if a.ns <> b.ns then invalid_arg "Blocking.min_conflict: mismatched sides";
@@ -35,27 +36,12 @@ let min_conflict a b =
 type 'rule spec = {
   rule_name : 'rule -> string;
   blocking_key : 'rule -> string list option;
+  equality_only : 'rule -> bool;
   applies :
     'rule -> Schema.t -> Tuple.t -> Schema.t -> Tuple.t -> V.truth;
   compile :
     'rule -> Schema.t -> Schema.t -> Tuple.t -> Tuple.t -> V.truth;
 }
-
-(* Group tuple indices by their (non-NULL) projection on [attrs]. *)
-let bucket_by schema tuples attrs =
-  let plan = Tuple.plan schema attrs in
-  let tbl = Hashtbl.create (max 16 (Array.length tuples)) in
-  Array.iteri
-    (fun i t ->
-      let key = Tuple.project_with plan t in
-      if not (Tuple.has_null key) then begin
-        let k = Tuple.values key in
-        match Hashtbl.find_opt tbl k with
-        | Some l -> l := i :: !l
-        | None -> Hashtbl.add tbl k (ref [ i ])
-      end)
-    tuples;
-  tbl
 
 let fired ?(jobs = 1) ?(shards = 1) ?mem_budget ?(telemetry = Telemetry.off)
     ?(label = "") spec rules sr rt ss st =
@@ -67,16 +53,29 @@ let fired ?(jobs = 1) ?(shards = 1) ?mem_budget ?(telemetry = Telemetry.off)
   let pfx = if label = "" then "blocking" else "blocking." ^ label in
   let tele_on = Telemetry.enabled telemetry in
   let chunks = ref 0 and spill_count = ref 0 and spill_bytes = ref 0 in
+  (* Interned column views of both sides, shared by every rule's coded
+     buckets; forced only when some rule can block at shards = 1. *)
+  let r_coded = lazy (Columnar.encode sr rt)
+  and s_coded = lazy (Columnar.encode ss st) in
   List.iter
     (fun rule ->
       let fired_before = if tele_on then Itbl.length set.fired else 0 in
-      (* Resolve the rule's attribute lookups against the two schemas
-         once; [hits] is then pure array/hash work per candidate pair. *)
-      let applies_lr = spec.compile rule sr ss
-      and applies_rl = spec.compile rule ss sr in
-      let hits i j =
-        applies_lr rt.(i) st.(j) = V.True
-        || applies_rl st.(j) rt.(i) = V.True
+      (* A rule made only of same-attribute equalities fires on exactly
+         the pairs its blocking buckets propose — identical non-NULL
+         values on every mentioned attribute — so evaluating it per pair
+         is redundant. Otherwise, resolve the rule's attribute lookups
+         against the two schemas once; [hits] is then pure array/hash
+         work per candidate pair. *)
+      let covering = spec.equality_only rule in
+      let hits =
+        if covering then fun _ _ -> true
+        else begin
+          let applies_lr = spec.compile rule sr ss
+          and applies_rl = spec.compile rule ss sr in
+          fun i j ->
+            applies_lr rt.(i) st.(j) = V.True
+            || applies_rl st.(j) rt.(i) = V.True
+        end
       in
       (* [scan m row_of candidates] — evaluate the rule over the row set
          [row_of 0 .. row_of (m-1)], where [candidates i k] calls [k j]
@@ -88,11 +87,15 @@ let fired ?(jobs = 1) ?(shards = 1) ?mem_budget ?(telemetry = Telemetry.off)
          immutable bool — dwarfed by the compiled-rule evaluation it
          sits next to. *)
       let scan m row_of candidates =
-        if jobs <= 1 then begin
+        if jobs <= 1 || covering then begin
           (* Serial reference path: record hits as they are found. The
              [mem] check only skips re-evaluating pairs already recorded
              by an earlier rule; within one rule no (i, j) is proposed
-             twice (each row probes exactly one bucket of distinct js). *)
+             twice (each row probes exactly one bucket of distinct js).
+             Covering rules take this path whatever [jobs] is: their
+             per-candidate work is a single set insert, so chunking them
+             over domains is pure dispatch overhead (the merge repeats
+             the same inserts on the calling domain anyway). *)
           let cand = ref 0 in
           for p = 0 to m - 1 do
             let i = row_of p in
@@ -146,17 +149,33 @@ let fired ?(jobs = 1) ?(shards = 1) ?mem_budget ?(telemetry = Telemetry.off)
              equality is attribute-to-same-attribute. Probe R buckets
              against S buckets and evaluate only co-bucketed pairs. *)
           if shards = 1 then begin
-            let s_buckets = bucket_by ss st attrs in
+            (* Coded buckets: both sides' interned key columns are
+               projected once, so bucket keys are small int arrays —
+               hashing, equality and the per-candidate probe are pure
+               integer work, no per-tuple value projection. Storage
+               codes partition values exactly like structural equality
+               on the values themselves, so the buckets (and the
+               [.buckets] counter) are unchanged. *)
+            let r_cols = Columnar.columns (Lazy.force r_coded) attrs
+            and s_cols = Columnar.columns (Lazy.force s_coded) attrs in
+            let s_buckets = Hashtbl.create (max 16 ns) in
+            for j = 0 to ns - 1 do
+              match Columnar.key_opt s_cols j with
+              | Some k -> (
+                  match Hashtbl.find_opt s_buckets k with
+                  | Some l -> l := j :: !l
+                  | None -> Hashtbl.add s_buckets k (ref [ j ]))
+              | None -> ()
+            done;
             Telemetry.add telemetry (pfx ^ ".buckets")
               (Hashtbl.length s_buckets);
-            let r_plan = Tuple.plan sr attrs in
             all_rows (fun i k ->
-                let key = Tuple.project_with r_plan rt.(i) in
-                if not (Tuple.has_null key) then
-                  match Hashtbl.find_opt s_buckets (Tuple.values key) with
-                  | Some js -> List.iter k !js
-                  | None -> ()
-                else ())
+                match Columnar.key_opt r_cols i with
+                | Some key -> (
+                    match Hashtbl.find_opt s_buckets key with
+                    | Some js -> List.iter k !js
+                    | None -> ())
+                | None -> ())
           end
           else begin
             (* Key-sharded: a pair can only fire when both sides carry

@@ -42,11 +42,16 @@ val min_conflict : pairset -> pairset -> (int * int) option
     orientations, as rules state symmetric facts about (e1, e2).
     [compile] is the schema-resolved form used in the probe loops; it
     must satisfy [compile rule s1 s2 t1 t2 = applies rule s1 t1 s2 t2]
-    (see {!Rules.Identity.compile}). [rule_name] labels per-rule
+    (see {!Rules.Identity.compile}). [equality_only] must return [true]
+    only when the rule is a conjunction of same-attribute equalities
+    ({!Rules.Identity.equality_only}) — its blocking buckets then
+    {e cover} it: every co-bucketed pair fires, and the per-pair
+    evaluation is skipped entirely. [rule_name] labels per-rule
     telemetry counters. *)
 type 'rule spec = {
   rule_name : 'rule -> string;
   blocking_key : 'rule -> string list option;
+  equality_only : 'rule -> bool;
   applies :
     'rule ->
     Relational.Schema.t ->

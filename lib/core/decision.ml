@@ -72,6 +72,7 @@ let identity_spec =
   {
     Blocking.rule_name = (fun (rule : Rules.Identity.t) -> rule.name);
     blocking_key = Rules.Identity.blocking_key;
+    equality_only = Rules.Identity.equality_only;
     applies = Rules.Identity.applies;
     compile = Rules.Identity.compile;
   }
@@ -80,6 +81,7 @@ let distinctness_spec =
   {
     Blocking.rule_name = (fun (rule : Rules.Distinctness.t) -> rule.name);
     blocking_key = Rules.Distinctness.blocking_key;
+    equality_only = Rules.Distinctness.equality_only;
     applies = Rules.Distinctness.applies;
     compile = Rules.Distinctness.compile;
   }
@@ -193,18 +195,22 @@ let partition ?(jobs = 1) ?(shards = 1) ?mem_budget
             let matched = ref [] and distinct = ref [] and unknown = ref [] in
             merge_rows rt st ~m_rows ~d_rows ~matched ~distinct ~unknown
               start stop;
-            (List.rev !matched, List.rev !distinct, List.rev !unknown))
+            (!matched, !distinct, !unknown))
       in
-      (* Chunks cover ascending row ranges, so in-chunk-order
-         concatenation restores exactly the serial row-major output. A
-         lone chunk (the below-threshold serial fallback) is returned
-         as-is: concat_map would copy the whole pair space again. *)
-      match chunks with
-      | [ single ] -> single
-      | chunks ->
-          ( List.concat_map (fun (m, _, _) -> m) chunks,
-            List.concat_map (fun (_, d, _) -> d) chunks,
-            List.concat_map (fun (_, _, u) -> u) chunks )
+      (* Chunks cover ascending row ranges and accumulate by prepending,
+         so each chunk's lists are descending. Folding the chunks in
+         reverse with [rev_append] restores exactly the serial row-major
+         output while copying each pair once on the calling domain —
+         rev-in-chunk plus concat_map would pay a second full pass over
+         the pair space, which at small inputs is most of what jobs > 1
+         costs over serial. *)
+      let rev_chunks = List.rev chunks in
+      let join sel =
+        List.fold_left (fun acc c -> List.rev_append (sel c) acc) [] rev_chunks
+      in
+      ( join (fun (m, _, _) -> m),
+        join (fun (_, d, _) -> d),
+        join (fun (_, _, u) -> u) )
     end
   in
   (* Verdict counts are read off the finished lists — no accounting on

@@ -1,6 +1,7 @@
 module Relation = Relational.Relation
 module Schema = Relational.Schema
 module Tuple = Relational.Tuple
+module Columnar = Relational.Columnar
 
 type outcome = {
   r_extended : Relation.t;
@@ -63,33 +64,39 @@ let run ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
   let pairs =
     Telemetry.span telemetry "identify.join" @@ fun () ->
     if shards = 1 then begin
-      (* Hash-join R′ and S′ on K_Ext; tuples with any NULL key value
-         never match (non_null_eq). Buckets are built with one probe per
-         tuple and reversed once after the pass, not once per lookup. *)
-      let buckets = Hashtbl.create (max 16 (Relation.cardinality s_ext)) in
-      Relation.iter
-        (fun ts ->
-          let k = Tuple.project_with s_kext ts in
-          if not (Tuple.has_null k) then begin
-            let key = Tuple.values k in
-            match Hashtbl.find_opt buckets key with
-            | Some partners -> partners := ts :: !partners
-            | None -> Hashtbl.add buckets key (ref [ ts ])
-          end)
-        s_ext;
+      (* Hash-join R′ and S′ on K_Ext over the relations' interned
+         column views: bucket keys are small int arrays, so build and
+         probe are integer hashing with no per-tuple value projection
+         (storage codes partition cells exactly like structural equality
+         on the values). Tuples with any NULL key value never match
+         (non_null_eq). Buckets are built with one probe per tuple and
+         reversed once after the pass, not once per lookup. *)
+      let s_cols = Columnar.columns (Relation.columnar s_ext) kext
+      and r_cols = Columnar.columns (Relation.columnar r_ext) kext in
+      let st = Array.of_list (Relation.tuples s_ext)
+      and rt = Array.of_list (Relation.tuples r_ext) in
+      let buckets = Hashtbl.create (max 16 (Array.length st)) in
+      for j = 0 to Array.length st - 1 do
+        match Columnar.key_opt s_cols j with
+        | Some k -> (
+            match Hashtbl.find_opt buckets k with
+            | Some partners -> partners := st.(j) :: !partners
+            | None -> Hashtbl.add buckets k (ref [ st.(j) ]))
+        | None -> ()
+      done;
       Hashtbl.iter (fun _ partners -> partners := List.rev !partners) buckets;
       Telemetry.add telemetry "identify.join.buckets"
         (Hashtbl.length buckets);
       let pairs = ref [] in
-      Relation.iter
-        (fun tr ->
-          let k = Tuple.project_with r_kext tr in
-          if not (Tuple.has_null k) then
-            match Hashtbl.find_opt buckets (Tuple.values k) with
+      for i = 0 to Array.length rt - 1 do
+        match Columnar.key_opt r_cols i with
+        | Some k -> (
+            match Hashtbl.find_opt buckets k with
             | Some partners ->
-                List.iter (fun ts -> pairs := (tr, ts) :: !pairs) !partners
+                List.iter (fun ts -> pairs := (rt.(i), ts) :: !pairs) !partners
             | None -> ())
-        r_ext;
+        | None -> ()
+      done;
       List.rev !pairs
     end
     else begin

@@ -13,6 +13,7 @@ let of_rules ~r ~s rules =
       {
         Blocking.rule_name = (fun (rule : Rules.Distinctness.t) -> rule.name);
         blocking_key = Rules.Distinctness.blocking_key;
+        equality_only = Rules.Distinctness.equality_only;
         applies = Rules.Distinctness.applies;
         compile = Rules.Distinctness.compile;
       }

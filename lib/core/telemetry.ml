@@ -118,8 +118,11 @@ let derived t =
       let c = counter t in
       let metrics = [] in
       let metrics =
-        if have "ilfd.tuples" then
-          ("ilfd_memo_hit_rate", rate (c "ilfd.memo_hits") (c "ilfd.tuples"))
+        if have "ilfd.fixpoint.classes" then
+          ( "ilfd_class_sharing",
+            rate
+              (c "ilfd.tuples" - c "ilfd.fixpoint.classes")
+              (c "ilfd.tuples") )
           :: metrics
         else metrics
       in

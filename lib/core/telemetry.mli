@@ -15,7 +15,7 @@
 
     {b Determinism.} Pipeline counters are defined so that they are
     identical for every [jobs] value (candidate pairs proposed, rule
-    firings, memo classes, verdict counts…). The only exceptions live in
+    firings, derivation classes, verdict counts…). The only exceptions live in
     the [parallel.*] namespace (chunk utilisation, configured jobs),
     which deliberately reports the execution configuration; comparisons
     across job counts should filter it out ({!counters_stable}).
@@ -87,8 +87,10 @@ val spans : t -> span_stat list
       (the candidate pairs blocking actually proposed; capped at
       [partition.pairs_naive] when blocking pruned everything); present
       when a partition ran.
-    - ["ilfd_memo_hit_rate"]: [ilfd.memo_hits / ilfd.tuples] (0 when no
-      tuples were extended); present when an extension ran. *)
+    - ["ilfd_class_sharing"]: fraction of extended tuples that shared a
+      derivation class with an earlier tuple,
+      [(ilfd.tuples - ilfd.fixpoint.classes) / ilfd.tuples] (0 when no
+      tuples were extended); present when a fixpoint extension ran. *)
 val derived : t -> (string * float) list
 
 (** Compact single-line JSON:

@@ -56,12 +56,13 @@ let compile ilfds =
 
 let compiled_rules c = c.rules
 
-(* Attributes whose (source) values can influence any derivation: those
-   mentioned by any rule, on either side. Values — including NULLness —
-   of these attributes determine every [derive] outcome, so they key the
-   per-relation memo table. *)
-let relevant_attributes c =
-  List.concat_map Def.attributes c.rules |> List.sort_uniq String.compare
+(* The consequent-attribute index, for evaluators built on top of the
+   compiled form (the semi-naive fixpoint); sorted by attribute so the
+   listing order is deterministic whatever the hashtable layout. Rule
+   order within an attribute is family order — First_rule semantics. *)
+let consequents c =
+  Hashtbl.fold (fun attr rules acc -> (attr, rules) :: acc) c.by_consequent []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let extend_tuple_compiled ?(mode = First_rule) schema tuple ~target c =
   (* cells.(i) is the current value for target attribute i; source
@@ -164,8 +165,6 @@ let extend_relation ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) r ~target
   Telemetry.span telemetry "ilfd.extend" @@ fun () ->
   let c = compile ilfds in
   let schema = Relational.Relation.schema r in
-  let relevant = List.filter (Schema.mem schema) (relevant_attributes c) in
-  let relevant_plan = Tuple.plan schema relevant in
   (* Source cells of the target schema, before any derivation: source
      positions resolved once, not per tuple. *)
   let base_plan =
@@ -179,51 +178,27 @@ let extend_relation ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) r ~target
       (function Some i -> Tuple.nth t i | None -> V.Null)
       base_plan
   in
-  (* Derivations read only [relevant] attributes (antecedent conditions
-     and consequent targets), so tuples agreeing on them — values and
-     NULLs alike — derive the same delta. Memoise the delta (indices
-     filled in by derivation), keyed by the relevant projection. The memo
-     is a pure cache, so each domain can keep a private one without
-     changing any result. *)
-  let make_extender () =
-    let memo : (V.t list, (int * V.t) list) Hashtbl.t = Hashtbl.create 64 in
-    fun t ->
-      let key = Tuple.values (Tuple.project_with relevant_plan t) in
-      match Hashtbl.find_opt memo key with
-      | Some delta ->
-          let cells = base_cells t in
-          List.iter (fun (i, v) -> cells.(i) <- v) delta;
-          Tuple.of_array target cells
-      | None -> (
-          match extend_tuple_compiled ?mode schema t ~target c with
-          | Error conflict -> raise (Conflict_found conflict)
-          | Ok (extended, _) ->
-              let base = base_cells t in
-              let delta = ref [] in
-              Array.iteri
-                (fun i v ->
-                  if V.is_null base.(i) && not (V.is_null v) then
-                    delta := (i, v) :: !delta)
-                (Tuple.to_array extended);
-              Hashtbl.replace memo key !delta;
-              extended)
+  (* This is the per-tuple reference path (the production path is the
+     semi-naive fixpoint in [Fixpoint], which shares classes of tuples);
+     every tuple is derived independently by the recursive engine. *)
+  let extend t =
+    match extend_tuple_compiled ?mode schema t ~target c with
+    | Error conflict -> raise (Conflict_found conflict)
+    | Ok (extended, _) -> extended
   in
   let rows =
-    if jobs <= 1 then
-      let extend = make_extender () in
-      List.map extend (Relational.Relation.tuples r)
+    if jobs <= 1 then List.map extend (Relational.Relation.tuples r)
     else begin
       (* Chunked over domains: tuples are immutable arrays, so sharing
          is read-only; each chunk extends its rows in ascending order
-         with a private memo and stops at its first conflict, so
-         [Parallel.map_chunks] re-raises the same [Conflict_found] the
-         serial scan reports first. Chunk-order concatenation keeps the
-         relation's row order identical to the serial result. *)
+         and stops at its first conflict, so [Parallel.map_chunks]
+         re-raises the same [Conflict_found] the serial scan reports
+         first. Chunk-order concatenation keeps the relation's row order
+         identical to the serial result. *)
       let tuples = Array.of_list (Relational.Relation.tuples r) in
       List.concat
         (Parallel.map_chunks ~jobs (Array.length tuples)
            (fun ~start ~stop ->
-             let extend = make_extender () in
              let acc = ref [] in
              for i = start to stop - 1 do
                acc := extend tuples.(i) :: !acc
@@ -232,22 +207,12 @@ let extend_relation ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) r ~target
     end
   in
   (* Telemetry is measured after the fact so the extension loop itself
-     carries no instrumentation cost when the sink is off. Memo hits are
-     reported canonically — tuples minus distinct derivation classes
-     (distinct relevant projections), i.e. what the serial single-memo
-     scan would observe — so the counters are identical for every [jobs]
-     value even though each domain keeps a private memo. *)
+     carries no instrumentation cost when the sink is off; every counter
+     is a pure function of the input and output, hence identical for
+     every [jobs] value. *)
   if Telemetry.enabled telemetry then begin
     let sources = Relational.Relation.tuples r in
     let n = List.length sources in
-    let classes = Hashtbl.create (max 16 n) in
-    List.iter
-      (fun t ->
-        Hashtbl.replace classes
-          (Tuple.values (Tuple.project_with relevant_plan t))
-          ())
-      sources;
-    let n_classes = Hashtbl.length classes in
     let derived_cells =
       List.fold_left2
         (fun acc source extended ->
@@ -262,11 +227,9 @@ let extend_relation ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) r ~target
         0 sources rows
     in
     Telemetry.add telemetry "ilfd.tuples" n;
-    Telemetry.add telemetry "ilfd.memo_misses" n_classes;
-    Telemetry.add telemetry "ilfd.memo_hits" (n - n_classes);
     Telemetry.add telemetry "ilfd.derivations" derived_cells;
     if mode = Some Check_conflicts then
-      Telemetry.add telemetry "ilfd.conflict_checks" n_classes;
+      Telemetry.add telemetry "ilfd.conflict_checks" n;
     if jobs > 1 then
       Telemetry.add telemetry "parallel.chunks" (Parallel.chunk_count ~jobs n)
   end;

@@ -36,6 +36,12 @@ type compiled
 val compile : Def.t list -> compiled
 val compiled_rules : compiled -> Def.t list
 
+(** [consequents c] — the consequent-attribute index: for each derivable
+    attribute (sorted by name), the rules that can produce it with the
+    value each would assign, in family order (First_rule priority).
+    This is the compiled form evaluators such as {!Fixpoint} build on. *)
+val consequents : compiled -> (string * (Def.t * Relational.Value.t) list) list
+
 (** [extend_tuple_compiled ?mode schema tuple ~target c] — as
     {!extend_tuple}, against a precompiled family. Use this when
     extending many tuples with the same ILFDs. *)
@@ -63,24 +69,22 @@ val extend_tuple :
 
 (** [extend_relation ?mode ?jobs r ~target ilfds] maps {!extend_tuple}
     over a relation; the result keeps [r]'s declared keys (still valid:
-    original attributes are unchanged). The family is compiled once, and
-    derivations are memoised per distinct projection of a tuple onto the
-    attributes the ILFDs mention — tuples agreeing there (values and
-    NULLs alike) share one derivation.
+    original attributes are unchanged). The family is compiled once and
+    every tuple is derived independently by the recursive engine — this
+    is the {e reference} evaluator; production callers go through the
+    facade ([Ilfd.Apply.extend_relation]), which routes eligible
+    families to the semi-naive {!Fixpoint} and falls back here.
 
     [jobs] (default [1]) > 1 extends row chunks on that many domains
-    ({!Parallel.map_chunks}), each with a private memo; the rows — and,
-    in [Check_conflicts] mode, which conflict raises — are identical to
-    the serial result, and [jobs = 1] takes the exact serial code path.
+    ({!Parallel.map_chunks}); the rows — and, in [Check_conflicts] mode,
+    which conflict raises — are identical to the serial result, and
+    [jobs = 1] takes the exact serial code path.
 
     [telemetry] (default {!Telemetry.off}) records the [ilfd.extend]
-    span and the [ilfd.tuples] / [ilfd.memo_hits] / [ilfd.memo_misses] /
-    [ilfd.derivations] (cells filled in) / [ilfd.conflict_checks]
-    counters. Memo hits are reported {e canonically} — tuples minus
-    distinct derivation classes, what a single shared memo would see —
-    so every counter is identical for every [jobs] value; measurement is
-    entirely post-hoc, so a disabled sink costs nothing on the per-tuple
-    path.
+    span and the [ilfd.tuples] / [ilfd.derivations] (cells filled in) /
+    [ilfd.conflict_checks] counters, all post-hoc pure functions of
+    input and output — identical for every [jobs] value, and free when
+    the sink is off.
     @raise Conflict_found (with the witness inside) in [Check_conflicts]
     mode when some tuple has disagreeing derivations. *)
 val extend_relation :

@@ -1,0 +1,398 @@
+module V = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Intern = Relational.Intern
+module Columnar = Relational.Columnar
+
+(* One hash table per run of consecutive same-antecedent-signature rules
+   of a consequent attribute: key = match codes of the antecedent
+   condition values (in the antecedent's sorted condition order), value =
+   the storage code the first such rule assigns. Keep-first insertion
+   preserves First_rule priority inside a group; group order preserves it
+   across groups. *)
+type group = {
+  sig_ids : int array;  (** chase column per antecedent condition *)
+  table : (int array, int) Hashtbl.t;
+}
+
+type attr_task = {
+  col_id : int;  (** chase column of the derived attribute *)
+  target_pos : int;  (** target schema position, [-1] for scratch *)
+  groups : group list;
+  delta_only : bool;
+      (** every rule needs an antecedent that can only exist by
+          derivation, so classes untouched by earlier rounds can be
+          skipped *)
+}
+
+type plan = {
+  compiled : Apply.compiled;
+  n_cols : int;  (** chase columns: every attribute any rule mentions *)
+  key_ids : int array;  (** chase columns initialised from source cells *)
+  key_attrs : string array;  (** their source attribute names *)
+  strata : attr_task array array;
+      (** tasks grouped by stratum, in evaluation order *)
+}
+
+exception Cyclic
+
+let make ~source ~target c =
+  let cons = Apply.consequents c in
+  (* Chase column ids, in first-mention order over the (deterministic)
+     consequent listing. *)
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let n_cols = ref 0 in
+  let id_of attr =
+    match Hashtbl.find_opt ids attr with
+    | Some i -> i
+    | None ->
+        let i = !n_cols in
+        incr n_cols;
+        Hashtbl.add ids attr i;
+        i
+  in
+  List.iter
+    (fun (attr, rules) ->
+      ignore (id_of attr);
+      List.iter
+        (fun (rule, _) ->
+          List.iter
+            (fun (cond : Def.condition) -> ignore (id_of cond.attribute))
+            (Def.antecedent rule))
+        rules)
+    cons;
+  let n = !n_cols in
+  let attr_names = Array.make n "" in
+  Hashtbl.iter (fun a i -> attr_names.(i) <- a) ids;
+  let rules_of attr = Option.value (List.assoc_opt attr cons) ~default:[] in
+  let derivable = Array.make n false in
+  List.iter (fun (attr, _) -> derivable.(id_of attr) <- true) cons;
+  (* Every rule value (antecedent conditions and the derived value) must
+     have a well-defined match class, or hash matching could diverge
+     from [non_null_eq]; one ambiguous numeric disqualifies the family. *)
+  let safe v = Intern.match_code (Intern.code v) <> Intern.unsafe_match in
+  let all_safe =
+    List.for_all
+      (fun (_, rules) ->
+        List.for_all
+          (fun (rule, v) ->
+            safe v
+            && List.for_all
+                 (fun (cond : Def.condition) -> safe cond.value)
+                 (Def.antecedent rule))
+          rules)
+      cons
+  in
+  if not all_safe then None
+  else
+    match
+      (* Stratify: a derivable attribute sits one level above the
+         deepest attribute any of its rules reads. A cycle means demand
+         order (which the recursive engine's cut semantics depends on)
+         cannot be replayed by rounds — no plan. *)
+      let strat = Array.make n (-1) in
+      let rec depth id =
+        if strat.(id) = -2 then raise Cyclic
+        else if strat.(id) >= 0 then strat.(id)
+        else if not derivable.(id) then begin
+          strat.(id) <- 0;
+          0
+        end
+        else begin
+          strat.(id) <- -2;
+          let d =
+            List.fold_left
+              (fun acc (rule, _) ->
+                List.fold_left
+                  (fun acc (cond : Def.condition) ->
+                    max acc (depth (id_of cond.attribute)))
+                  acc (Def.antecedent rule))
+              0
+              (rules_of attr_names.(id))
+          in
+          strat.(id) <- d + 1;
+          d + 1
+        end
+      in
+      for id = 0 to n - 1 do
+        ignore (depth id)
+      done;
+      strat
+    with
+    | exception Cyclic -> None
+    | strat ->
+        let target_pos =
+          Array.map
+            (fun a ->
+              match Schema.index_of_opt target a with Some i -> i | None -> -1)
+            attr_names
+        in
+        let is_key =
+          Array.mapi
+            (fun id a -> target_pos.(id) >= 0 && Schema.mem source a)
+            attr_names
+        in
+        let key_ids =
+          Array.of_list
+            (List.filter (fun id -> is_key.(id)) (List.init n (fun i -> i)))
+        in
+        let key_attrs = Array.map (fun id -> attr_names.(id)) key_ids in
+        let signature rule =
+          List.map (fun (c : Def.condition) -> c.attribute) (Def.antecedent rule)
+        in
+        let group_of sig_attrs rules =
+          let table = Hashtbl.create 8 in
+          List.iter
+            (fun (rule, v) ->
+              let k =
+                Array.of_list
+                  (List.map
+                     (fun (c : Def.condition) ->
+                       Intern.match_code (Intern.code c.value))
+                     (Def.antecedent rule))
+              in
+              if not (Hashtbl.mem table k) then
+                Hashtbl.add table k (Intern.code v))
+            rules;
+          { sig_ids = Array.of_list (List.map id_of sig_attrs); table }
+        in
+        let rec groups_of = function
+          | [] -> []
+          | ((rule, _) :: _) as rules ->
+              let s = signature rule in
+              let same, rest =
+                let rec span acc = function
+                  | (r', v') :: tl when signature r' = s ->
+                      span ((r', v') :: acc) tl
+                  | tl -> (List.rev acc, tl)
+                in
+                span [] rules
+              in
+              group_of s same :: groups_of rest
+        in
+        let task_of (attr, rules) =
+          let id = id_of attr in
+          let delta_only =
+            rules <> []
+            && List.for_all
+                 (fun (rule, _) ->
+                   List.exists
+                     (fun (c : Def.condition) ->
+                       let b = id_of c.attribute in
+                       derivable.(b) && not is_key.(b))
+                     (Def.antecedent rule))
+                 rules
+          in
+          ( strat.(id),
+            {
+              col_id = id;
+              target_pos = target_pos.(id);
+              groups = groups_of rules;
+              delta_only;
+            } )
+        in
+        let tasks = List.map task_of cons in
+        let max_stratum = List.fold_left (fun m (s, _) -> max m s) 0 tasks in
+        let strata =
+          Array.init max_stratum (fun k ->
+              Array.of_list
+                (List.filter_map
+                   (fun (s, t) -> if s = k + 1 then Some t else None)
+                   tasks))
+        in
+        Some { compiled = c; n_cols = n; key_ids; key_attrs; strata }
+
+let supported ~source ~target ilfds =
+  Option.is_some (make ~source ~target (Apply.compile ilfds))
+
+let run plan r ~target ~jobs ~telemetry =
+  let schema = Relation.schema r in
+  let cr = Relation.columnar r in
+  let n_rows = Columnar.length cr in
+  let tuples = Array.of_list (Relation.tuples r) in
+  let nkeys = Array.length plan.key_ids in
+  let key_cols = Array.map (fun a -> Columnar.column cr a) plan.key_attrs in
+  (* Derivation classes: one per distinct coded projection onto the
+     source-initialised chase columns — those cells alone determine the
+     whole chase, so all rows of a class share one derivation. *)
+  let class_of_row = Array.make n_rows 0 in
+  let tbl : (int array, int) Hashtbl.t = Hashtbl.create (max 16 n_rows) in
+  let reps = ref [] in
+  let count = ref 0 in
+  for i = 0 to n_rows - 1 do
+    let k = Array.init nkeys (fun p -> key_cols.(p).(i)) in
+    match Hashtbl.find_opt tbl k with
+    | Some cid -> class_of_row.(i) <- cid
+    | None ->
+        let cid = !count in
+        incr count;
+        Hashtbl.add tbl k cid;
+        reps := (cid, k, i) :: !reps;
+        class_of_row.(i) <- cid
+  done;
+  let n_classes = !count in
+  let class_key = Array.make n_classes [||] in
+  let rep_row = Array.make n_classes 0 in
+  List.iter
+    (fun (cid, k, i) ->
+      class_key.(cid) <- k;
+      rep_row.(cid) <- i)
+    !reps;
+  (* Chase cells, column-major over classes; 0 = NULL/underived. Classes
+     whose base cells carry ambiguous numerics cannot be hash-matched
+     exactly and take the recursive engine individually. *)
+  let state = Array.init plan.n_cols (fun _ -> Array.make n_classes 0) in
+  let fallback = Array.make n_classes false in
+  for cid = 0 to n_classes - 1 do
+    let k = class_key.(cid) in
+    for p = 0 to nkeys - 1 do
+      state.(plan.key_ids.(p)).(cid) <- k.(p);
+      if k.(p) <> 0 && Intern.match_code k.(p) = Intern.unsafe_match then
+        fallback.(cid) <- true
+    done
+  done;
+  let deltas = Array.make n_classes [] in
+  let changed = Bytes.make (max 1 n_classes) '\000' in
+  let changed_list = ref [] in
+  let facts = ref 0 in
+  let mark cid =
+    if Bytes.get changed cid = '\000' then begin
+      Bytes.set changed cid '\001';
+      changed_list := cid :: !changed_list
+    end
+  in
+  (* The semi-naive chase: strata in dependency order; within a class,
+     groups in rule order and the first table hit wins — exactly the
+     value the recursive engine's first applicable rule would assign,
+     because every antecedent cell it reads was fixed by an earlier
+     stratum. *)
+  Array.iter
+    (fun stratum ->
+      Array.iter
+        (fun task ->
+          let col = state.(task.col_id) in
+          let scan cid =
+            if (not fallback.(cid)) && col.(cid) = 0 then
+              let rec try_groups = function
+                | [] -> ()
+                | g :: rest ->
+                    let m = Array.length g.sig_ids in
+                    let k = Array.make m 0 in
+                    let rec fill p =
+                      p = m
+                      ||
+                      let cell = state.(g.sig_ids.(p)).(cid) in
+                      cell <> 0
+                      && begin
+                           k.(p) <- Intern.match_code cell;
+                           fill (p + 1)
+                         end
+                    in
+                    if fill 0 then
+                      match Hashtbl.find_opt g.table k with
+                      | Some vcode ->
+                          col.(cid) <- vcode;
+                          incr facts;
+                          if task.target_pos >= 0 then
+                            deltas.(cid) <-
+                              (task.target_pos, Intern.value vcode)
+                              :: deltas.(cid);
+                          mark cid
+                      | None -> try_groups rest
+                    else try_groups rest
+              in
+              try_groups task.groups
+          in
+          if task.delta_only then List.iter scan !changed_list
+          else
+            for cid = 0 to n_classes - 1 do
+              scan cid
+            done)
+        stratum)
+    plan.strata;
+  let base_plan =
+    Array.of_list
+      (List.map
+         (fun (a : Schema.attribute) -> Schema.index_of_opt schema a.name)
+         (Schema.attributes target))
+  in
+  let fallback_count = ref 0 in
+  for cid = 0 to n_classes - 1 do
+    if fallback.(cid) then begin
+      incr fallback_count;
+      let t = tuples.(rep_row.(cid)) in
+      match Apply.extend_tuple_compiled schema t ~target plan.compiled with
+      | Error _ -> assert false (* First_rule mode never conflicts *)
+      | Ok (ext, _) ->
+          let delta = ref [] in
+          Array.iteri
+            (fun ti src ->
+              let base =
+                match src with Some j -> Tuple.nth t j | None -> V.Null
+              in
+              let v = Tuple.nth ext ti in
+              if V.is_null base && not (V.is_null v) then
+                delta := (ti, v) :: !delta)
+            base_plan;
+          deltas.(cid) <- !delta;
+          facts := !facts + List.length !delta
+    end
+  done;
+  (* Materialise rows: base cells plus the class delta. Reads only
+     frozen structures (decoded values included), so chunking over
+     domains is safe and chunk-order concatenation keeps row order. *)
+  let materialise i =
+    let t = tuples.(i) in
+    let cells =
+      Array.map
+        (function Some j -> Tuple.nth t j | None -> V.Null)
+        base_plan
+    in
+    List.iter (fun (ti, v) -> cells.(ti) <- v) deltas.(class_of_row.(i));
+    Tuple.of_array target cells
+  in
+  let rows =
+    if jobs <= 1 then List.init n_rows materialise
+    else
+      List.concat
+        (Parallel.map_chunks ~jobs n_rows (fun ~start ~stop ->
+             let acc = ref [] in
+             for i = start to stop - 1 do
+               acc := materialise i :: !acc
+             done;
+             List.rev !acc))
+  in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.add telemetry "ilfd.tuples" n_rows;
+    Telemetry.add telemetry "ilfd.fixpoint.classes" n_classes;
+    Telemetry.add telemetry "ilfd.fixpoint.rounds" (Array.length plan.strata);
+    Telemetry.add telemetry "ilfd.fixpoint.delta_facts" !facts;
+    Telemetry.add telemetry "ilfd.fixpoint.fallback_classes" !fallback_count;
+    let dlen = Array.map List.length deltas in
+    let derived = ref 0 in
+    for i = 0 to n_rows - 1 do
+      derived := !derived + dlen.(class_of_row.(i))
+    done;
+    Telemetry.add telemetry "ilfd.derivations" !derived;
+    if jobs > 1 then
+      Telemetry.add telemetry "parallel.chunks"
+        (Parallel.chunk_count ~jobs n_rows)
+  end;
+  Relation.of_tuples target ~keys:(Relation.declared_keys r) rows
+
+let extend_relation ?mode ?(jobs = 1) ?(telemetry = Telemetry.off) r ~target
+    ilfds =
+  match mode with
+  | Some Apply.Check_conflicts ->
+      (* A conflict witness depends on the recursive engine's demand
+         order; only that engine defines it. *)
+      Apply.extend_relation ~mode:Apply.Check_conflicts ~jobs ~telemetry r
+        ~target ilfds
+  | None | Some Apply.First_rule -> (
+      let c = Apply.compile ilfds in
+      match make ~source:(Relation.schema r) ~target c with
+      | None -> Apply.extend_relation ~jobs ~telemetry r ~target ilfds
+      | Some plan ->
+          Telemetry.span telemetry "ilfd.extend" (fun () ->
+              run plan r ~target ~jobs ~telemetry))

@@ -1,0 +1,57 @@
+(** Compiled semi-naive fixpoint evaluation of an ILFD family — the
+    production path for relation extension (Section 4.2's algebraic
+    [IM(x̄,y)] construction made executable).
+
+    Instead of re-running the recursive Armstrong engine per tuple,
+    the evaluator
+    - groups the relation's rows into {e derivation classes} (distinct
+      {!Relational.Intern}-coded projections onto the attributes the
+      family can read), one chase cell table for all rows of a class;
+    - compiles each consequent attribute's rules into hash tables keyed
+      by the match codes of their antecedent condition values
+      (consecutive rules with one antecedent signature share a table,
+      keep-first preserving First_rule priority);
+    - stratifies the attribute dependency graph (an attribute's stratum
+      is one more than the deepest attribute any of its rules reads) and
+      chases stratum by stratum, seeding a delta with the base facts and
+      visiting, for attributes whose rules can only fire on derived
+      antecedents, only classes the previous rounds changed.
+
+    On acyclic families with First_rule semantics this is provably the
+    same function as {!Apply.extend_relation} — each stratum fixes
+    exactly the values the recursive engine would look up — and the
+    checker's [fixpoint-agreement] oracle holds it to byte-identical
+    output. Families the plan cannot express exactly (cyclic attribute
+    dependencies, [Check_conflicts] mode, numeric condition values whose
+    cross-type identity is ambiguous above 2⁵³) fall back to the
+    recursive engine wholesale; classes whose base cells carry such
+    numerics fall back individually. *)
+
+(** [supported ~source ~target ilfds] — whether the family compiles to
+    a fixpoint plan for this source/target pair ([false] means
+    {!extend_relation} delegates to {!Apply.extend_relation}). *)
+val supported :
+  source:Relational.Schema.t ->
+  target:Relational.Schema.t ->
+  Def.t list ->
+  bool
+
+(** Drop-in replacement for {!Apply.extend_relation} (same signature,
+    same output, same exceptions). [Check_conflicts] mode always takes
+    the recursive reference path: a conflict witness depends on the
+    demand order of derivation, which only that engine defines.
+
+    [telemetry] records (on the fixpoint path) [ilfd.tuples],
+    [ilfd.derivations], [ilfd.fixpoint.classes] (derivation classes),
+    [ilfd.fixpoint.rounds] (strata evaluated), [ilfd.fixpoint.delta_facts]
+    (facts derived across classes, scratch intermediates included) and
+    [ilfd.fixpoint.fallback_classes] — all class-level, hence identical
+    for every [jobs] and shard count. *)
+val extend_relation :
+  ?mode:Apply.mode ->
+  ?jobs:int ->
+  ?telemetry:Telemetry.t ->
+  Relational.Relation.t ->
+  target:Relational.Schema.t ->
+  Def.t list ->
+  Relational.Relation.t

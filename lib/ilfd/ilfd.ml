@@ -5,7 +5,20 @@ include Def
 
 module Encode = Encode
 module Theory = Theory
-module Apply = Apply
+module Fixpoint = Fixpoint
+
+module Apply = struct
+  include Apply
+
+  (* The per-tuple recursive engine stays available as the reference
+     evaluator (benches and agreement tests diff against it)... *)
+  let extend_relation_recursive = extend_relation
+
+  (* ...while the production name routes through the semi-naive fixpoint,
+     which falls back to the recursive engine on families it cannot
+     replay exactly. Same signature, same output, same exceptions. *)
+  let extend_relation = Fixpoint.extend_relation
+end
 module Table = Table
 module Props = Props
 module Mine = Mine

@@ -2,8 +2,9 @@ exception Incompatible_schemas of string
 
 let select pred r =
   let schema = Relation.schema r in
+  let p = Predicate.compile schema pred in
   Relation.of_tuples schema
-    (List.filter (Predicate.holds schema pred) (Relation.tuples r))
+    (List.filter (Predicate.compiled_holds p) (Relation.tuples r))
 
 let project names r =
   let schema = Relation.schema r in

@@ -1,0 +1,28 @@
+type t = {
+  schema : Schema.t;
+  length : int;
+  columns : int array array;  (** columns.(attr).(row) *)
+}
+
+let encode schema rows =
+  let arity = Schema.arity schema in
+  let n = Array.length rows in
+  let columns = Array.init arity (fun _ -> Array.make n 0) in
+  for i = 0 to n - 1 do
+    let row = rows.(i) in
+    for a = 0 to arity - 1 do
+      columns.(a).(i) <- Intern.code (Tuple.nth row a)
+    done
+  done;
+  { schema; length = n; columns }
+
+let schema t = t.schema
+let length t = t.length
+let column t name = t.columns.(Schema.index_of t.schema name)
+let columns t names = Array.of_list (List.map (column t) names)
+
+let key cols i = Array.map (fun col -> col.(i)) cols
+
+let key_opt cols i =
+  if Array.exists (fun col -> col.(i) = Intern.null_code) cols then None
+  else Some (key cols i)

@@ -1,0 +1,37 @@
+(** Column-major, int-coded views of tuple sets.
+
+    A columnar view stores one {!Intern} storage code per cell, one
+    array per attribute, so key probes, blocking buckets and hash joins
+    compare small integer arrays instead of structural values. Code [0]
+    is NULL ({!Intern.null_code}); storage-code equality is exactly
+    {!Value.equal} on the decoded cells.
+
+    Encoding interns every cell, so it must run on the loading domain
+    (see {!Intern}); the resulting view is immutable and safe to read
+    from any domain. *)
+
+type t
+
+(** [encode schema rows] — intern every cell of [rows] (tuples over
+    [schema]) and return the column-major code view. *)
+val encode : Schema.t -> Tuple.t array -> t
+
+val schema : t -> Schema.t
+
+(** Number of rows. *)
+val length : t -> int
+
+(** [column t name] — the code column of one attribute.
+    @raise Schema.Unknown_attribute on an unknown name. *)
+val column : t -> string -> int array
+
+(** [columns t names] — the code columns of [names], in order. *)
+val columns : t -> string list -> int array array
+
+(** [key cols i] — row [i]'s codes across [cols] as a fresh array (a
+    hashable join/bucket key). *)
+val key : int array array -> int -> int array
+
+(** [key_opt cols i] — as {!key}, or [None] when any cell is NULL (a
+    NULL key can never satisfy a non-NULL equality probe). *)
+val key_opt : int array array -> int -> int array option

@@ -95,7 +95,12 @@ let relation_of_string ?(keys = []) s =
           fail (i + 2)
             (Printf.sprintf "expected %d cells, got %d" arity
                (List.length cells))
-        else Tuple.make schema (List.map Value.of_csv_string cells)
+        else
+          (* Intern at parse time: equal cells across the file share one
+             pooled value, and downstream columnar encoding finds every
+             cell already coded. *)
+          Tuple.make schema
+            (List.map (fun c -> Intern.share (Value.of_csv_string c)) cells)
       in
       Relation.of_tuples schema ~keys (List.mapi parse_row rows)
 

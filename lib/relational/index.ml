@@ -1,12 +1,16 @@
-module Vmap = Map.Make (struct
-  type t = Value.t list
+(* Buckets are keyed by the Intern storage codes of the key projection:
+   code-list equality is exactly structural value-list equality, and the
+   persistent map compares small ints instead of walking value
+   constructors ([Value.compare]) on every probe. *)
+module Cmap = Map.Make (struct
+  type t = int list
 
-  let compare = List.compare Value.compare
+  let compare = List.compare Int.compare
 end)
 
 type t = {
   attrs : string list;
-  buckets : Tuple.t list Vmap.t;  (** reverse insertion order *)
+  buckets : Tuple.t list Cmap.t;  (** reverse insertion order *)
   size : int;
 }
 
@@ -16,9 +20,9 @@ let add_tuple buckets schema attrs tuple =
   let key = Tuple.project schema tuple attrs in
   if Tuple.has_null key then None
   else
-    let k = Tuple.values key in
-    let existing = Option.value (Vmap.find_opt k buckets) ~default:[] in
-    Some (Vmap.add k (tuple :: existing) buckets)
+    let k = List.map Intern.code (Tuple.values key) in
+    let existing = Option.value (Cmap.find_opt k buckets) ~default:[] in
+    Some (Cmap.add k (tuple :: existing) buckets)
 
 let build r attrs =
   let schema = Relation.schema r in
@@ -29,16 +33,31 @@ let build r attrs =
         match add_tuple buckets schema attrs tuple with
         | Some buckets -> (buckets, size + 1)
         | None -> (buckets, size))
-      (Vmap.empty, 0) r
+      (Cmap.empty, 0) r
   in
   { attrs; buckets; size }
+
+(* Probing must not intern: a value that was never interned cannot key
+   any bucket, so [Intern.find] failing is simply a miss. *)
+let probe_key values =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | v :: rest -> (
+        match Intern.find v with
+        | Some c -> go (c :: acc) rest
+        | None -> None)
+  in
+  go [] values
 
 let lookup t values =
   if List.exists Value.is_null values then []
   else
-    match Vmap.find_opt values t.buckets with
-    | Some l -> List.rev l
+    match probe_key values with
     | None -> []
+    | Some k -> (
+        match Cmap.find_opt k t.buckets with
+        | Some l -> List.rev l
+        | None -> [])
 
 let lookup_tuple t schema tuple =
   lookup t (Tuple.values (Tuple.project schema tuple t.attrs))

@@ -1,7 +1,9 @@
-(** Hash indexes over relations — point lookups on an attribute list
-    without rescanning, used by the incremental identification engine.
+(** Indexes over relations — point lookups on an attribute list without
+    rescanning, used by the incremental identification engine.
     NULL-containing keys are not indexed (they can never satisfy a
-    non-NULL equality lookup). *)
+    non-NULL equality lookup). Keys are stored as {!Intern} storage
+    codes, so probes compare ints rather than structural values; lookup
+    semantics (structural value equality) are unchanged. *)
 
 type t
 

@@ -1,0 +1,120 @@
+module V = Value
+
+let null_code = 0
+let unsafe_match = -1
+
+(* 2^53: the largest magnitude at which int -> float conversion is exact
+   and injective, i.e. the range where a single canonical representative
+   decides cross-type numeric equality. Beyond it, distinct ints collapse
+   onto one float (eq3 is not even transitive there), so such values keep
+   the unsafe sentinel and matching falls back to [Value.non_null_eq]. *)
+let max_exact = 9007199254740992
+let max_exactf = 9007199254740992.
+
+(* The canonical representative of a value's non_null_eq match class:
+   integral floats in the exact range become ints ([eq3 (Int 1)
+   (Float 1.)] is [True]); everything else represents itself. NaN is not
+   integral, so it canonicalises to itself — consistent with [eq3],
+   under which NaN matches NaN ([Float.compare nan nan = 0]). *)
+let canon v =
+  match v with
+  | V.Float f when Float.is_integer f && Float.abs f <= max_exactf ->
+      V.Int (int_of_float f)
+  | _ -> v
+
+let ambiguous = function
+  | V.Int x -> x > max_exact || x < -max_exact
+  | V.Float f -> Float.is_integer f && Float.abs f > max_exactf
+  | V.Null | V.Bool _ | V.String _ -> false
+
+(* The published read-only view. Writers mutate cells above [len] in
+   place while holding the lock, then publish a new record with the
+   bumped [len]; readers never index at or above the [len] they read, so
+   in-place growth below capacity is invisible to them. *)
+type snapshot = {
+  values : V.t array;  (** code -> stored value; slot 0 is NULL *)
+  matches : int array;  (** code -> match-class code or [unsafe_match] *)
+  len : int;
+}
+
+let lock = Mutex.create ()
+
+(* Structural-equality lookup table; only touched under [lock]. The
+   polymorphic hash/compare here agree with [Value.equal] on every
+   constructor (including NaN, which [Stdlib.compare] equates with
+   itself just as [Float.equal] does). *)
+let by_value : (V.t, int) Hashtbl.t = Hashtbl.create 1024
+
+let snap =
+  let values = Array.make 64 V.Null and matches = Array.make 64 0 in
+  Hashtbl.add by_value V.Null 0;
+  Atomic.make { values; matches; len = 1 }
+
+let ensure_capacity s =
+  if s.len < Array.length s.values then s
+  else begin
+    let cap = 2 * Array.length s.values in
+    let values = Array.make cap V.Null and matches = Array.make cap 0 in
+    Array.blit s.values 0 values 0 s.len;
+    Array.blit s.matches 0 matches 0 s.len;
+    { values; matches; len = s.len }
+  end
+
+(* Both the value and its match code are in place before [Atomic.set]
+   publishes the new length, so a reader that can see a code always
+   sees its cells. Canonicalisation recurses at most once ([canon] is
+   idempotent: it maps into ints, which map to themselves). *)
+let rec intern_locked v =
+  match Hashtbl.find_opt by_value v with
+  | Some c -> c
+  | None ->
+      let m =
+        if ambiguous v then unsafe_match
+        else
+          let cv = canon v in
+          if V.equal cv v then min_int (* self; patched below *)
+          else intern_locked cv
+      in
+      let s = ensure_capacity (Atomic.get snap) in
+      let c = s.len in
+      s.values.(c) <- v;
+      s.matches.(c) <- (if m = min_int then c else m);
+      Hashtbl.add by_value v c;
+      Atomic.set snap { s with len = c + 1 };
+      c
+
+let code v =
+  Mutex.lock lock;
+  match intern_locked v with
+  | c ->
+      Mutex.unlock lock;
+      c
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let find v =
+  Mutex.lock lock;
+  let c = Hashtbl.find_opt by_value v in
+  Mutex.unlock lock;
+  c
+
+let read what c =
+  let s = Atomic.get snap in
+  if c < 0 || c >= s.len then
+    invalid_arg (Printf.sprintf "Intern.%s: unknown code %d" what c);
+  s
+
+let value c = (read "value" c).values.(c)
+let match_code c = (read "match_code" c).matches.(c)
+let share v = value (code v)
+
+let codes_match a b =
+  a <> null_code && b <> null_code
+  &&
+  let ma = match_code a and mb = match_code b in
+  if ma >= 0 && mb >= 0 then ma = mb else V.non_null_eq (value a) (value b)
+
+let compare_codes a b = if a = b then 0 else V.compare (value a) (value b)
+
+let size () = (Atomic.get snap).len

@@ -60,6 +60,45 @@ let rec eval schema pred tuple =
 
 let holds schema pred tuple = Value.is_true (eval schema pred tuple)
 
+(* Compiled form of [eval schema pred]: attribute names are resolved to
+   tuple indices once, so per-tuple evaluation inside scans is array
+   reads instead of a schema hashtable lookup per operand. [and3]/[or3]
+   never recover from False/True respectively, so short-circuiting is
+   exact. *)
+let compile schema pred =
+  let operand = function
+    | Attr name ->
+        let i = Schema.index_of schema name in
+        fun t -> Tuple.nth t i
+    | Const v -> fun _ -> v
+  in
+  let rec go = function
+    | Cmp (l, op, r) ->
+        let l = operand l and r = operand r in
+        fun t -> apply_op op (l t) (r t)
+    | Non_null_eq (l, r) ->
+        let l = operand l and r = operand r in
+        fun t -> Value.truth_of_bool (Value.non_null_eq (l t) (r t))
+    | Is_null name ->
+        let i = Schema.index_of schema name in
+        fun t -> Value.truth_of_bool (Value.is_null (Tuple.nth t i))
+    | And (p, q) ->
+        let p = go p and q = go q in
+        fun t -> (
+          match p t with Value.False -> Value.False | a -> Value.and3 a (q t))
+    | Or (p, q) ->
+        let p = go p and q = go q in
+        fun t -> (
+          match p t with Value.True -> Value.True | a -> Value.or3 a (q t))
+    | Not p ->
+        let p = go p in
+        fun t -> Value.not3 (p t)
+    | Const_truth v -> fun _ -> v
+  in
+  go pred
+
+let compiled_holds f tuple = Value.is_true (f tuple)
+
 let attributes pred =
   let add acc = function Attr a -> a :: acc | Const _ -> acc in
   let rec go acc = function

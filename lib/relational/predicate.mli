@@ -38,6 +38,15 @@ val eval : Schema.t -> t -> Tuple.t -> Value.truth
 (** [holds schema pred tuple] is [true] iff {!eval} is [True]. *)
 val holds : Schema.t -> t -> Tuple.t -> bool
 
+(** [compile schema pred] — resolve every attribute to its tuple index
+    once and return a closure equivalent to [eval schema pred], for
+    per-tuple use inside scans.
+    @raise Schema.Unknown_attribute eagerly, like {!eval} would. *)
+val compile : Schema.t -> t -> Tuple.t -> Value.truth
+
+(** [compiled_holds f tuple] is [true] iff [f tuple] is [True]. *)
+val compiled_holds : (Tuple.t -> Value.truth) -> Tuple.t -> bool
+
 (** Attribute names mentioned by the predicate. *)
 val attributes : t -> string list
 

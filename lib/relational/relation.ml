@@ -2,6 +2,9 @@ type t = {
   schema : Schema.t;
   keys : string list list;
   rows : Tuple.t array;
+  (* Lazily built column-major code view; a pure function of [rows], so
+     a racing double computation is benign (both results are equal). *)
+  mutable coded : Columnar.t option;
 }
 
 exception Key_violation of { key : string list; tuple : Tuple.t }
@@ -52,7 +55,7 @@ let of_tuples schema ?(keys = []) tuple_list =
   in
   let distinct = List.rev distinct in
   validate_keys schema keys distinct;
-  { schema; keys; rows = Array.of_list distinct }
+  { schema; keys; rows = Array.of_list distinct; coded = None }
 
 let create schema ?(keys = []) value_rows =
   of_tuples schema ~keys (List.map (Tuple.make schema) value_rows)
@@ -60,6 +63,15 @@ let create schema ?(keys = []) value_rows =
 let empty schema ?(keys = []) () = of_tuples schema ~keys []
 
 let schema r = r.schema
+
+let columnar r =
+  match r.coded with
+  | Some c -> c
+  | None ->
+      let c = Columnar.encode r.schema r.rows in
+      r.coded <- Some c;
+      c
+
 let keys r = default_keys r.schema r.keys
 let declared_keys r = r.keys
 

@@ -24,6 +24,11 @@ val empty : Schema.t -> ?keys:string list list -> unit -> t
 
 val schema : t -> Schema.t
 
+(** [columnar r] — the relation's column-major {!Intern}-coded view,
+    built on first use and cached (interning runs on the calling domain;
+    see {!Intern} for the domain discipline). *)
+val columnar : t -> Columnar.t
+
 (** Candidate keys; never empty (defaults to the full attribute set). Only
     {e declared} keys are validated — the defaulted whole-schema key is a
     convention from the paper (footnote 1), not an enforced constraint. *)

@@ -38,6 +38,13 @@ let eval s1 t1 s2 t2 atom =
     (operand_value s1 t1 s2 t2 atom.lhs)
     (operand_value s1 t1 s2 t2 atom.rhs)
 
+let is_same_attribute_equality atom =
+  atom.op = P.Eq
+  &&
+  match (atom.lhs, atom.rhs) with
+  | Attr (Left, a), Attr (Right, b) | Attr (Right, a), Attr (Left, b) -> a = b
+  | (Attr _ | Const _), _ -> false
+
 let attributes atom =
   let side_attrs target =
     List.filter_map

@@ -29,6 +29,14 @@ val eval :
   t ->
   Relational.Value.truth
 
+(** [is_same_attribute_equality atom] — whether the atom is
+    [e1.A = e2.A] for some attribute [A] (either orientation). A rule
+    built only of such atoms is exactly its own blocking key: it fires
+    on a tuple pair iff the pair agrees (non-NULL) on every mentioned
+    attribute, so a blocking bucket on those attributes {e covers} the
+    rule and per-pair evaluation is redundant. *)
+val is_same_attribute_equality : t -> bool
+
 (** Attributes of each side mentioned by the atom: [(left, right)]. *)
 val attributes : t -> string list * string list
 

@@ -27,6 +27,9 @@ let blocking_key rule =
   | [] -> None
   | attrs -> Some attrs
 
+let equality_only rule =
+  rule.atoms <> [] && List.for_all Atom.is_same_attribute_equality rule.atoms
+
 let attributes rule =
   let ls, rs = List.split (List.map Atom.attributes rule.atoms) in
   ( List.sort_uniq String.compare (List.concat ls),

@@ -44,4 +44,9 @@ val attributes : t -> string list * string list
     is frequently [None] (e.g. rules built purely from [≠] atoms). *)
 val blocking_key : t -> string list option
 
+(** [equality_only rule] — every atom is [e1.A = e2.A]
+    ({!Atom.is_same_attribute_equality}): the rule fires on exactly the
+    pairs sharing one {!blocking_key} bucket. *)
+val equality_only : t -> bool
+
 val pp : Format.formatter -> t -> unit

@@ -61,4 +61,10 @@ val attributes : t -> string list * string list
     only for attribute-free rules. *)
 val blocking_key : t -> string list option
 
+(** [equality_only rule] — every atom is [e1.A = e2.A]
+    ({!Atom.is_same_attribute_equality}). Such a rule fires on exactly
+    the tuple pairs sharing one {!blocking_key} bucket, so blocking can
+    skip per-pair evaluation entirely. *)
+val equality_only : t -> bool
+
 val pp : Format.formatter -> t -> unit

@@ -182,17 +182,27 @@ let generate config =
           Some (e, name, street))
       entities
   in
+  (* Intern at generation, like {!Relational.Csv_io} does at load: the
+     pool of distinct values is tiny compared to the row count, so the
+     coded views downstream share codes instead of re-hashing strings. *)
+  let iv v = R.Intern.share v in
   let r_rows =
     List.map
       (fun ((e : entity), name, street) ->
-        [ V.string name; V.string e.cuisine; street ])
+        [ iv (V.string name); iv (V.string e.cuisine); iv street ])
       r_entities
   in
   let s_rows =
     List.filter_map
       (fun e ->
         if not e.in_s then None
-        else Some [ V.string e.name; V.string e.speciality; V.string e.county ])
+        else
+          Some
+            [
+              iv (V.string e.name);
+              iv (V.string e.speciality);
+              iv (V.string e.county);
+            ])
       entities
   in
   let r =

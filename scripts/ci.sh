@@ -86,6 +86,21 @@ for path in ("BENCH_partition.json", "BENCH_parallel.json",
                 walk(v)
     walk(doc)
 
+# The production extension path must actually be the fixpoint (at least
+# one chase round recorded) in both pipeline-bearing artefacts, and the
+# partition bench's fixpoint-vs-recursive head-to-head must agree.
+for path in ("BENCH_partition.json", "BENCH_parallel.json"):
+    counters = json.load(open(path))["stats"]["counters"]
+    if counters.get("ilfd.fixpoint.rounds", 0) < 1:
+        sys.exit(f"CI: {path} recorded no fixpoint rounds — "
+                 "the extension ran on the fallback path")
+
+ext = json.load(open("BENCH_partition.json")).get("extension")
+if ext is None:
+    sys.exit("CI: BENCH_partition.json is missing the extension object")
+if ext.get("agree") is not True:
+    sys.exit("CI: fixpoint extension disagrees with the recursive engine")
+
 doc = json.load(open("BENCH_parallel.json"))
 if doc.get("stats_jobs_invariant") is not True:
     sys.exit("CI: telemetry counters differ between job counts")

@@ -105,6 +105,7 @@ let sink_tests =
         Telemetry.add t "blocking.identity.candidates" 0;
         Telemetry.add t "blocking.distinctness.candidates" 0;
         Telemetry.add t "ilfd.tuples" 0;
+        Telemetry.add t "ilfd.fixpoint.classes" 0;
         ignore (Telemetry.span t "phase" (fun () -> ()));
         let json = Telemetry.to_json t in
         List.iter
@@ -117,7 +118,7 @@ let sink_tests =
             "\"partition.pairs_naive\":100";
             "\"phase\":{\"ms\":";
             "\"candidate_pair_reduction\"";
-            "\"ilfd_memo_hit_rate\"";
+            "\"ilfd_class_sharing\"";
           ];
         (* The whole point of the guarded quotients: candidates = 0 and
            tuples = 0 must not leak non-finite floats into the JSON. *)
@@ -126,7 +127,7 @@ let sink_tests =
     case "derived quotients are guarded" (fun () ->
         let t = Telemetry.create () in
         Telemetry.add t "ilfd.tuples" 0;
-        Telemetry.add t "ilfd.memo_hits" 0;
+        Telemetry.add t "ilfd.fixpoint.classes" 0;
         Telemetry.add t "partition.pairs_naive" 0;
         Telemetry.add t "partition.pairs_considered" 0;
         List.iter
@@ -205,9 +206,11 @@ let pipeline_tests =
                contains name "blocking.identity.rule."
                && contains name ".fired")
              (Telemetry.counters t)));
-    case "memo counters are canonical" (fun () ->
-        (* Two identical tuples (modulo key padding) are one derivation
-           class: 1 miss, 1 hit, whatever the job count. *)
+    case "fixpoint counters are canonical" (fun () ->
+        (* Two tuples agreeing on every attribute the family can read
+           (the key id is irrelevant to it) are one derivation class;
+           the one-rule family stratifies into a single round, derives
+           cuisine once per class and twice across rows. *)
         let r =
           R.Relation.create
             (R.Schema.of_names [ "id"; "speciality" ])
@@ -223,8 +226,11 @@ let pipeline_tests =
              [ Ilfd.parse "speciality = Hunan -> cuisine = Chinese" ]);
         let c = Telemetry.counter telemetry in
         Alcotest.(check int) "tuples" 2 (c "ilfd.tuples");
-        Alcotest.(check int) "misses" 1 (c "ilfd.memo_misses");
-        Alcotest.(check int) "hits" 1 (c "ilfd.memo_hits");
+        Alcotest.(check int) "classes" 1 (c "ilfd.fixpoint.classes");
+        Alcotest.(check int) "rounds" 1 (c "ilfd.fixpoint.rounds");
+        Alcotest.(check int) "delta facts" 1 (c "ilfd.fixpoint.delta_facts");
+        Alcotest.(check int) "fallback classes" 0
+          (c "ilfd.fixpoint.fallback_classes");
         Alcotest.(check int) "derivations" 2 (c "ilfd.derivations"));
     case "stable counters are jobs-invariant" (fun () ->
         let t1, _ = run_rules_pipeline ~jobs:1 () in
