@@ -59,17 +59,27 @@ let best_of reps f =
 type row = {
   n : int;
   shards : int;
+  pool_jobs : int;
   budget : int option;
+  streaming : bool;
   ms : float;
   spills : int;
   spilled_bytes : int;
+  peak_verdict_bytes : int;
   agree : bool;
 }
 
 let measure n =
   let r = side ~offset:0 n and s = side ~offset:(n / 2) n in
-  let run ?mem_budget ?(telemetry = Telemetry.off) shards () =
-    (E.Identify.run ~shards ?mem_budget ~telemetry ~r ~s ~key []).pairs
+  let run ?mem_budget ?(jobs = 1) ?(telemetry = Telemetry.off) shards () =
+    (E.Identify.run ~jobs ~shards ?mem_budget ~telemetry ~r ~s ~key []).pairs
+  in
+  let stream ?mem_budget ?(jobs = 1) ?(telemetry = Telemetry.off) shards () =
+    List.rev
+      (E.Identify.run_stream ~jobs ~shards ?mem_budget ~telemetry ~r ~s ~key
+         ~init:[]
+         ~f:(fun acc a b -> (a, b) :: acc)
+         [])
   in
   let reference = run 1 () in
   let reps = if smoke then 3 else if n >= 1_000_000 then 1 else 2 in
@@ -77,31 +87,72 @@ let measure n =
   (* A budget of ~1/8 the resident key bytes forces several flushes per
      shard without degenerating into one-item batches. *)
   let tight = max 4096 (n * 6) in
-  let configs =
-    if smoke then [ (4, None); (4, Some tight) ]
-    else [ (8, None); (8, Some tight) ]
+  let shard_count = if smoke then 4 else 8 in
+  (* The resident no-budget row schedules shards on the domain pool at
+     the host's own width — the configuration the CI ratio gate holds
+     against serial. *)
+  let pool = Parallel.resolve None in
+  let materialised (shards, jobs, budget) =
+    let telemetry = Telemetry.create () in
+    let pairs = run ?mem_budget:budget ~jobs ~telemetry shards () in
+    let agree = pairs = reference in
+    let spills = Telemetry.counter telemetry "parallel.shard.spills"
+    and spilled_bytes =
+      Telemetry.counter telemetry "parallel.shard.spilled_bytes"
+    in
+    let ms = best_of reps (run ?mem_budget:budget ~jobs shards) in
+    {
+      n;
+      shards;
+      pool_jobs = jobs;
+      budget;
+      streaming = false;
+      ms;
+      spills;
+      spilled_bytes;
+      peak_verdict_bytes = 0;
+      agree;
+    }
   in
-  {
-    n;
-    shards = 1;
-    budget = None;
-    ms = serial_ms;
-    spills = 0;
-    spilled_bytes = 0;
-    agree = true;
-  }
-  :: List.map
-       (fun (shards, budget) ->
-         let telemetry = Telemetry.create () in
-         let pairs = run ?mem_budget:budget ~telemetry shards () in
-         let agree = pairs = reference in
-         let spills = Telemetry.counter telemetry "parallel.shard.spills"
-         and spilled_bytes =
-           Telemetry.counter telemetry "parallel.shard.spilled_bytes"
-         in
-         let ms = best_of reps (run ?mem_budget:budget shards) in
-         { n; shards; budget; ms; spills; spilled_bytes; agree })
-       configs
+  let streamed (shards, jobs, budget) =
+    let telemetry = Telemetry.create () in
+    let pairs = stream ?mem_budget:budget ~jobs ~telemetry shards () in
+    let agree = pairs = reference in
+    let spills = Telemetry.counter telemetry "parallel.sink.spills"
+    and spilled_bytes =
+      Telemetry.counter telemetry "parallel.sink.spilled_bytes"
+    and peak = Telemetry.counter telemetry "identify.peak_verdict_bytes" in
+    let ms = best_of reps (stream ?mem_budget:budget ~jobs shards) in
+    {
+      n;
+      shards;
+      pool_jobs = jobs;
+      budget;
+      streaming = true;
+      ms;
+      spills;
+      spilled_bytes;
+      peak_verdict_bytes = peak;
+      agree;
+    }
+  in
+  [
+    {
+      n;
+      shards = 1;
+      pool_jobs = 1;
+      budget = None;
+      streaming = false;
+      ms = serial_ms;
+      spills = 0;
+      spilled_bytes = 0;
+      peak_verdict_bytes = 0;
+      agree = true;
+    };
+    materialised (shard_count, pool, None);
+    materialised (shard_count, pool, Some tight);
+    streamed (shard_count, pool, Some tight);
+  ]
 
 (* One telemetry-enabled run per shard count over the same workload; the
    contract under test is that every counter outside the [parallel.*]
@@ -129,15 +180,28 @@ let json_of_rows rows =
   Buffer.add_string buf "  \"clock\": \"wall\",\n";
   Buffer.add_string buf "  \"results\": [\n";
   List.iteri
-    (fun i { n; shards; budget; ms; spills; spilled_bytes; agree } ->
+    (fun i
+         {
+           n;
+           shards;
+           pool_jobs;
+           budget;
+           streaming;
+           ms;
+           spills;
+           spilled_bytes;
+           peak_verdict_bytes;
+           agree;
+         } ->
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"n_r\": %d, \"n_s\": %d, \"shards\": %d, \
-            \"mem_budget\": %s, \"ms\": %.3f, \"spills\": %d, \
-            \"spilled_bytes\": %d, \"agree\": %b}%s\n"
-           n n shards
+            \"pool_jobs\": %d, \"mem_budget\": %s, \"streaming\": %b, \
+            \"ms\": %.3f, \"spills\": %d, \"spilled_bytes\": %d, \
+            \"peak_verdict_bytes\": %d, \"agree\": %b}%s\n"
+           n n shards pool_jobs
            (match budget with None -> "null" | Some b -> string_of_int b)
-           ms spills spilled_bytes agree
+           streaming ms spills spilled_bytes peak_verdict_bytes agree
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ],\n";
@@ -160,17 +224,25 @@ let all () =
   print_string
     (R.Pretty.render_rows
        ~header:
-         [ "|R| = |S|"; "shards"; "budget"; "wall"; "spills"; "agree" ]
+         [
+           "|R| = |S|"; "shards"; "jobs"; "budget"; "mode"; "wall"; "spills";
+           "peak"; "agree";
+         ]
        (List.map
-          (fun { n; shards; budget; ms; spills; agree; _ } ->
+          (fun { n; shards; pool_jobs; budget; streaming; ms; spills;
+                 peak_verdict_bytes; agree; _ } ->
             [
               string_of_int n;
               string_of_int shards;
+              string_of_int pool_jobs;
               (match budget with
               | None -> "-"
               | Some b -> Printf.sprintf "%dK" (b / 1024));
+              (if streaming then "stream" else "pairs");
               Printf.sprintf "%.2f ms" ms;
               string_of_int spills;
+              (if peak_verdict_bytes = 0 then "-"
+               else Printf.sprintf "%dK" (peak_verdict_bytes / 1024));
               string_of_bool agree;
             ])
           rows));

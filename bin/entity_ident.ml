@@ -160,6 +160,73 @@ let setup r s rk sk rules_path =
   let ilfds = match rules_path with None -> [] | Some p -> read_rules p in
   (r, s, ilfds)
 
+(* ---- streaming output ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_value = function
+  | Relational.Value.Null -> "null"
+  | Relational.Value.Int i -> string_of_int i
+  | Relational.Value.Bool b -> if b then "true" else "false"
+  | Relational.Value.Float f ->
+      (* JSON has no inf/nan literals; quote the stragglers. *)
+      if Float.is_finite f then Printf.sprintf "%.12g" f
+      else "\"" ^ Float.to_string f ^ "\""
+  | Relational.Value.String s -> "\"" ^ json_escape s ^ "\""
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(* One matched (r', s') pair per output record, written as the join
+   produces it — the emitter never holds more than the current record. *)
+let pair_emitter oc format ~r_names ~s_names =
+  match format with
+  | `Ndjson ->
+      let side names t =
+        List.mapi
+          (fun k name ->
+            Printf.sprintf "\"%s\":%s" (json_escape name)
+              (json_of_value (Relational.Tuple.nth t k)))
+          names
+        |> String.concat ","
+      in
+      fun tr ts ->
+        output_string oc
+          (Printf.sprintf "{\"r\":{%s},\"s\":{%s}}\n" (side r_names tr)
+             (side s_names ts))
+  | `Csv ->
+      output_string oc
+        (String.concat ","
+           (List.map (fun a -> csv_cell ("r." ^ a)) r_names
+           @ List.map (fun a -> csv_cell ("s." ^ a)) s_names));
+      output_char oc '\n';
+      let cells names t =
+        List.mapi
+          (fun k _ ->
+            csv_cell (Relational.Value.to_string (Relational.Tuple.nth t k)))
+          names
+      in
+      fun tr ts ->
+        output_string oc
+          (String.concat "," (cells r_names tr @ cells s_names ts));
+        output_char oc '\n'
+
 (* ---- identify ---- *)
 
 let identify_cmd =
@@ -181,8 +248,25 @@ let identify_cmd =
     Arg.(value & flag & info [ "explain" ]
            ~doc:"Print, for each match, the ILFD derivations behind it.")
   in
+  let stream_out =
+    Arg.(value & opt (some string) None
+         & info [ "stream-out" ] ~docv:"PATH"
+             ~doc:"Stream matched pairs to $(docv) ('-' = stdout) as the \
+                   join produces them, instead of rendering the tables: \
+                   peak memory is bounded by the join state plus \
+                   --mem-budget, never the match count. Replaces --show \
+                   output and skips the uniqueness verification (which \
+                   would materialise the matching table).")
+  in
+  let stream_format =
+    Arg.(value & opt (enum [ ("ndjson", `Ndjson); ("csv", `Csv) ]) `Ndjson
+         & info [ "stream-format" ] ~docv:"FMT"
+             ~doc:"Streamed record format: ndjson (one \
+                   {\"r\":{...},\"s\":{...}} object per line, default) or \
+                   csv (header row of r.*/s.* columns).")
+  in
   let run r s rk sk rules key jobs shards mem_budget stats show negative
-      check_conflicts explain =
+      check_conflicts explain stream_out stream_format =
     let r, s, ilfds = setup r s rk sk rules in
     let key = Entity_id.Extended_key.make (parse_key_list key) in
     let jobs = resolve_jobs jobs in
@@ -191,6 +275,41 @@ let identify_cmd =
       if check_conflicts then Ilfd.Apply.Check_conflicts
       else Ilfd.Apply.First_rule
     in
+    match stream_out with
+    | Some dest ->
+        let oc = if dest = "-" then stdout else open_out dest in
+        let count =
+          Fun.protect
+            ~finally:(fun () ->
+              if dest = "-" then Stdlib.flush stdout else close_out_noerr oc)
+            (fun () ->
+              let r_names =
+                Relational.Schema.names
+                  (Entity_id.Identify.extension_schema r key)
+              and s_names =
+                Relational.Schema.names
+                  (Entity_id.Identify.extension_schema s key)
+              in
+              let emit = pair_emitter oc stream_format ~r_names ~s_names in
+              try
+                Entity_id.Identify.run_stream ~mode ~jobs ~shards ?mem_budget
+                  ~telemetry ~r ~s ~key ~init:0
+                  ~f:(fun n tr ts ->
+                    emit tr ts;
+                    n + 1)
+                  ilfds
+              with Ilfd.Apply.Conflict_found c ->
+                Format.eprintf "entity_ident: %a@." Ilfd.Apply.pp_conflict c;
+                exit 2)
+        in
+        (* The summary must not corrupt a stream going to stdout. *)
+        let ppf =
+          if dest = "-" then Format.err_formatter else Format.std_formatter
+        in
+        Format.fprintf ppf "streamed %d matched pair(s) to %s@." count
+          (if dest = "-" then "stdout" else dest);
+        print_stats stats telemetry
+    | None ->
     let o =
       try
         Entity_id.Identify.run ~mode ~jobs ~shards ?mem_budget ~telemetry ~r
@@ -249,7 +368,8 @@ let identify_cmd =
     (Cmd.info "identify" ~doc:"Run extended-key + ILFD entity identification.")
     Term.(const run $ r_file $ s_file $ r_key_arg $ s_key_arg $ rules_file
           $ extkey_arg $ jobs_arg $ shards_arg $ mem_budget_arg $ stats_arg
-          $ show $ negative $ check_conflicts $ explain)
+          $ show $ negative $ check_conflicts $ explain $ stream_out
+          $ stream_format)
 
 (* ---- closure ---- *)
 

@@ -275,6 +275,71 @@ let check_shards (sc : Scenario.t) (base : Identify.outcome) =
         (List.length m3) (List.length d3) (List.length u3) (List.length m1)
         (List.length d1) (List.length u1)
 
+(* Streamed execution must observe exactly the pairs the materialising
+   engine produces, in the same row-major order, across a shards x jobs
+   cross matrix. The tiny budgets force the Sink spill path on any
+   non-trivial scenario, so the k-way merge is exercised by every run. *)
+let check_stream (sc : Scenario.t) (base : Identify.outcome) =
+  let cell (shards, jobs, mem_budget) =
+    let streamed =
+      List.rev
+        (Identify.run_stream ~jobs ~shards ?mem_budget ~r:sc.r ~s:sc.s
+           ~key:sc.key ~init:[]
+           ~f:(fun acc tr ts -> (tr, ts) :: acc)
+           sc.ilfds)
+    in
+    if pairs_equal streamed base.pairs then Ok ()
+    else
+      fail "stream-agreement"
+        "run_stream at shards=%d jobs=%d budget=%s observes %d pairs vs \
+         run's %d, or in a different order"
+        shards jobs
+        (match mem_budget with
+        | None -> "none"
+        | Some b -> string_of_int b)
+        (List.length streamed) (List.length base.pairs)
+  in
+  List.fold_left
+    (fun acc cfg -> Result.bind acc (fun () -> cell cfg))
+    (Ok ())
+    [ (1, 1, None); (2, 1, Some 2048); (3, 2, Some 3072); (1, 4, None) ]
+
+(* Bucketing the tagged verdict stream by Match_result must reproduce
+   Decision.partition's three lists byte-for-byte. *)
+let check_partition_stream (sc : Scenario.t) (base : Identify.outcome) =
+  let identity = [ EK.equivalence_rule sc.key ] in
+  let m0, d0, u0 =
+    Decision.partition ~identity ~distinctness:[] base.r_extended
+      base.s_extended
+  in
+  let cell (shards, jobs, mem_budget) =
+    let m, d, u =
+      Decision.partition_stream ~jobs ~shards ?mem_budget ~identity
+        ~distinctness:[] ~init:([], [], [])
+        ~f:(fun (m, d, u) result tr ts ->
+          match result with
+          | Entity_id.Match_result.Match -> ((tr, ts) :: m, d, u)
+          | Entity_id.Match_result.No_match -> (m, (tr, ts) :: d, u)
+          | Entity_id.Match_result.Undetermined -> (m, d, (tr, ts) :: u))
+        base.r_extended base.s_extended
+    in
+    if
+      pairs_equal (List.rev m) m0
+      && pairs_equal (List.rev d) d0
+      && pairs_equal (List.rev u) u0
+    then Ok ()
+    else
+      fail "stream-agreement"
+        "partition_stream at shards=%d jobs=%d rebuckets to %d/%d/%d vs \
+         partition's %d/%d/%d (matched/distinct/undetermined)"
+        shards jobs (List.length m) (List.length d) (List.length u)
+        (List.length m0) (List.length d0) (List.length u0)
+  in
+  List.fold_left
+    (fun acc cfg -> Result.bind acc (fun () -> cell cfg))
+    (Ok ())
+    [ (1, 1, None); (2, 2, Some 2048) ]
+
 let check_rules (sc : Scenario.t) ~engine_entries =
   let o : Identify.outcome =
     Identify.run_rules
@@ -479,6 +544,8 @@ let run ?(fault = No_fault) ?(telemetry = Telemetry.off) (sc : Scenario.t) =
     let* () = check_partition sc base in
     let* () = check_jobs sc base in
     let* () = check_shards sc base in
+    let* () = check_stream sc base in
+    let* () = check_partition_stream sc base in
     let* () = check_rules sc ~engine_entries in
     let* () = check_incremental ~fault sc ~engine_entries in
     let* () = check_cluster sc base in

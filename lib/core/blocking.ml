@@ -182,14 +182,20 @@ let fired ?(jobs = 1) ?(shards = 1) ?mem_budget ?(telemetry = Telemetry.off)
                the same key value, so hashing the key assigns each
                bucket — and every candidate pair — to exactly one shard.
                S-side entries are buffered per shard (spilling to temp
-               files above the budget), R rows are routed once, and each
-               shard builds and probes its own bucket table with only
-               that table resident. The fired pairset is a set of pair
-               ids, so shard processing order cannot change it, and the
-               bucket/candidate counters sum to exactly the unsharded
-               values (each key lives in one shard). *)
-            let s_plan = Tuple.plan ss attrs
-            and r_plan = Tuple.plan sr attrs in
+               files above the budget), R rows are routed once, and
+               chunks of shards run on the {!Parallel} domain pool: each
+               chunk builds and probes its shards one at a time with a
+               single bucket table reused across them ([Hashtbl.clear]
+               keeps the bucket array grown by earlier shards),
+               accumulating newly fired pair ids and counters privately.
+               The fired pairset is a set of pair ids and shards own
+               disjoint pairs, so the chunk-order merge cannot change
+               it, and the bucket/candidate counters sum to exactly the
+               unsharded values (each key lives in one shard). Keys are
+               the interned storage codes the unsharded buckets use —
+               integer hashing, no per-tuple value projection. *)
+            let r_cols = Columnar.columns (Lazy.force r_coded) attrs
+            and s_cols = Columnar.columns (Lazy.force s_coded) attrs in
             let per_budget =
               Option.map (fun b -> max 1024 (b / shards)) mem_budget
             in
@@ -200,50 +206,93 @@ let fired ?(jobs = 1) ?(shards = 1) ?mem_budget ?(telemetry = Telemetry.off)
               ~finally:(fun () -> Array.iter Shard.Spill.close s_parts)
             @@ fun () ->
             for j = 0 to ns - 1 do
-              let key = Tuple.project_with s_plan st.(j) in
-              if not (Tuple.has_null key) then begin
-                let kv = Tuple.values key in
-                Shard.Spill.add
-                  s_parts.(Shard.router ~shards kv)
-                  ~bytes:(Shard.estimate_values kv)
-                  (kv, j)
-              end
+              match Columnar.key_opt s_cols j with
+              | Some codes ->
+                  Shard.Spill.add
+                    s_parts.(Shard.router_codes ~shards codes)
+                    ~bytes:(Shard.estimate_codes codes + 16)
+                    (codes, j)
+              | None -> ()
             done;
             let r_parts = Array.make shards [] in
             for i = nr - 1 downto 0 do
-              let key = Tuple.project_with r_plan rt.(i) in
-              if not (Tuple.has_null key) then begin
-                let kv = Tuple.values key in
-                let sh = Shard.router ~shards kv in
-                r_parts.(sh) <- i :: r_parts.(sh)
-              end
+              match Columnar.key_opt r_cols i with
+              | Some codes ->
+                  let sh = Shard.router_codes ~shards codes in
+                  r_parts.(sh) <- i :: r_parts.(sh)
+              | None -> ()
             done;
+            (* Covering rules' per-candidate work is a set insert —
+               pool dispatch is pure overhead for them — and small row
+               sets stay below the executor's serial regime. *)
+            let chunk_jobs =
+              if
+                covering
+                || nr < Parallel.default_threshold
+                   && ns < Parallel.default_threshold
+              then 1
+              else jobs
+            in
+            if tele_on && chunk_jobs > 1 then
+              chunks :=
+                !chunks
+                + Parallel.chunk_count ~jobs:chunk_jobs ~threshold:0 shards;
+            let results =
+              Parallel.map_chunks ~jobs:chunk_jobs ~threshold:0 shards
+                (fun ~start ~stop ->
+                  let lt = Telemetry.local telemetry in
+                  let ids = ref [] in
+                  let buckets = ref 0
+                  and cand = ref 0
+                  and sp = ref 0
+                  and sb = ref 0 in
+                  let tbl = Hashtbl.create 64 in
+                  for sh = start to stop - 1 do
+                    let part = s_parts.(sh) in
+                    Hashtbl.clear tbl;
+                    Shard.Spill.iter part (fun (codes, j) ->
+                        match Hashtbl.find_opt tbl codes with
+                        | Some l -> l := j :: !l
+                        | None -> Hashtbl.add tbl codes (ref [ j ]));
+                    Hashtbl.iter (fun _ l -> l := List.rev !l) tbl;
+                    if tele_on then begin
+                      buckets := !buckets + Hashtbl.length tbl;
+                      sp := !sp + Shard.Spill.spills part;
+                      sb := !sb + Shard.Spill.spilled_bytes part
+                    end;
+                    List.iter
+                      (fun i ->
+                        match Columnar.key_opt r_cols i with
+                        | Some codes -> (
+                            match Hashtbl.find_opt tbl codes with
+                            | Some js ->
+                                List.iter
+                                  (fun j ->
+                                    if tele_on then incr cand;
+                                    let id = pair_id set i j in
+                                    if
+                                      (not (Itbl.mem set.fired id))
+                                      && hits i j
+                                    then ids := id :: !ids)
+                                  !js
+                            | None -> ())
+                        | None -> ())
+                      r_parts.(sh);
+                    Shard.Spill.close part
+                  done;
+                  if tele_on then
+                    Telemetry.local_add lt (pfx ^ ".candidates") !cand;
+                  (!ids, !buckets, !sp, !sb, lt))
+            in
             let buckets = ref 0 in
-            Array.iteri
-              (fun sh part ->
-                let tbl =
-                  Hashtbl.create (max 16 (Shard.Spill.length part))
-                in
-                Shard.Spill.iter part (fun (kv, j) ->
-                    match Hashtbl.find_opt tbl kv with
-                    | Some l -> l := j :: !l
-                    | None -> Hashtbl.add tbl kv (ref [ j ]));
-                Hashtbl.iter (fun _ l -> l := List.rev !l) tbl;
-                if tele_on then begin
-                  buckets := !buckets + Hashtbl.length tbl;
-                  spill_count := !spill_count + Shard.Spill.spills part;
-                  spill_bytes := !spill_bytes + Shard.Spill.spilled_bytes part
-                end;
-                Shard.Spill.close part;
-                let rows = Array.of_list r_parts.(sh) in
-                scan (Array.length rows)
-                  (fun p -> rows.(p))
-                  (fun i k ->
-                    let key = Tuple.project_with r_plan rt.(i) in
-                    match Hashtbl.find_opt tbl (Tuple.values key) with
-                    | Some js -> List.iter k !js
-                    | None -> ()))
-              s_parts;
+            List.iter
+              (fun (ids, b, sp, sb, lt) ->
+                List.iter (fun id -> Itbl.replace set.fired id ()) ids;
+                buckets := !buckets + b;
+                spill_count := !spill_count + sp;
+                spill_bytes := !spill_bytes + sb;
+                Telemetry.merge telemetry lt)
+              results;
             Telemetry.add telemetry (pfx ^ ".buckets") !buckets
           end
       | Some _ ->

@@ -118,27 +118,16 @@ let merge_rows rt st ~m_rows ~d_rows ~matched ~distinct ~unknown start stop =
     remainder 0 m_rows.(i) d_rows.(i)
   done
 
-let partition ?(jobs = 1) ?(shards = 1) ?mem_budget
-    ?(telemetry = Telemetry.off) ?decide:decide_hook ~identity ~distinctness
-    r s =
-  let sr = Relational.Relation.schema r
-  and ss = Relational.Relation.schema s in
-  (* [decide_pair] is what the both-fired arm re-runs to reproduce the
-     naive engine's exception; the hook exists so the correctness
-     harness can inject a desynchronised decision function and exercise
-     the [Blocking_desync] path. *)
-  let decide_pair =
-    match decide_hook with
-    | Some f -> f
-    | None -> fun sr tr ss ts -> decide ~identity ~distinctness sr tr ss ts
-  in
-  let rt = Array.of_list (Relational.Relation.tuples r)
-  and st = Array.of_list (Relational.Relation.tuples s) in
-  let nr = Array.length rt and ns = Array.length st in
+(* Shared front half of [partition] and [partition_stream]: the two
+   blocking passes plus the pair-space accounting. [pairs_naive] is the
+   theoretical |R|×|S| pair space; what the merge actually enumerates is
+   the blocking candidates ([pairs_considered]) plus the undetermined
+   remainders. Candidate counters accumulate across [Blocking.fired]
+   calls in one sink, so the pairs actually considered by THIS partition
+   are the delta around its two blocking passes. *)
+let block_pair_space ~jobs ~shards ~mem_budget ~telemetry ~identity
+    ~distinctness sr rt ss st =
   let tele_on = Telemetry.enabled telemetry in
-  (* Candidate counters accumulate across [Blocking.fired] calls in one
-     sink, so the pairs actually considered by THIS partition are the
-     delta around its two blocking passes. *)
   let considered_counters t =
     Telemetry.counter t "blocking.identity.candidates"
     + Telemetry.counter t "blocking.distinctness.candidates"
@@ -154,32 +143,53 @@ let partition ?(jobs = 1) ?(shards = 1) ?mem_budget
         Blocking.fired ~jobs ~shards ?mem_budget ~telemetry
           ~label:"distinctness" distinctness_spec distinctness sr rt ss st)
   in
-  (* [pairs_naive] is the theoretical |R|×|S| pair space; what the merge
-     actually enumerates is the blocking candidates ([pairs_considered])
-     plus the undetermined remainders. Recording the cross product under
-     the old single [partition.pairs] name made the blocked path read as
-     if it enumerated all of it. *)
-  Telemetry.add telemetry "partition.pairs_naive" (nr * ns);
+  Telemetry.add telemetry "partition.pairs_naive"
+    (Array.length rt * Array.length st);
   if tele_on then
     Telemetry.add telemetry "partition.pairs_considered"
       (considered_counters telemetry - considered_before);
+  (m, d)
+
+(* A pair in both fired sets is an Inconsistent/Blocking_desync witness;
+   the merges assume the sets are disjoint, so detect the conflict up
+   front. [min_conflict] returns the row-major-minimal shared pair — the
+   one the naive nested scan raises on first, whatever the job or shard
+   count — and [decide_pair] then raises with the same witnessing rules.
+   The scan is skipped entirely when either side fired nothing (the
+   common case: the flagship workload has no distinctness firings at
+   all), instead of paying a full conflict scan per run for nothing. *)
+let check_conflicts ~decide_pair sr rt ss st m d =
+  if Blocking.cardinality m > 0 && Blocking.cardinality d > 0 then
+    match Blocking.min_conflict m d with
+    | Some (i, j) ->
+        ignore (decide_pair sr rt.(i) ss st.(j) : verdict);
+        raise (Blocking_desync { r_tuple = rt.(i); s_tuple = st.(j) })
+    | None -> ()
+
+let resolve_decide_hook ~identity ~distinctness = function
+  (* [decide_pair] is what the both-fired arm re-runs to reproduce the
+     naive engine's exception; the hook exists so the correctness
+     harness can inject a desynchronised decision function and exercise
+     the [Blocking_desync] path. *)
+  | Some f -> f
+  | None -> fun sr tr ss ts -> decide ~identity ~distinctness sr tr ss ts
+
+let partition ?(jobs = 1) ?(shards = 1) ?mem_budget
+    ?(telemetry = Telemetry.off) ?decide:decide_hook ~identity ~distinctness
+    r s =
+  let sr = Relational.Relation.schema r
+  and ss = Relational.Relation.schema s in
+  let decide_pair = resolve_decide_hook ~identity ~distinctness decide_hook in
+  let rt = Array.of_list (Relational.Relation.tuples r)
+  and st = Array.of_list (Relational.Relation.tuples s) in
+  let nr = Array.length rt in
+  let m, d =
+    block_pair_space ~jobs ~shards ~mem_budget ~telemetry ~identity
+      ~distinctness sr rt ss st
+  in
   let result =
     Telemetry.span telemetry "partition.merge" @@ fun () ->
-    (* A pair in both fired sets is an Inconsistent/Blocking_desync
-       witness; the merge below assumes the sets are disjoint, so detect
-       the conflict up front. [min_conflict] returns the row-major-
-       minimal shared pair — the one the naive nested scan raises on
-       first, whatever the job or shard count — and [decide] then raises
-       with the same witnessing rules. The scan is skipped entirely when
-       either side fired nothing (the common case: the flagship workload
-       has no distinctness firings at all), instead of paying a full
-       conflict scan per run for nothing. *)
-    (if Blocking.cardinality m > 0 && Blocking.cardinality d > 0 then
-       match Blocking.min_conflict m d with
-       | Some (i, j) ->
-           ignore (decide_pair sr rt.(i) ss st.(j) : verdict);
-           raise (Blocking_desync { r_tuple = rt.(i); s_tuple = st.(j) })
-       | None -> ());
+    check_conflicts ~decide_pair sr rt ss st m d;
     let m_rows = Blocking.row_lists m ~nr
     and d_rows = Blocking.row_lists d ~nr in
     if jobs <= 1 then begin
@@ -223,3 +233,106 @@ let partition ?(jobs = 1) ?(shards = 1) ?mem_budget
     Telemetry.add telemetry "partition.undetermined" (List.length unknown)
   end;
   result
+
+(* The streaming row walk over [start, stop): every pair of the row in
+   ascending j, tagged by skipping past the two ascending fired lists —
+   the same sparse discipline as [merge_rows], emitting verdicts in
+   strict row-major (i, j) order instead of bucketing them. *)
+let stream_rows ~ns ~m_rows ~d_rows ~emit start stop =
+  for i = start to stop - 1 do
+    let rec walk j ms ds =
+      if j < ns then
+        match ms with
+        | jm :: mrest when jm = j ->
+            emit Match_result.Match i j;
+            walk (j + 1) mrest ds
+        | _ -> (
+            match ds with
+            | jd :: drest when jd = j ->
+                emit Match_result.No_match i j;
+                walk (j + 1) ms drest
+            | _ ->
+                emit Match_result.Undetermined i j;
+                walk (j + 1) ms ds)
+    in
+    walk 0 m_rows.(i) d_rows.(i)
+  done
+
+let partition_stream ?(jobs = 1) ?(shards = 1) ?mem_budget
+    ?(telemetry = Telemetry.off) ?decide:decide_hook ~identity ~distinctness
+    ~init ~f r s =
+  let sr = Relational.Relation.schema r
+  and ss = Relational.Relation.schema s in
+  let decide_pair = resolve_decide_hook ~identity ~distinctness decide_hook in
+  let rt = Array.of_list (Relational.Relation.tuples r)
+  and st = Array.of_list (Relational.Relation.tuples s) in
+  let nr = Array.length rt and ns = Array.length st in
+  let tele_on = Telemetry.enabled telemetry in
+  let m, d =
+    block_pair_space ~jobs ~shards ~mem_budget ~telemetry ~identity
+      ~distinctness sr rt ss st
+  in
+  let n_m = ref 0 and n_d = ref 0 and n_u = ref 0 in
+  let acc = ref init in
+  let consume result i j =
+    if tele_on then
+      incr
+        (match result with
+        | Match_result.Match -> n_m
+        | Match_result.No_match -> n_d
+        | Match_result.Undetermined -> n_u);
+    acc := f !acc result rt.(i) st.(j)
+  in
+  (Telemetry.span telemetry "partition.merge" @@ fun () ->
+   check_conflicts ~decide_pair sr rt ss st m d;
+   let m_rows = Blocking.row_lists m ~nr
+   and d_rows = Blocking.row_lists d ~nr in
+   let parts = if jobs <= 1 then 1 else Parallel.chunk_count ~jobs nr in
+   if parts <= 1 then begin
+     (* Serial merge streams verdicts straight off the row walk — zero
+        buffering whatever the budget. *)
+     Telemetry.add telemetry "partition.peak_verdict_bytes" 0;
+     stream_rows ~ns ~m_rows ~d_rows ~emit:consume 0 nr
+   end
+   else begin
+     Telemetry.add telemetry "parallel.chunks" parts;
+     (* Chunks classify concurrently into one budgeted sink part each
+        (claimed by arrival order — the k-way merge below orders by
+        global pair index, so part assignment is irrelevant), and the
+        fold replays them in row-major order on the calling domain. *)
+     let sink = Shard.Sink.create ?budget:mem_budget ~parts () in
+     Fun.protect
+       ~finally:(fun () -> Shard.Sink.close sink)
+       (fun () ->
+         let next_part = Atomic.make 0 in
+         ignore
+           (Parallel.map_chunks ~jobs nr (fun ~start ~stop ->
+                let part = Atomic.fetch_and_add next_part 1 in
+                stream_rows ~ns ~m_rows ~d_rows
+                  ~emit:(fun result i j ->
+                    Shard.Sink.add sink ~part ~bytes:32 (result, i, j))
+                  start stop)
+             : unit list);
+         Telemetry.add telemetry "partition.peak_verdict_bytes"
+           (Shard.Sink.peak_bytes sink);
+         if tele_on then begin
+           Telemetry.add telemetry "parallel.sink.spills"
+             (Shard.Sink.spills sink);
+           Telemetry.add telemetry "parallel.sink.spilled_bytes"
+             (Shard.Sink.spilled_bytes sink);
+           match Shard.Sink.estimate_error_pct sink with
+           | Some pct ->
+               Telemetry.add telemetry "parallel.shard.estimate_error_pct" pct
+           | None -> ()
+         end;
+         Shard.Sink.iter_merged
+           ~index:(fun (_, i, j) -> (i * ns) + j)
+           sink
+           (fun (result, i, j) -> consume result i j))
+   end);
+  if tele_on then begin
+    Telemetry.add telemetry "partition.matched" !n_m;
+    Telemetry.add telemetry "partition.distinct" !n_d;
+    Telemetry.add telemetry "partition.undetermined" !n_u
+  end;
+  !acc

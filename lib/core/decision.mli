@@ -107,6 +107,51 @@ val partition :
   * (Relational.Tuple.t * Relational.Tuple.t) list
   * (Relational.Tuple.t * Relational.Tuple.t) list
 
+(** [partition_stream ?jobs ?shards ?mem_budget ?telemetry ?decide
+    ~identity ~distinctness ~init ~f r s] — the streaming form of
+    {!partition}: folds [f] over {e every} (r, s) pair in strict
+    row-major (ascending R row, ascending S row within it) order, each
+    tagged with its {!Match_result.t} verdict, without materialising the
+    three lists. Bucketing the stream by tag reproduces {!partition}'s
+    three lists byte-for-byte, for every [jobs] and [shards] value —
+    including which pair raises {!Inconsistent} or {!Blocking_desync}.
+
+    [jobs <= 1] (or a sub-threshold input) streams verdicts straight off
+    the serial row merge — zero verdict buffering whatever the budget.
+    [jobs > 1] classifies chunks concurrently into a budgeted
+    {!Shard.Sink} (one part per chunk, [mem_budget] split across parts,
+    overflow to temp files) and k-way merges the parts back into
+    row-major order on the calling domain.
+
+    [telemetry] records everything {!partition} records, plus
+    [partition.peak_verdict_bytes] (sink peak resident verdict bytes;
+    [0] on the unbuffered serial path) — a configuration-dependent
+    counter excluded from {!Telemetry.counters_stable} — and the
+    [parallel.sink.*] spill counters. *)
+val partition_stream :
+  ?jobs:int ->
+  ?shards:int ->
+  ?mem_budget:int ->
+  ?telemetry:Telemetry.t ->
+  ?decide:
+    (Relational.Schema.t ->
+    Relational.Tuple.t ->
+    Relational.Schema.t ->
+    Relational.Tuple.t ->
+    verdict) ->
+  identity:Rules.Identity.t list ->
+  distinctness:Rules.Distinctness.t list ->
+  init:'a ->
+  f:
+    ('a ->
+    Match_result.t ->
+    Relational.Tuple.t ->
+    Relational.Tuple.t ->
+    'a) ->
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  'a
+
 (** [partition_naive] — the reference nested-loop implementation: one
     {!decide} per pair. Kept for agreement testing and benchmarking;
     {!partition} must produce byte-identical results. *)

@@ -43,9 +43,9 @@ let count_outcome telemetry o =
   end;
   o
 
-let run ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
-    ?(telemetry = Telemetry.off) ~r ~s ~key ilfds =
-  if shards <= 0 then invalid_arg "Identify.run: shards must be positive";
+(* Both relations ILFD-extended to the K_Ext target schemas — the phase
+   shared verbatim by [run], [run_stream] and [run_rules]. *)
+let extend_both ?mode ~jobs ~telemetry ~r ~s ~key ilfds =
   let r_target = extension_schema r key
   and s_target = extension_schema s key in
   let r_ext =
@@ -58,129 +58,291 @@ let run ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
         Ilfd.Apply.extend_relation ?mode ~jobs ~telemetry s ~target:s_target
           ilfds)
   in
-  let kext = Extended_key.attributes key in
-  let r_kext = Tuple.plan r_target kext
-  and s_kext = Tuple.plan s_target kext in
-  let pairs =
-    Telemetry.span telemetry "identify.join" @@ fun () ->
-    if shards = 1 then begin
-      (* Hash-join R′ and S′ on K_Ext over the relations' interned
-         column views: bucket keys are small int arrays, so build and
-         probe are integer hashing with no per-tuple value projection
-         (storage codes partition cells exactly like structural equality
-         on the values). Tuples with any NULL key value never match
-         (non_null_eq). Buckets are built with one probe per tuple and
-         reversed once after the pass, not once per lookup. *)
-      let s_cols = Columnar.columns (Relation.columnar s_ext) kext
-      and r_cols = Columnar.columns (Relation.columnar r_ext) kext in
-      let st = Array.of_list (Relation.tuples s_ext)
-      and rt = Array.of_list (Relation.tuples r_ext) in
-      let buckets = Hashtbl.create (max 16 (Array.length st)) in
-      for j = 0 to Array.length st - 1 do
-        match Columnar.key_opt s_cols j with
-        | Some k -> (
-            match Hashtbl.find_opt buckets k with
-            | Some partners -> partners := st.(j) :: !partners
-            | None -> Hashtbl.add buckets k (ref [ st.(j) ]))
-        | None -> ()
-      done;
-      Hashtbl.iter (fun _ partners -> partners := List.rev !partners) buckets;
-      Telemetry.add telemetry "identify.join.buckets"
-        (Hashtbl.length buckets);
-      let pairs = ref [] in
-      for i = 0 to Array.length rt - 1 do
-        match Columnar.key_opt r_cols i with
-        | Some k -> (
-            match Hashtbl.find_opt buckets k with
-            | Some partners ->
-                List.iter (fun ts -> pairs := (rt.(i), ts) :: !pairs) !partners
-            | None -> ())
-        | None -> ()
-      done;
-      List.rev !pairs
-    end
-    else begin
-      (* Grace hash join: matching tuples carry equal K_Ext values, so
-         hashing the key assigns every join bucket to exactly one shard.
-         S′ entries are buffered per shard with a spill budget of
-         [mem_budget / shards] bytes each — only one shard's hash table
-         is ever resident — and each R′ row's partners are written into
-         its own slot, so reading the slots back in ascending row order
-         reproduces the serial join output exactly, whatever the shard
-         count. *)
-      let tele_on = Telemetry.enabled telemetry in
-      let per_budget =
-        Option.map (fun b -> max 1024 (b / shards)) mem_budget
-      in
-      let s_parts =
-        Array.init shards (fun _ -> Shard.Spill.create ?budget:per_budget ())
-      in
-      Fun.protect ~finally:(fun () -> Array.iter Shard.Spill.close s_parts)
-      @@ fun () ->
-      Relation.iter
-        (fun ts ->
-          let k = Tuple.project_with s_kext ts in
-          if not (Tuple.has_null k) then begin
-            let kv = Tuple.values k in
-            Shard.Spill.add
-              s_parts.(Shard.router ~shards kv)
-              ~bytes:(Shard.estimate_values kv + 64)
-              (kv, ts)
-          end)
-        s_ext;
-      let rt = Array.of_list (Relation.tuples r_ext) in
-      let nr = Array.length rt in
-      let r_parts = Array.make shards [] in
-      for i = nr - 1 downto 0 do
-        let k = Tuple.project_with r_kext rt.(i) in
-        if not (Tuple.has_null k) then begin
-          let sh = Shard.router ~shards (Tuple.values k) in
-          r_parts.(sh) <- i :: r_parts.(sh)
+  (r_target, s_target, r_ext, s_ext)
+
+(* The spill/bucket accounting one shard chunk reports back to the
+   calling domain. *)
+type chunk_stats = {
+  cs_buckets : int;
+  cs_spills : int;
+  cs_spilled : int;
+  cs_actual : int;
+}
+
+(* Shard-level parallelism only pays once the row sets outgrow the
+   executor's own serial-fallback regime; below that a single chunk
+   (and thus a single reused table) is the fast path. *)
+let join_jobs ~jobs ~nr ~ns =
+  if nr < Parallel.default_threshold && ns < Parallel.default_threshold then 1
+  else jobs
+
+(* The unsharded coded hash join: one build table over the S key
+   columns, one row-major probe. Bucket keys are small int arrays — the
+   relations' interned storage codes — so build and probe are integer
+   hashing with no per-tuple value projection (storage codes partition
+   cells exactly like structural equality on the values). Tuples with
+   any NULL key value never match (non_null_eq). Building in descending
+   row order conses each bucket straight into ascending partner order —
+   no reversal pass — so [emit i j] observes strictly ascending (i, j),
+   the serial row-major order every other configuration is measured
+   against. *)
+let serial_join ~telemetry ~r_cols ~s_cols ~nr ~ns ~emit =
+  let buckets = Hashtbl.create (max 16 ns) in
+  for j = ns - 1 downto 0 do
+    match Columnar.key_opt s_cols j with
+    | Some k -> (
+        match Hashtbl.find_opt buckets k with
+        | Some partners -> partners := j :: !partners
+        | None -> Hashtbl.add buckets k (ref [ j ]))
+    | None -> ()
+  done;
+  Telemetry.add telemetry "identify.join.buckets" (Hashtbl.length buckets);
+  for i = 0 to nr - 1 do
+    match Columnar.key_opt r_cols i with
+    | Some k -> (
+        match Hashtbl.find_opt buckets k with
+        | Some partners -> List.iter (fun j -> emit i j) !partners
+        | None -> ())
+    | None -> ()
+  done
+
+(* All-resident sharded join — the no-budget configuration. The
+   shards' hash tables all stay resident (without a memory budget there
+   is nothing to bound, and [shards] tables cost what the one unsharded
+   table costs), built as chunks of shards on the {!Parallel} domain
+   pool: each chunk scans the S key columns and keeps exactly the rows
+   the router assigns to its shards, building straight into its own
+   tables. No routed partition is ever materialised — nothing from the
+   build survives but the tables themselves (retained index lists and
+   key caches are pure promotion pressure), at the price of each domain
+   re-scanning the key columns. At [jobs = 1] this is exactly the
+   serial build plus one router hash per row.
+
+   The probe is then a single serial pass in global row order: [emit i
+   j] observes strictly ascending (i, j) — callers emit output
+   directly, no merge step — and again the only per-row cost over the
+   unsharded join is the router hash.
+
+   Callers route the [jobs = 1] case to {!serial_join} instead (one
+   domain gains nothing from resident sharding, so it collapses to the
+   plain join), hence [jobs > 1] here. Each [tables] slot has exactly
+   one writing domain (its shard's chunk) and is read only after the
+   build barrier; descending scans cons each bucket straight into
+   ascending partner order, no reversal pass. *)
+let sharded_join_resident ~jobs ~shards ~telemetry ~r_cols ~s_cols ~nr ~ns
+    ~emit =
+  let tele_on = Telemetry.enabled telemetry in
+  if tele_on then
+    Telemetry.add telemetry "parallel.chunks"
+      (Parallel.chunk_count ~jobs ~threshold:0 shards);
+  let tables = Array.make shards (Hashtbl.create 0) in
+  let buckets =
+    Parallel.map_chunks ~jobs ~threshold:0 shards (fun ~start ~stop ->
+        for sh = start to stop - 1 do
+          tables.(sh) <- Hashtbl.create (max 16 (ns / shards))
+        done;
+        for j = ns - 1 downto 0 do
+          match Columnar.key_opt s_cols j with
+          | Some codes ->
+              let sh = Shard.router_codes ~shards codes in
+              if sh >= start && sh < stop then begin
+                let tbl = tables.(sh) in
+                match Hashtbl.find_opt tbl codes with
+                | Some l -> l := j :: !l
+                | None -> Hashtbl.add tbl codes (ref [ j ])
+              end
+          | None -> ()
+        done;
+        if tele_on then begin
+          let buckets = ref 0 in
+          for sh = start to stop - 1 do
+            buckets := !buckets + Hashtbl.length tables.(sh)
+          done;
+          !buckets
         end
-      done;
-      let partners = Array.make nr [] in
-      let buckets = ref 0
-      and spill_count = ref 0
-      and spill_bytes = ref 0 in
-      Array.iteri
-        (fun sh part ->
-          let tbl = Hashtbl.create (max 16 (Shard.Spill.length part)) in
-          Shard.Spill.iter part (fun (kv, ts) ->
-              match Hashtbl.find_opt tbl kv with
-              | Some l -> l := ts :: !l
-              | None -> Hashtbl.add tbl kv (ref [ ts ]));
+        else 0)
+  in
+  if tele_on then
+    Telemetry.add telemetry "identify.join.buckets"
+      (List.fold_left ( + ) 0 buckets);
+  for i = 0 to nr - 1 do
+    match Columnar.key_opt r_cols i with
+    | Some codes -> (
+        match
+          Hashtbl.find_opt tables.(Shard.router_codes ~shards codes) codes
+        with
+        | Some l -> List.iter (fun j -> emit i j) !l
+        | None -> ())
+    | None -> ()
+  done
+
+(* Out-of-core sharded grace join — the budgeted configuration. S rows
+   are routed into per-shard spill buffers (budget [b / shards] each,
+   overflow to temp files), R row indices into per-shard lists with
+   their key codes cached, and chunks of shards run on the domain pool:
+   each chunk replays, builds and probes its shards one at a time with
+   a single hash table reused across them ([Hashtbl.clear] keeps the
+   bucket array, so every shard after the first starts presized from
+   the largest shard the chunk has seen). Only the routed partitions
+   and one build table per domain are resident — the point of the
+   budget.
+
+   [emit sh i js] receives each probing row's ascending partner list.
+   Shards own disjoint row sets, so chunks emit concurrently without
+   overlap; within one shard, rows arrive in ascending order from a
+   single domain. Emitting into per-row slots (or per-shard sink parts)
+   and reading them back in ascending row order afterwards therefore
+   reproduces the serial row-major output for every shards x jobs
+   configuration. *)
+let sharded_join_spilled ~jobs ~shards ~budget ~telemetry ~r_cols ~s_cols ~nr
+    ~ns ~emit =
+  let tele_on = Telemetry.enabled telemetry in
+  (* One key extraction per R row, cached — routing and probing read
+     the same codes, filled and routed in one pass. *)
+  let r_keys = Array.make nr None in
+  let r_parts = Array.make shards [] in
+  for i = nr - 1 downto 0 do
+    match Columnar.key_opt r_cols i with
+    | Some codes as k ->
+        r_keys.(i) <- k;
+        let sh = Shard.router_codes ~shards codes in
+        r_parts.(sh) <- i :: r_parts.(sh)
+    | None -> ()
+  done;
+  let per_budget = max 1024 (budget / shards) in
+  let s_parts =
+    Array.init shards (fun _ -> Shard.Spill.create ~budget:per_budget ())
+  in
+  Fun.protect ~finally:(fun () -> Array.iter Shard.Spill.close s_parts)
+  @@ fun () ->
+  for j = 0 to ns - 1 do
+    match Columnar.key_opt s_cols j with
+    | Some codes ->
+        Shard.Spill.add
+          s_parts.(Shard.router_codes ~shards codes)
+          ~bytes:(Shard.estimate_codes codes + 16)
+          (codes, j)
+    | None -> ()
+  done;
+  let join_jobs = join_jobs ~jobs ~nr ~ns in
+  if tele_on && join_jobs > 1 then
+    Telemetry.add telemetry "parallel.chunks"
+      (Parallel.chunk_count ~jobs:join_jobs ~threshold:0 shards);
+  let stats =
+    Parallel.map_chunks ~jobs:join_jobs ~threshold:0 shards
+      (fun ~start ~stop ->
+        let tbl = Hashtbl.create 64 in
+        let buckets = ref 0
+        and spill_count = ref 0
+        and spilled = ref 0
+        and actual = ref 0 in
+        for sh = start to stop - 1 do
+          let part = s_parts.(sh) in
+          Hashtbl.clear tbl;
+          Shard.Spill.iter part (fun (codes, j) ->
+              match Hashtbl.find_opt tbl codes with
+              | Some l -> l := j :: !l
+              | None -> Hashtbl.add tbl codes (ref [ j ]));
+          (* Spill replay is ascending, so the consed buckets need the
+             one reversal pass to come out ascending. *)
           Hashtbl.iter (fun _ l -> l := List.rev !l) tbl;
           if tele_on then begin
             buckets := !buckets + Hashtbl.length tbl;
             spill_count := !spill_count + Shard.Spill.spills part;
-            spill_bytes := !spill_bytes + Shard.Spill.spilled_bytes part
+            spilled := !spilled + Shard.Spill.spilled_bytes part;
+            actual := !actual + Shard.Spill.actual_spilled_bytes part
           end;
-          Shard.Spill.close part;
           List.iter
             (fun i ->
-              let k = Tuple.project_with r_kext rt.(i) in
-              match Hashtbl.find_opt tbl (Tuple.values k) with
-              | Some l -> partners.(i) <- !l
+              match r_keys.(i) with
+              | Some codes -> (
+                  match Hashtbl.find_opt tbl codes with
+                  | Some l -> emit sh i !l
+                  | None -> ())
               | None -> ())
-            r_parts.(sh))
-        s_parts;
-      if tele_on then begin
-        Telemetry.add telemetry "identify.join.buckets" !buckets;
-        Telemetry.add telemetry "parallel.shards" shards;
-        Telemetry.add telemetry "parallel.shard.spills" !spill_count;
-        Telemetry.add telemetry "parallel.shard.spilled_bytes" !spill_bytes
-      end;
+            r_parts.(sh);
+          Shard.Spill.close part
+        done;
+        {
+          cs_buckets = !buckets;
+          cs_spills = !spill_count;
+          cs_spilled = !spilled;
+          cs_actual = !actual;
+        })
+  in
+  if tele_on then begin
+    let tot f = List.fold_left (fun a c -> a + f c) 0 stats in
+    Telemetry.add telemetry "identify.join.buckets"
+      (tot (fun c -> c.cs_buckets));
+    Telemetry.add telemetry "parallel.shard.spills"
+      (tot (fun c -> c.cs_spills));
+    Telemetry.add telemetry "parallel.shard.spilled_bytes"
+      (tot (fun c -> c.cs_spilled));
+    let est = tot (fun c -> c.cs_spilled) in
+    if est > 0 then
+      Telemetry.add telemetry "parallel.shard.estimate_error_pct"
+        (abs (tot (fun c -> c.cs_actual) - est) * 100 / est)
+  end
+
+let run ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
+    ?(telemetry = Telemetry.off) ~r ~s ~key ilfds =
+  if shards <= 0 then invalid_arg "Identify.run: shards must be positive";
+  let r_target, s_target, r_ext, s_ext =
+    extend_both ?mode ~jobs ~telemetry ~r ~s ~key ilfds
+  in
+  let kext = Extended_key.attributes key in
+  let pairs =
+    Telemetry.span telemetry "identify.join" @@ fun () ->
+    let s_cols = Columnar.columns (Relation.columnar s_ext) kext
+    and r_cols = Columnar.columns (Relation.columnar r_ext) kext in
+    let st = Array.of_list (Relation.tuples s_ext)
+    and rt = Array.of_list (Relation.tuples r_ext) in
+    let nr = Array.length rt and ns = Array.length st in
+    if shards = 1 then begin
       let pairs = ref [] in
-      for i = nr - 1 downto 0 do
-        let tr = rt.(i) in
-        (* Partner lists are ascending; descending row order with a
-           right fold keeps the final list row-major ascending. *)
-        pairs :=
-          List.fold_right
-            (fun ts acc -> (tr, ts) :: acc)
-            partners.(i) !pairs
-      done;
-      !pairs
+      serial_join ~telemetry ~r_cols ~s_cols ~nr ~ns ~emit:(fun i j ->
+          pairs := (rt.(i), st.(j)) :: !pairs);
+      List.rev !pairs
+    end
+    else begin
+      if Telemetry.enabled telemetry then
+        Telemetry.add telemetry "parallel.shards" shards;
+      match mem_budget with
+      | None ->
+          (* All-resident sharded join: parallel table build when the
+             pool has more than one domain to offer — with one domain
+             resident sharding is pure overhead, so it collapses to the
+             plain join (same tables, same output) — then a serial
+             row-major probe either way, pairs streaming straight out
+             ascending. *)
+          let pairs = ref [] in
+          let emit i j = pairs := (rt.(i), st.(j)) :: !pairs in
+          let jj = join_jobs ~jobs ~nr ~ns in
+          if jj = 1 then serial_join ~telemetry ~r_cols ~s_cols ~nr ~ns ~emit
+          else
+            sharded_join_resident ~jobs:jj ~shards ~telemetry ~r_cols ~s_cols
+              ~nr ~ns ~emit;
+          List.rev !pairs
+      | Some budget ->
+          (* Out-of-core grace join: shard chunks run on the domain
+             pool, each row's ascending partner list lands in its own
+             slot, and the slots are read back in ascending row order —
+             the serial row-major pair list, whatever the shard count
+             or job count. *)
+          let partners = Array.make nr [] in
+          sharded_join_spilled ~jobs ~shards ~budget ~telemetry ~r_cols
+            ~s_cols ~nr ~ns ~emit:(fun _sh i js -> partners.(i) <- js);
+          let pairs = ref [] in
+          for i = nr - 1 downto 0 do
+            let tr = rt.(i) in
+            (* Partner lists are ascending; descending row order with a
+               right fold keeps the final list row-major ascending. *)
+            pairs :=
+              List.fold_right
+                (fun j acc -> (tr, st.(j)) :: acc)
+                partners.(i) !pairs
+          done;
+          !pairs
     end
   in
   let r_key = Relation.primary_key r and s_key = Relation.primary_key s in
@@ -207,22 +369,86 @@ let run ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
       unmatched_s = null_key_tuples s_target s_ext kext;
     }
 
+let run_stream ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
+    ?(telemetry = Telemetry.off) ~r ~s ~key ~init ~f ilfds =
+  if shards <= 0 then
+    invalid_arg "Identify.run_stream: shards must be positive";
+  let _, _, r_ext, s_ext = extend_both ?mode ~jobs ~telemetry ~r ~s ~key ilfds in
+  let kext = Extended_key.attributes key in
+  Telemetry.span telemetry "identify.join" @@ fun () ->
+  let s_cols = Columnar.columns (Relation.columnar s_ext) kext
+  and r_cols = Columnar.columns (Relation.columnar r_ext) kext in
+  let st = Array.of_list (Relation.tuples s_ext)
+  and rt = Array.of_list (Relation.tuples r_ext) in
+  let nr = Array.length rt and ns = Array.length st in
+  if shards = 1 then begin
+    (* Single-shard short-circuit: the ordinary coded hash join already
+       probes rows in ascending order, so verdicts flow straight into
+       the fold — no sink, no buffering, zero peak verdict memory. *)
+    if Telemetry.enabled telemetry then
+      Telemetry.add telemetry "identify.peak_verdict_bytes" 0;
+    let acc = ref init in
+    serial_join ~telemetry ~r_cols ~s_cols ~nr ~ns ~emit:(fun i j ->
+        acc := f !acc rt.(i) st.(j));
+    !acc
+  end
+  else begin
+    if Telemetry.enabled telemetry then
+      Telemetry.add telemetry "parallel.shards" shards;
+    match mem_budget with
+    | None ->
+        (* All-resident sharded join probes in global row order, so
+           verdicts flow straight into the fold — no sink, zero peak
+           verdict memory. One pool domain collapses to the plain
+           join, as in {!run}. *)
+        let acc = ref init in
+        let emit i j = acc := f !acc rt.(i) st.(j) in
+        let jj = join_jobs ~jobs ~nr ~ns in
+        if jj = 1 then serial_join ~telemetry ~r_cols ~s_cols ~nr ~ns ~emit
+        else
+          sharded_join_resident ~jobs:jj ~shards ~telemetry ~r_cols ~s_cols
+            ~nr ~ns ~emit;
+        if Telemetry.enabled telemetry then
+          Telemetry.add telemetry "identify.peak_verdict_bytes" 0;
+        !acc
+    | Some budget ->
+        (* Budgeted streaming: shard chunks write (row, partner)
+           verdicts into per-shard sink parts — one writer per part,
+           budgeted, so overflow goes to temp files instead of the
+           heap — and the consuming domain k-way merges the parts by
+           row index back into the serial row-major order. *)
+        let sink = Shard.Sink.create ~budget ~parts:shards () in
+        Fun.protect ~finally:(fun () -> Shard.Sink.close sink) @@ fun () ->
+        sharded_join_spilled ~jobs ~shards ~budget ~telemetry ~r_cols ~s_cols
+          ~nr ~ns ~emit:(fun sh i js ->
+            List.iter
+              (fun j -> Shard.Sink.add sink ~part:sh ~bytes:32 (i, j))
+              js);
+        if Telemetry.enabled telemetry then begin
+          Telemetry.add telemetry "identify.peak_verdict_bytes"
+            (Shard.Sink.peak_bytes sink);
+          Telemetry.add telemetry "parallel.sink.spills"
+            (Shard.Sink.spills sink);
+          Telemetry.add telemetry "parallel.sink.spilled_bytes"
+            (Shard.Sink.spilled_bytes sink);
+          match Shard.Sink.estimate_error_pct sink with
+          | Some pct ->
+              Telemetry.add telemetry "parallel.shard.estimate_error_pct" pct
+          | None -> ()
+        end;
+        let acc = ref init in
+        Shard.Sink.iter_merged ~index:fst sink (fun (i, j) ->
+            acc := f !acc rt.(i) st.(j));
+        !acc
+  end
+
 let is_verified o = o.violations = []
 
 let run_rules ?mode ?(jobs = 1) ?(shards = 1) ?mem_budget
     ?(telemetry = Telemetry.off) ~identity ?(distinctness = []) ~r ~s ~key
     ilfds =
-  let r_target = extension_schema r key
-  and s_target = extension_schema s key in
-  let r_ext =
-    Telemetry.span telemetry "identify.extend_r" (fun () ->
-        Ilfd.Apply.extend_relation ?mode ~jobs ~telemetry r ~target:r_target
-          ilfds)
-  in
-  let s_ext =
-    Telemetry.span telemetry "identify.extend_s" (fun () ->
-        Ilfd.Apply.extend_relation ?mode ~jobs ~telemetry s ~target:s_target
-          ilfds)
+  let r_target, s_target, r_ext, s_ext =
+    extend_both ?mode ~jobs ~telemetry ~r ~s ~key ilfds
   in
   let matched, _, _ =
     Decision.partition ~jobs ~shards ?mem_budget ~telemetry ~identity

@@ -35,16 +35,20 @@ type outcome = {
     chunked over that many domains ({!Ilfd.Apply.extend_relation}); the
     outcome is identical for every [jobs] value.
 
-    [shards] (default [1]) > 1 runs the K_Ext join as a grace hash join:
-    S′ entries are routed by key hash into [shards] partitions
-    ({!Shard.router}) buffered with a spill-to-temp-file budget of
-    [mem_budget / shards] bytes each ({!Shard.Spill}), and each shard
-    builds and probes its own hash table with only that table resident —
-    the out-of-core configuration. Matching tuples carry equal key
-    values, so every join bucket lives in exactly one shard; per-row
-    partner slots read back in ascending row order make the outcome
-    identical for every [shards] value. [mem_budget] without
-    [shards > 1] has no effect.
+    [shards] (default [1]) > 1 runs the K_Ext join as a grace hash join
+    over key-hash partitions ({!Shard.router}). With a [mem_budget],
+    S′ entries buffer in {!Shard.Spill} values with a spill-to-temp-file
+    budget of [mem_budget / shards] bytes each, and each shard builds
+    and probes its own hash table with only that table resident — the
+    out-of-core configuration. Without a budget, shard chunks are
+    scheduled on the shared domain pool at [jobs] width, each chunk
+    building only its own shards' tables (scan-per-chunk); at a
+    resolved width of 1 this collapses to the serial join, so resident
+    sharding never costs more than a routing pass. Matching tuples
+    carry equal key values, so every join bucket lives in exactly one
+    shard; per-row partner slots read back in ascending row order make
+    the outcome identical for every [shards] and [jobs] value.
+    [mem_budget] without [shards > 1] has no effect.
 
     [telemetry] (default {!Telemetry.off}) records the
     [identify.extend_r] / [identify.extend_s] / [identify.join] spans,
@@ -66,6 +70,42 @@ val run :
   key:Extended_key.t ->
   Ilfd.t list ->
   outcome
+
+(** [run_stream ?mode ?jobs ?shards ?mem_budget ?telemetry ~r ~s ~key
+    ~init ~f ilfds] — the streaming form of {!run}'s join: folds [f]
+    over every matched [(r', s')] pair of extended tuples in the serial
+    row-major order (ascending R′ row, ascending S′ partner within a
+    row) {e without materialising the pair list}, so peak memory is the
+    join state plus the verdict buffers, not the output.
+
+    [shards = 1] short-circuits to the ordinary hash join and streams
+    pairs straight out of the probe loop — zero verdict buffering.
+    [shards > 1] routes matches through a budgeted {!Shard.Sink} (one
+    part per shard, [mem_budget] split across parts, overflow to temp
+    files) and k-way merges the parts back into row-major order.
+    The fold observes exactly the pairs {!run} materialises, in the
+    same order, for every [jobs] and [shards] value.
+
+    [telemetry] additionally records [identify.peak_verdict_bytes]
+    (sink peak resident verdict bytes; [0] when [shards = 1]) — a
+    configuration-dependent counter excluded from
+    {!Telemetry.counters_stable} — and [parallel.sink.*] spill
+    counters.
+    @raise Invalid_argument when [shards <= 0].
+    @raise Ilfd.Apply.Conflict_found in [Check_conflicts] mode. *)
+val run_stream :
+  ?mode:Ilfd.Apply.mode ->
+  ?jobs:int ->
+  ?shards:int ->
+  ?mem_budget:int ->
+  ?telemetry:Telemetry.t ->
+  r:Relational.Relation.t ->
+  s:Relational.Relation.t ->
+  key:Extended_key.t ->
+  init:'a ->
+  f:('a -> Relational.Tuple.t -> Relational.Tuple.t -> 'a) ->
+  Ilfd.t list ->
+  'a
 
 (** [extension_schema relation key] — the relation's schema widened with
     its missing extended-key attributes (K_Ext−R, in key order). *)

@@ -124,8 +124,59 @@ if not any(r["agree"] for r in doc["results"]):
     sys.exit("CI: shard bench recorded no agreeing configuration")
 if not any(r["spills"] > 0 for r in doc["results"]):
     sys.exit("CI: shard bench smoke run never exercised the spill path")
+
+# Streaming rows: byte-identical output, spill path exercised under the
+# budget, and the verdict buffer held to the budget (plus one in-flight
+# item per sink part).
+streaming = [r for r in doc["results"] if r.get("streaming")]
+if not streaming:
+    sys.exit("CI: shard bench recorded no streaming row")
+for r in streaming:
+    if r["agree"] is not True:
+        sys.exit("CI: streaming row disagrees with the materialised pairs")
+    if r["mem_budget"] is not None:
+        if r["spills"] < 1:
+            sys.exit("CI: budgeted streaming row never spilled")
+        if r["peak_verdict_bytes"] > r["mem_budget"] + 8 * 64:
+            sys.exit("CI: streaming verdict buffer exceeded its budget "
+                     f"({r['peak_verdict_bytes']} > {r['mem_budget']})")
 print("CI: bench JSON artefacts are well-formed")
 EOF
   fi
 )
 rm -rf "$bench_dir"
+
+# ---- committed full-run artefact gates ----
+#
+# The checked-in BENCH_shard.json comes from the full (non-smoke) sweep;
+# its 100k rows carry the two contracts CI can't afford to re-measure:
+# pool-scheduled resident sharding must stay within 1.10x of serial
+# (the shards=8 no-budget regression gate), and the budgeted streaming
+# row must agree, spill, and hold its verdict buffer to the budget.
+# Regenerate with `bench/main.exe shard` when the engine changes.
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json, sys
+
+rows = json.load(open("BENCH_shard.json"))["results"]
+big = [r for r in rows if r["n_r"] == 100000]
+serial = next((r for r in big if r["shards"] == 1), None)
+pool = next((r for r in big if r["shards"] > 1 and not r["streaming"]
+             and r["mem_budget"] is None), None)
+if serial is None or pool is None:
+    sys.exit("CI: committed BENCH_shard.json is missing the 100k rows")
+if pool["ms"] > serial["ms"] * 1.10:
+    sys.exit(f"CI: resident sharding at 100k took {pool['ms']:.1f} ms vs "
+             f"{serial['ms']:.1f} ms serial (> 1.10x)")
+stream = [r for r in big if r["streaming"]]
+if not stream:
+    sys.exit("CI: committed BENCH_shard.json has no streaming 100k row")
+for r in stream:
+    if r["agree"] is not True or r["spills"] < 1:
+        sys.exit("CI: committed streaming 100k row fails its contract")
+    if r["peak_verdict_bytes"] > r["mem_budget"] + 8 * 64:
+        sys.exit("CI: committed streaming 100k row exceeded its verdict "
+                 "budget")
+print("CI: committed BENCH_shard.json satisfies the perf/memory gates")
+EOF
+fi

@@ -91,6 +91,147 @@ let spill_tests =
         E.Shard.Spill.close t);
     check_raises_any "budget must be positive" (fun () ->
         E.Shard.Spill.create ~budget:0 ());
+    case "calibration scales the estimate by observed marshal sizes"
+      (fun () ->
+        (* Deliberately underestimate: 8 claimed bytes per 200-char
+           string. After the first flush the error is visible and the
+           calibrated accounting (clamped at 2x the raw estimate) flushes
+           more eagerly than the raw estimate would. *)
+        let t = E.Shard.Spill.create ~budget:64 () in
+        for i = 0 to 19 do
+          E.Shard.Spill.add t ~bytes:8 (String.make 200 (Char.chr (65 + i)))
+        done;
+        Alcotest.(check bool) "spilled" true (E.Shard.Spill.spills t > 0);
+        (match E.Shard.Spill.estimate_error_pct t with
+        | None -> Alcotest.fail "no error observed after a flush"
+        | Some pct ->
+            Alcotest.(check bool) "gross underestimate detected" true
+              (pct > 100));
+        Alcotest.(check bool) "actual bytes exceed estimated" true
+          (E.Shard.Spill.actual_spilled_bytes t
+          > E.Shard.Spill.spilled_bytes t);
+        E.Shard.Spill.close t);
+    case "close unregisters the temp file from the exit sweep" (fun () ->
+        let before = E.Shard.Spill.live_files () in
+        let t = E.Shard.Spill.create ~budget:16 () in
+        for i = 0 to 9 do
+          E.Shard.Spill.add t ~bytes:8 i
+        done;
+        Alcotest.(check int) "registered while open" (before + 1)
+          (E.Shard.Spill.live_files ());
+        let path = Option.get (E.Shard.Spill.file_path t) in
+        Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+        E.Shard.Spill.close t;
+        E.Shard.Spill.close t;
+        (* double close: idempotent, no raise *)
+        Alcotest.(check int) "unregistered" before (E.Shard.Spill.live_files ());
+        Alcotest.(check bool) "file removed" true (not (Sys.file_exists path)));
+    case "spill honours TMPDIR at file-creation time" (fun () ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "shard_tmpdir_%d" (Unix.getpid ()))
+        in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+        let old = Sys.getenv_opt "TMPDIR" in
+        Unix.putenv "TMPDIR" dir;
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.putenv "TMPDIR" (Option.value old ~default:"");
+            Array.iter
+              (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+              (Sys.readdir dir);
+            try Sys.rmdir dir with Sys_error _ -> ())
+          (fun () ->
+            let t = E.Shard.Spill.create ~budget:16 () in
+            for i = 0 to 9 do
+              E.Shard.Spill.add t ~bytes:8 i
+            done;
+            (match E.Shard.Spill.file_path t with
+            | None -> Alcotest.fail "expected a spill file"
+            | Some path ->
+                Alcotest.(check bool) "under TMPDIR" true
+                  (String.length path > String.length dir
+                  && String.sub path 0 (String.length dir) = dir));
+            E.Shard.Spill.close t));
+  ]
+
+(* ---- the ordered verdict sink ---- *)
+
+let sink_replay sink =
+  let seen = ref [] in
+  E.Shard.Sink.iter_ordered sink (fun x -> seen := x :: !seen);
+  List.rev !seen
+
+let sink_tests =
+  let fill ?budget ~parts n =
+    (* Item i goes to part (i mod parts); within a part items arrive in
+       ascending order, so part-then-insertion order is a fixed, known
+       sequence whatever the budget. *)
+    let sink = E.Shard.Sink.create ?budget ~parts () in
+    for i = 0 to n - 1 do
+      E.Shard.Sink.add sink ~part:(i mod parts) ~bytes:16 i
+    done;
+    sink
+  in
+  let expected_ordered ~parts n =
+    List.concat
+      (List.init parts (fun p ->
+           List.filter (fun i -> i mod parts = p) (List.init n Fun.id)))
+  in
+  [
+    case "iter_ordered: parts in index order, insertion order within"
+      (fun () ->
+        let sink = fill ~parts:3 50 in
+        Alcotest.(check int) "no spills" 0 (E.Shard.Sink.spills sink);
+        Alcotest.(check (list int)) "order" (expected_ordered ~parts:3 50)
+          (sink_replay sink);
+        Alcotest.(check int) "length" 50 (E.Shard.Sink.length sink);
+        E.Shard.Sink.close sink);
+    case "iter_ordered: same contract under a forced-spill budget"
+      (fun () ->
+        (* parts get the 1 KiB floor each; 16 bytes x ~170 items per part
+           overflows it several times. *)
+        let sink = fill ~budget:3072 ~parts:3 512 in
+        Alcotest.(check bool) "spilled" true (E.Shard.Sink.spills sink > 0);
+        Alcotest.(check (list int)) "order" (expected_ordered ~parts:3 512)
+          (sink_replay sink);
+        Alcotest.(check bool) "peak bounded by the budget" true
+          (E.Shard.Sink.peak_bytes sink <= 3072 + 3 * 16);
+        E.Shard.Sink.close sink);
+    case "fold_ordered agrees with iter_ordered" (fun () ->
+        let sink = fill ~parts:4 40 in
+        let folded =
+          List.rev (E.Shard.Sink.fold_ordered sink [] (fun acc x -> x :: acc))
+        in
+        Alcotest.(check (list int)) "agree" (sink_replay sink) folded;
+        E.Shard.Sink.close sink);
+    case "iter_merged restores global order from round-robin parts"
+      (fun () ->
+        List.iter
+          (fun budget ->
+            let sink = fill ?budget ~parts:3 200 in
+            let seen = ref [] in
+            E.Shard.Sink.iter_merged ~index:Fun.id sink (fun x ->
+                seen := x :: !seen);
+            Alcotest.(check (list int))
+              (Printf.sprintf "ascending (budget %s)"
+                 (match budget with
+                 | None -> "none"
+                 | Some b -> string_of_int b))
+              (List.init 200 Fun.id) (List.rev !seen);
+            E.Shard.Sink.close sink)
+          [ None; Some 3072 ]);
+    case "close is idempotent and removes spill files" (fun () ->
+        let before = E.Shard.Spill.live_files () in
+        let sink = fill ~budget:3072 ~parts:3 512 in
+        Alcotest.(check bool) "registered" true
+          (E.Shard.Spill.live_files () > before);
+        E.Shard.Sink.close sink;
+        E.Shard.Sink.close sink;
+        Alcotest.(check int) "all unregistered" before
+          (E.Shard.Spill.live_files ()));
+    check_raises_any "parts must be positive" (fun () ->
+        E.Shard.Sink.create ~parts:0 ());
   ]
 
 (* ---- the domain pool ---- *)
@@ -207,11 +348,117 @@ let invariance_tests =
           ~distinctness:[] inst.r inst.s);
   ]
 
+(* ---- streaming vs materialised ---- *)
+
+let stream_pairs ?jobs ?shards ?mem_budget ?telemetry (inst : Workload.Restaurant.instance) =
+  List.rev
+    (E.Identify.run_stream ?jobs ?shards ?mem_budget ?telemetry ~r:inst.r
+       ~s:inst.s ~key:inst.key ~init:[]
+       ~f:(fun acc tr ts -> (tr, ts) :: acc)
+       inst.ilfds)
+
+let empty_like rel =
+  R.Relation.empty (R.Relation.schema rel)
+    ~keys:(R.Relation.declared_keys rel)
+    ()
+
+let stream_tests =
+  [
+    case "run_stream equals run across the shards x jobs matrix" (fun () ->
+        let inst = instance () in
+        let base =
+          E.Identify.run ~r:inst.r ~s:inst.s ~key:inst.key inst.ilfds
+        in
+        List.iter
+          (fun shards ->
+            List.iter
+              (fun jobs ->
+                (* The 4 KiB budget forces the sink spill path whenever
+                   shards > 1. *)
+                let streamed =
+                  stream_pairs ~jobs ~shards ~mem_budget:4096 inst
+                in
+                Alcotest.check pairs
+                  (Printf.sprintf "shards=%d jobs=%d" shards jobs)
+                  base.pairs streamed)
+              [ 1; 2; 4 ])
+          [ 1; 2; 7 ]);
+    case "single-shard short-circuit buffers nothing" (fun () ->
+        let inst = instance () in
+        let telemetry = Telemetry.create () in
+        ignore (stream_pairs ~shards:1 ~mem_budget:1024 ~telemetry inst);
+        Alcotest.(check int) "peak_verdict_bytes" 0
+          (Telemetry.counter telemetry "identify.peak_verdict_bytes");
+        Alcotest.(check int) "no sink spills" 0
+          (Telemetry.counter telemetry "parallel.sink.spills"));
+    case "budgeted sharded stream spills and stays under budget" (fun () ->
+        (* Each sink part gets at least the 1 KiB floor, so the scenario
+           must produce enough matches (~32 bytes each) to overflow it. *)
+        let inst =
+          Workload.Restaurant.generate
+            { Workload.Restaurant.default with n_entities = 500; seed = 11 }
+        in
+        let budget = 4096 in
+        let telemetry = Telemetry.create () in
+        ignore (stream_pairs ~shards:7 ~mem_budget:budget ~telemetry inst);
+        let peak = Telemetry.counter telemetry "identify.peak_verdict_bytes" in
+        Alcotest.(check bool) "buffered something" true (peak > 0);
+        (* Per-part floor is 1024, so 7 parts may legitimately hold up to
+           7 KiB + one item each; the contract is the per-part bound. *)
+        Alcotest.(check bool) "peak within the per-part bound" true
+          (peak <= 7 * (max 1024 (budget / 7) + 64));
+        Alcotest.(check bool) "spilled" true
+          (Telemetry.counter telemetry "parallel.sink.spills" > 0);
+        (* peak_verdict_bytes is configuration telemetry and must not
+           appear in the stable counter set. *)
+        Alcotest.(check bool) "excluded from counters_stable" true
+          (not
+             (List.mem_assoc "identify.peak_verdict_bytes"
+                (Telemetry.counters_stable telemetry))));
+    case "empty relations stream nothing" (fun () ->
+        let inst = instance () in
+        let empty_inst = { inst with r = empty_like inst.r } in
+        List.iter
+          (fun shards ->
+            Alcotest.check pairs
+              (Printf.sprintf "shards=%d" shards)
+              []
+              (stream_pairs ~shards ~mem_budget:2048 empty_inst))
+          [ 1; 3 ]);
+    case "partition_stream rebuckets to partition's lists" (fun () ->
+        let inst = instance () in
+        let identity = [ E.Extended_key.equivalence_rule inst.key ] in
+        let m0, d0, u0 =
+          E.Decision.partition ~identity ~distinctness:[] inst.r inst.s
+        in
+        List.iter
+          (fun (shards, jobs) ->
+            let m, d, u =
+              E.Decision.partition_stream ~jobs ~shards ~mem_budget:2048
+                ~identity ~distinctness:[] ~init:([], [], [])
+                ~f:(fun (m, d, u) result tr ts ->
+                  match result with
+                  | E.Match_result.Match -> ((tr, ts) :: m, d, u)
+                  | E.Match_result.No_match -> (m, (tr, ts) :: d, u)
+                  | E.Match_result.Undetermined -> (m, d, (tr, ts) :: u))
+                inst.r inst.s
+            in
+            let label what =
+              Printf.sprintf "%s shards=%d jobs=%d" what shards jobs
+            in
+            Alcotest.check pairs (label "matched") m0 (List.rev m);
+            Alcotest.check pairs (label "distinct") d0 (List.rev d);
+            Alcotest.check pairs (label "undetermined") u0 (List.rev u))
+          [ (1, 1); (2, 1); (7, 2); (2, 4) ]);
+  ]
+
 let () =
   Alcotest.run "shard"
     [
       ("router", router_tests);
       ("spill", spill_tests);
+      ("sink", sink_tests);
       ("pool", pool_tests);
       ("invariance", invariance_tests);
+      ("stream", stream_tests);
     ]
