@@ -9,6 +9,8 @@
      session    replay the paper's Section 6 Prolog session on given data
      check      differential/metamorphic correctness harness (seeded)
      soak       long-running check with progress reporting
+     serve      durable JSON request loop over a WAL+snapshot store
+     store-dump decode a store WAL as a replayable request stream
 
    A rules file holds one ILFD per line in the concrete syntax
    "attr = value & attr = value -> attr = value"; blank lines and lines
@@ -277,30 +279,46 @@ let identify_cmd =
     in
     match stream_out with
     | Some dest ->
-        let oc = if dest = "-" then stdout else open_out dest in
+        (* A consumer hanging up must surface as Sys_error (EPIPE), not
+           kill the process silently with SIGPIPE. *)
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ -> ());
+        let stream oc =
+          let r_names =
+            Relational.Schema.names
+              (Entity_id.Identify.extension_schema r key)
+          and s_names =
+            Relational.Schema.names
+              (Entity_id.Identify.extension_schema s key)
+          in
+          let emit = pair_emitter oc stream_format ~r_names ~s_names in
+          Entity_id.Identify.run_stream ~mode ~jobs ~shards ?mem_budget
+            ~telemetry ~r ~s ~key ~init:0
+            ~f:(fun n tr ts ->
+              emit tr ts;
+              n + 1)
+            ilfds
+        in
         let count =
-          Fun.protect
-            ~finally:(fun () ->
-              if dest = "-" then Stdlib.flush stdout else close_out_noerr oc)
-            (fun () ->
-              let r_names =
-                Relational.Schema.names
-                  (Entity_id.Identify.extension_schema r key)
-              and s_names =
-                Relational.Schema.names
-                  (Entity_id.Identify.extension_schema s key)
-              in
-              let emit = pair_emitter oc stream_format ~r_names ~s_names in
-              try
-                Entity_id.Identify.run_stream ~mode ~jobs ~shards ?mem_budget
-                  ~telemetry ~r ~s ~key ~init:0
-                  ~f:(fun n tr ts ->
-                    emit tr ts;
-                    n + 1)
-                  ilfds
-              with Ilfd.Apply.Conflict_found c ->
-                Format.eprintf "entity_ident: %a@." Ilfd.Apply.pp_conflict c;
-                exit 2)
+          (* To a file: write PATH.tmp and rename only after every record
+             flushed cleanly, so a crash, ENOSPC or EPIPE can never leave
+             a truncated PATH that looks complete. *)
+          match
+            if dest = "-" then (
+              let n = stream stdout in
+              Stdlib.flush stdout;
+              n)
+            else Eid_store.Fsutil.with_atomic_out dest stream
+          with
+          | n -> n
+          | exception Ilfd.Apply.Conflict_found c ->
+              Format.eprintf "entity_ident: %a@." Ilfd.Apply.pp_conflict c;
+              exit 2
+          | exception Sys_error m ->
+              Format.eprintf "entity_ident: cannot stream to %s: %s@."
+                (if dest = "-" then "stdout" else dest)
+                m;
+              exit 3
         in
         (* The summary must not corrupt a stream going to stdout. *)
         let ppf =
@@ -645,12 +663,172 @@ let soak_cmd =
     Term.(const run $ seed_arg $ scenarios_arg $ fault_arg $ shrink_arg
           $ corpus_arg $ max_failures_arg $ stats_arg)
 
+(* ---- serve / store-dump ---- *)
+
+let store_dir_arg =
+  Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Store directory (WAL, snapshot, config, lock).")
+
+(* Rule lines kept verbatim (not parsed): the store persists the
+   concrete syntax in config.json and hashes it for snapshot guards. *)
+let read_rule_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      In_channel.input_lines ic
+      |> List.map String.trim
+      |> List.filter (fun t -> t <> "" && t.[0] <> '#'))
+
+let serve_cmd =
+  let opt_attrs name doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"ATTRS" ~doc)
+  in
+  let r_schema = opt_attrs "r-schema" "Comma-separated attributes of R." in
+  let s_schema = opt_attrs "s-schema" "Comma-separated attributes of S." in
+  let r_key = opt_attrs "r-key" "Comma-separated candidate key of R." in
+  let s_key = opt_attrs "s-key" "Comma-separated candidate key of S." in
+  let ext_key = opt_attrs "key" "Comma-separated extended key." in
+  let check_conflicts =
+    Arg.(value & flag & info [ "check-conflicts" ]
+           ~doc:"Record a conflict when two ILFDs disagree on a derived \
+                 value (instead of first-rule-wins).")
+  in
+  let snapshot_every =
+    Arg.(value & opt (some int) None & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Write a snapshot after every $(docv) mutating requests \
+                 (plus on explicit {\"op\":\"snapshot\"} and on clean \
+                 shutdown).")
+  in
+  let no_sync =
+    Arg.(value & flag & info [ "no-sync" ]
+           ~doc:"Skip fsync on commit (flush only). For tests and oracles \
+                 that simulate crashes by truncation; real durability \
+                 needs the default.")
+  in
+  let run dir r_schema s_schema r_key s_key ext_key rules check_conflicts
+      snapshot_every no_sync stats =
+    let config =
+      match (r_schema, s_schema, r_key, s_key, ext_key) with
+      | Some ra, Some sa, Some rk, Some sk, Some k ->
+          Some
+            {
+              Eid_store.Store.r_attrs = parse_key_list ra;
+              r_key = parse_key_list rk;
+              s_attrs = parse_key_list sa;
+              s_key = parse_key_list sk;
+              key = parse_key_list k;
+              rules =
+                (match rules with None -> [] | Some p -> read_rule_lines p);
+              check_conflicts;
+            }
+      | None, None, None, None, None -> None
+      | _ ->
+          Format.eprintf
+            "entity_ident: give all of --r-schema --s-schema --r-key \
+             --s-key --key (a new store), or none (recover an existing \
+             one)@.";
+          exit 2
+    in
+    let telemetry = telemetry_of stats in
+    match
+      Eid_store.Store.open_store ~telemetry ~sync:(not no_sync) ?config ~dir
+        ()
+    with
+    | Error msg ->
+        Format.eprintf "entity_ident: %s@." msg;
+        exit 1
+    | Ok st ->
+        Fun.protect
+          ~finally:(fun () -> Eid_store.Store.close st)
+          (fun () ->
+            Eid_store.Service.serve ?snapshot_every st stdin stdout);
+        (* The protocol owns stdout; the report goes to stderr. *)
+        (match stats with
+        | None -> ()
+        | Some `Json -> Format.eprintf "%s@." (Telemetry.to_json telemetry)
+        | Some `Pretty -> Format.eprintf "%a@." Telemetry.pp telemetry)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Durable identification service: line-delimited JSON requests \
+             (insert, identify, explain, merge, split, rollback, \
+             snapshot, conflicts, stats) on stdin/stdout against a \
+             write-ahead-logged store that recovers from crashes.")
+    Term.(const run $ store_dir_arg $ r_schema $ s_schema $ r_key $ s_key
+          $ ext_key $ rules_file $ check_conflicts $ snapshot_every
+          $ no_sync $ stats_arg)
+
+let store_dump_cmd =
+  let run dir =
+    let die msg =
+      Format.eprintf "entity_ident: %s@." msg;
+      exit 1
+    in
+    let config =
+      match Eid_store.Store.read_config dir with
+      | Ok c -> c
+      | Error msg -> die msg
+    in
+    let ops =
+      match Eid_store.Store.read_ops dir with
+      | Ok ops -> ops
+      | Error msg -> die msg
+    in
+    let key_obj attrs arr =
+      Eid_store.Json.Obj
+        (List.mapi
+           (fun i name -> (name, Eid_store.Service.json_of_value arr.(i)))
+           attrs)
+    in
+    let line j = print_endline (Eid_store.Json.to_string j) in
+    let str s = Eid_store.Json.String s in
+    List.iter
+      (fun (op : Eid_store.Store.op) ->
+        match op with
+        | Op_insert_r row ->
+            line
+              (Obj
+                 [ ("op", str "insert"); ("side", str "r");
+                   ("row", key_obj config.r_attrs row) ])
+        | Op_insert_s row ->
+            line
+              (Obj
+                 [ ("op", str "insert"); ("side", str "s");
+                   ("row", key_obj config.s_attrs row) ])
+        | Op_merge { r_key; s_key } ->
+            line
+              (Obj
+                 [ ("op", str "merge");
+                   ("r_key", key_obj config.r_key r_key);
+                   ("s_key", key_obj config.s_key s_key) ])
+        | Op_split { r_key; s_key } ->
+            line
+              (Obj
+                 [ ("op", str "split");
+                   ("r_key", key_obj config.r_key r_key);
+                   ("s_key", key_obj config.s_key s_key) ])
+        | Op_rollback -> line (Obj [ ("op", str "rollback") ])
+        | Op_conflict _ ->
+            (* Conflicts are outcomes, not requests: re-playing the
+               request stream regenerates them. *)
+            ())
+      ops
+  in
+  Cmd.v
+    (Cmd.info "store-dump"
+       ~doc:"Decode a store's write-ahead log and print it as the \
+             serve-protocol request stream that reproduces it (conflict \
+             records are skipped: replaying regenerates them). Reads the \
+             WAL directly; does not take the store lock.")
+    Term.(const run $ store_dir_arg)
+
 let main =
   Cmd.group
     (Cmd.info "entity_ident" ~version:"1.0.0"
        ~doc:"Entity identification in database integration (Lim et al., \
              ICDE 1993).")
     [ identify_cmd; closure_cmd; cover_cmd; mine_cmd; fuse_cmd; session_cmd;
-      check_cmd; soak_cmd ]
+      check_cmd; soak_cmd; serve_cmd; store_dump_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -361,6 +361,11 @@ let check_incremental ~fault (sc : Scenario.t) ~engine_entries =
     (MT.entries (Incremental.matching_table inc))
     engine_entries
 
+let check_store (sc : Scenario.t) ~base_entries =
+  Result.map_error
+    (fun detail -> { check = "store-recovery"; detail })
+    (Store_oracle.check sc ~base_entries)
+
 let check_cluster (sc : Scenario.t) (base : Identify.outcome) =
   let cr = Cluster.integrate ~key:sc.key sc.ilfds [ ("r", sc.r); ("s", sc.s) ] in
   let cluster_pairs =
@@ -548,6 +553,7 @@ let run ?(fault = No_fault) ?(telemetry = Telemetry.off) (sc : Scenario.t) =
     let* () = check_partition_stream sc base in
     let* () = check_rules sc ~engine_entries in
     let* () = check_incremental ~fault sc ~engine_entries in
+    let* () = check_store sc ~base_entries in
     let* () = check_cluster sc base in
     let* () = if sc.corruption.check_conflicts then check_conflicts sc else Ok () in
     let* () = if sc.strict then check_uniqueness base mt else Ok () in

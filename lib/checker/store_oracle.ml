@@ -1,0 +1,216 @@
+module R = Relational
+module MT = Entity_id.Matching_table
+module EK = Entity_id.Extended_key
+module Identify = Entity_id.Identify
+module S = Eid_store.Store
+module W = Eid_store.Wal
+module F = Eid_store.Fsutil
+
+let ( let* ) = Result.bind
+
+let sorted_entries entries =
+  List.sort
+    (fun (a : MT.entry) (b : MT.entry) ->
+      match R.Tuple.compare a.r_key b.r_key with
+      | 0 -> R.Tuple.compare a.s_key b.s_key
+      | c -> c)
+    entries
+
+let render (e : MT.entry) =
+  let side t =
+    String.concat "," (List.map R.Value.to_string (R.Tuple.values t))
+  in
+  Printf.sprintf "(%s ~ %s)" (side e.r_key) (side e.s_key)
+
+let entries_equal what ~left ~right l r =
+  let l = sorted_entries l and r = sorted_entries r in
+  let same (a : MT.entry) (b : MT.entry) =
+    R.Tuple.equal a.r_key b.r_key && R.Tuple.equal a.s_key b.s_key
+  in
+  if List.equal same l r then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s: %s has [%s], %s has [%s]" what left
+         (String.concat "; " (List.map render l))
+         right
+         (String.concat "; " (List.map render r)))
+
+let config_of_scenario (sc : Scenario.t) =
+  {
+    S.r_attrs = R.Schema.names (R.Relation.schema sc.r);
+    r_key = R.Relation.primary_key sc.r;
+    s_attrs = R.Schema.names (R.Relation.schema sc.s);
+    s_key = R.Relation.primary_key sc.s;
+    key = EK.attributes sc.key;
+    rules = List.map Ilfd.to_string sc.ilfds;
+    check_conflicts = false;
+  }
+
+(* The batch reference for a durable prefix: rebuild both relations from
+   exactly the insert operations the (possibly truncated) WAL holds and
+   run the one-shot engine over them, with the rules as the store parsed
+   them — recovery is measured against the operations that survived, not
+   against what was once inserted. *)
+let batch_entries (sc : Scenario.t) config ops =
+  let r_rows, s_rows =
+    List.fold_left
+      (fun (r, s) op ->
+        match op with
+        | S.Op_insert_r row -> (row :: r, s)
+        | S.Op_insert_s row -> (r, row :: s)
+        | S.Op_merge _ | S.Op_split _ | S.Op_rollback | S.Op_conflict _ ->
+            (r, s))
+      ([], []) ops
+  in
+  let rebuild rel rows =
+    R.Relation.create (R.Relation.schema rel)
+      ~keys:(R.Relation.declared_keys rel)
+      (List.rev_map Array.to_list rows)
+  in
+  let r = rebuild sc.r r_rows and s = rebuild sc.s s_rows in
+  let ilfds = List.map Ilfd.parse config.S.rules in
+  let o : Identify.outcome = Identify.run ~r ~s ~key:sc.key ilfds in
+  MT.entries o.matching_table
+
+let copy_file src dst =
+  In_channel.with_open_bin src (fun ic ->
+      let data = In_channel.input_all ic in
+      Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc data))
+
+(* A crash copy: config + WAL cut to [len] bytes; the snapshot rides
+   along only for the full-length point (a snapshot is written after its
+   WAL offset is durable, so a copy torn below that offset would be a
+   state no real crash can produce). *)
+let crash_copy src_dir ~len ~with_snapshot =
+  let dir = F.fresh_dir "store_oracle_crash" in
+  List.iter
+    (fun f ->
+      copy_file (Filename.concat src_dir f) (Filename.concat dir f))
+    [ "config.json"; "wal.log" ];
+  if with_snapshot && Sys.file_exists (Filename.concat src_dir "snapshot")
+  then
+    copy_file
+      (Filename.concat src_dir "snapshot")
+      (Filename.concat dir "snapshot");
+  let fd = Unix.openfile (Filename.concat dir "wal.log") [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd len;
+  Unix.close fd;
+  dir
+
+let recover_and_compare (sc : Scenario.t) config ~point dir =
+  let* ops =
+    Result.map_error (fun e -> Printf.sprintf "%s: read_ops: %s" point e)
+      (S.read_ops dir)
+  in
+  let expected = batch_entries sc config ops in
+  let open_once () =
+    match S.open_store ~sync:false ~dir () with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "%s: recovery failed: %s" point e)
+  in
+  let* t = open_once () in
+  let got = MT.entries (S.matching_table t) in
+  S.close t;
+  let* () =
+    entries_equal
+      (Printf.sprintf "%s: recovered table" point)
+      ~left:"recovered" ~right:"batch" got expected
+  in
+  let* t = open_once () in
+  let again = MT.entries (S.matching_table t) in
+  S.close t;
+  let* () =
+    entries_equal
+      (Printf.sprintf "%s: second recovery" point)
+      ~left:"second" ~right:"first" again got
+  in
+  match
+    List.filter
+      (fun f -> Filename.check_suffix f ".tmp")
+      (Array.to_list (Sys.readdir dir))
+  with
+  | [] -> Ok ()
+  | litter ->
+      Error
+        (Printf.sprintf "%s: leftover temp files after recovery: %s" point
+           (String.concat ", " litter))
+
+let check (sc : Scenario.t) ~base_entries =
+  let config = config_of_scenario sc in
+  let dir = F.fresh_dir "store_oracle" in
+  Fun.protect ~finally:(fun () -> F.remove_tree dir) @@ fun () ->
+  let* t =
+    match S.open_store ~sync:false ~config ~dir () with
+    | Ok t -> Ok t
+    | Error e -> Error ("open: " ^ e)
+  in
+  let* () =
+    let insert side row =
+      match S.insert t side (R.Tuple.to_array row) with
+      | Ok _ -> Ok ()
+      | Error c ->
+          S.close t;
+          Error
+            (Format.asprintf "ingest rejected a scenario row: %a"
+               S.pp_conflict c)
+    in
+    let rec ingest side = function
+      | [] -> Ok ()
+      | row :: rest ->
+          let* () = insert side row in
+          ingest side rest
+    in
+    let* () = ingest S.R (R.Relation.tuples sc.r) in
+    ingest S.S (R.Relation.tuples sc.s)
+  in
+  S.snapshot t;
+  let live = MT.entries (S.matching_table t) in
+  S.close t;
+  let* () =
+    entries_equal "live table after full ingest" ~left:"store" ~right:"batch"
+      live base_entries
+  in
+  let replay = W.read (Filename.concat dir "wal.log") in
+  let full = replay.W.valid_offset in
+  (* Record boundaries, for a clean cut and a torn header mid-log. *)
+  let boundaries =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, off) p ->
+              let off = off + 8 + String.length p in
+              (off :: acc, off))
+            ([], 0) replay.W.payloads))
+  in
+  let mid =
+    match boundaries with
+    | [] -> None
+    | _ -> List.nth_opt boundaries (List.length boundaries / 2)
+  in
+  let points =
+    List.concat
+      [
+        [ ("full log with snapshot", full, true) ];
+        (if full >= 3 then [ ("torn final record", full - 3, false) ] else []);
+        (match mid with
+        | Some m when m < full ->
+            [
+              ("clean mid-log cut", m, false);
+              ("torn mid-log record", min full (m + 3), false);
+            ]
+        | _ -> []);
+      ]
+  in
+  let rec run_points = function
+    | [] -> Ok ()
+    | (point, len, with_snapshot) :: rest ->
+        let cdir = crash_copy dir ~len ~with_snapshot in
+        let result =
+          Fun.protect
+            ~finally:(fun () -> F.remove_tree cdir)
+            (fun () -> recover_and_compare sc config ~point cdir)
+        in
+        let* () = result in
+        run_points rest
+  in
+  run_points points

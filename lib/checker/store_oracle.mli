@@ -1,0 +1,22 @@
+(** Crash-recovery oracle for the durable store.
+
+    The scenario's rows are ingested one by one into a scratch
+    {!Eid_store.Store} (fsync off — crashes are simulated by truncating
+    the WAL, not by power loss), a snapshot is taken, and the live
+    matching table is held against the batch engine's. Then the WAL is
+    cut at several fixed points — a clean record boundary, a tear three
+    bytes into a record, a tear inside the final record, and the full
+    log with the snapshot present — and each crash copy is recovered
+    twice. Every recovery must agree with a fresh batch
+    {!Entity_id.Identify.run} over exactly the operations the truncated
+    log still holds, the second recovery must agree with the first, and
+    no [.tmp] litter may survive. *)
+
+(** [check sc ~base_entries] — [Ok ()] or the failure evidence.
+    [base_entries] is the unfaulted batch engine's matching table: the
+    store runs real code, so it is held against the real answer even
+    when the oracle is exercising a seeded fault elsewhere. *)
+val check :
+  Scenario.t ->
+  base_entries:Entity_id.Matching_table.entry list ->
+  (unit, string) result

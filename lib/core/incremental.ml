@@ -1,7 +1,12 @@
 module Relation = Relational.Relation
 module Schema = Relational.Schema
 module Tuple = Relational.Tuple
+module Value = Relational.Value
 module Index = Relational.Index
+
+type journal_op =
+  | Journal_insert_r of Tuple.t
+  | Journal_insert_s of Tuple.t
 
 type t = {
   r : Relation.t;
@@ -22,6 +27,9 @@ type t = {
           the same accounting as {!Identify.outcome.unmatched_r}, kept
           incrementally (reverse insertion order) *)
   unmatched_s : Tuple.t list;
+  journal : (journal_op -> unit) option;
+      (** called after every successful mutation, with the operation
+          just applied — the persistence layer's write-ahead hook *)
 }
 
 let kext t = Extended_key.attributes t.key
@@ -59,7 +67,11 @@ let of_outcome ?(mode = Ilfd.Apply.First_rule) ?(telemetry = Telemetry.off)
     pairs = List.rev o.pairs;
     unmatched_r = List.rev o.unmatched_r;
     unmatched_s = List.rev o.unmatched_s;
+    journal = None;
   }
+
+let with_journal t journal = { t with journal }
+let notify t op = match t.journal with None -> () | Some f -> f op
 
 let create ?(mode = Ilfd.Apply.First_rule) ?(telemetry = Telemetry.off) ~r ~s
     ~key ilfds =
@@ -105,6 +117,7 @@ let insert_r t tuple =
         (if probe_null then extended :: t.unmatched_r else t.unmatched_r);
     }
   in
+  notify t' (Journal_insert_r tuple);
   (t', List.map (entry_of t') new_pairs)
 
 let insert_s t tuple =
@@ -130,11 +143,16 @@ let insert_s t tuple =
         (if probe_null then extended :: t.unmatched_s else t.unmatched_s);
     }
   in
+  notify t' (Journal_insert_s tuple);
   (t', List.map (entry_of t') new_pairs)
 
 let add_ilfd t ilfd =
-  create ~mode:t.mode ~telemetry:t.telemetry ~r:t.r ~s:t.s ~key:t.key
-    (t.ilfds @ [ ilfd ])
+  (* A knowledge update recomputes wholesale; the journal hook survives
+     it (the persistence layer re-snapshots around rule changes). *)
+  with_journal
+    (create ~mode:t.mode ~telemetry:t.telemetry ~r:t.r ~s:t.s ~key:t.key
+       (t.ilfds @ [ ilfd ]))
+    t.journal
 
 let r t = t.r
 let s t = t.s
@@ -142,6 +160,124 @@ let unmatched_r t = List.rev t.unmatched_r
 let unmatched_s t = List.rev t.unmatched_s
 
 let violations t = Matching_table.uniqueness_violations (matching_table t)
+
+(* ---- snapshot state ----
+
+   The dump is pure data — value arrays, attribute name/type lists,
+   condition pairs — with no closures, no hash tables and no interned
+   codes, so it is safe to [Marshal] across processes (interned columnar
+   codes are process-local and must never be persisted; rebuilding the
+   relations re-interns on first use). [restore] reconstructs the exact
+   state without re-running ILFD derivation: the extended tuples, the
+   matched pairs and the unmatched accounting are all carried over, and
+   only the hash indexes are rebuilt. *)
+
+type dump = {
+  d_r_attrs : (string * Value.ty option) list;
+  d_r_keys : string list list;
+  d_r_rows : Value.t array list;
+  d_s_attrs : (string * Value.ty option) list;
+  d_s_keys : string list list;
+  d_s_rows : Value.t array list;
+  d_key : string list;
+  d_ilfds : ((string * Value.t) list * (string * Value.t) list) list;
+      (** antecedent and consequent condition lists, as plain pairs *)
+  d_mode : Ilfd.Apply.mode;
+  d_r_target : (string * Value.ty option) list;
+  d_s_target : (string * Value.ty option) list;
+  d_r_ext : Value.t array list;  (** reverse insertion order, as held *)
+  d_s_ext : Value.t array list;
+  d_pairs : (Value.t array * Value.t array) list;
+  d_unmatched_r : Value.t array list;
+  d_unmatched_s : Value.t array list;
+}
+
+let dump t =
+  let attrs schema =
+    List.map
+      (fun (a : Schema.attribute) -> (a.name, a.ty))
+      (Schema.attributes schema)
+  in
+  let rows rel = List.map Tuple.to_array (Relation.tuples rel) in
+  let conds cs =
+    List.map (fun (c : Ilfd.condition) -> (c.attribute, c.value)) cs
+  in
+  {
+    d_r_attrs = attrs (Relation.schema t.r);
+    d_r_keys = Relation.declared_keys t.r;
+    d_r_rows = rows t.r;
+    d_s_attrs = attrs (Relation.schema t.s);
+    d_s_keys = Relation.declared_keys t.s;
+    d_s_rows = rows t.s;
+    d_key = Extended_key.attributes t.key;
+    d_ilfds =
+      List.map
+        (fun i -> (conds (Ilfd.antecedent i), conds (Ilfd.consequent i)))
+        t.ilfds;
+    d_mode = t.mode;
+    d_r_target = attrs t.r_target;
+    d_s_target = attrs t.s_target;
+    d_r_ext = List.map Tuple.to_array t.r_ext;
+    d_s_ext = List.map Tuple.to_array t.s_ext;
+    d_pairs =
+      List.map (fun (a, b) -> (Tuple.to_array a, Tuple.to_array b)) t.pairs;
+    d_unmatched_r = List.map Tuple.to_array t.unmatched_r;
+    d_unmatched_s = List.map Tuple.to_array t.unmatched_s;
+  }
+
+let restore ?(telemetry = Telemetry.off) d =
+  let schema_of attrs =
+    Schema.make
+      (List.map (fun (name, ty) -> { Schema.name; ty }) attrs)
+  in
+  let r_schema = schema_of d.d_r_attrs and s_schema = schema_of d.d_s_attrs in
+  let r_target = schema_of d.d_r_target and s_target = schema_of d.d_s_target in
+  let tuple_of schema cells = Tuple.of_array schema cells in
+  let r =
+    Relation.of_tuples r_schema ~keys:d.d_r_keys
+      (List.map (tuple_of r_schema) d.d_r_rows)
+  and s =
+    Relation.of_tuples s_schema ~keys:d.d_s_keys
+      (List.map (tuple_of s_schema) d.d_s_rows)
+  in
+  let key = Extended_key.make d.d_key in
+  let ilfds =
+    List.map
+      (fun (ante, cons) ->
+        let conds = List.map (fun (a, v) -> Ilfd.condition a v) in
+        Ilfd.make (conds ante) (conds cons))
+      d.d_ilfds
+  in
+  let r_ext = List.map (tuple_of r_target) d.d_r_ext
+  and s_ext = List.map (tuple_of s_target) d.d_s_ext in
+  let kext = Extended_key.attributes key in
+  (* [of_outcome] builds indexes from the extended relation in relation
+     order; mirror it exactly so a restored state probes partners in the
+     same order a never-interrupted one would. *)
+  let index schema keys rows =
+    Index.build (Relation.of_tuples schema ~keys (List.rev rows)) kext
+  in
+  {
+    r;
+    s;
+    key;
+    ilfds;
+    mode = d.d_mode;
+    telemetry;
+    r_target;
+    s_target;
+    r_ext;
+    s_ext;
+    r_index = index r_target d.d_r_keys r_ext;
+    s_index = index s_target d.d_s_keys s_ext;
+    pairs =
+      List.map
+        (fun (a, b) -> (tuple_of r_target a, tuple_of s_target b))
+        d.d_pairs;
+    unmatched_r = List.map (tuple_of r_target) d.d_unmatched_r;
+    unmatched_s = List.map (tuple_of s_target) d.d_unmatched_s;
+    journal = None;
+  }
 
 let outcome t =
   let mt = matching_table t in

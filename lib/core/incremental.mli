@@ -74,3 +74,38 @@ val violations : t -> Matching_table.violation list
 (** [outcome t] — the equivalent batch view (for integration with
     {!Integrate.integrated_table} and reporting). *)
 val outcome : t -> Identify.outcome
+
+(** {2 Journal hook}
+
+    The persistence layer's write-ahead attachment point: every
+    successful mutation notifies the hook with the operation just
+    applied, so a store can append it to a log without wrapping each
+    call site. The hook is carried across {!add_ilfd} (which recomputes
+    state wholesale) and is {e not} part of a {!dump}. *)
+
+type journal_op =
+  | Journal_insert_r of Relational.Tuple.t
+  | Journal_insert_s of Relational.Tuple.t
+
+(** [with_journal t hook] — [t] notifying [hook] ([None] detaches). The
+    hook runs after the mutation has fully succeeded (a key violation or
+    derivation conflict raises before it fires), with the {e original}
+    tuple as submitted, not the extended one. *)
+val with_journal : t -> (journal_op -> unit) option -> t
+
+(** {2 Snapshot state}
+
+    A {!dump} is the complete identification state as pure data — no
+    closures, hash tables or process-local interned codes — safe to
+    [Marshal] to disk and back across processes. [restore] rebuilds the
+    exact state {e without} re-running ILFD derivation: extended tuples,
+    matched pairs and unmatched accounting are carried over; only the
+    hash indexes are rebuilt. *)
+
+type dump
+
+val dump : t -> dump
+
+(** [restore ?telemetry d] — the state [d] was dumped from, with a fresh
+    telemetry sink and no journal hook attached. *)
+val restore : ?telemetry:Telemetry.t -> dump -> t

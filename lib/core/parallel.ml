@@ -186,6 +186,16 @@ let pool () =
       p
 
 let pool_spawned () = match !global with None -> 0 | Some p -> Pool.spawned p
+let pool_size () = match !global with None -> 0 | Some p -> Pool.size p
+
+(* Join every parked worker now. Idempotent, and the pool re-grows on
+   the next parallel call, so this is safe at any point — its purpose is
+   to let exit-time cleanup pin an ordering: [Shard.Spill]'s sweep calls
+   this before removing spill files, so no worker domain can still be
+   draining a spill when its file is unlinked, regardless of the LIFO
+   order in which the two [at_exit] handlers were registered. *)
+let shutdown_pool () =
+  match !global with None -> () | Some p -> Pool.shutdown p
 
 (* How many chunks a [map_chunks ?jobs ?threshold n] call actually uses —
    the telemetry "chunk utilisation" number. Mirrors [map_chunks]'s

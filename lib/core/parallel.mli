@@ -81,6 +81,18 @@ end
     move this number — that is the whole point of the pool. *)
 val pool_spawned : unit -> int
 
+(** Worker domains currently parked in the process-wide pool (0 before
+    first use and after {!shutdown_pool}). *)
+val pool_size : unit -> int
+
+(** [shutdown_pool ()] — join every worker domain of the process-wide
+    pool now. Idempotent; the pool re-grows on the next parallel call.
+    Exit-time cleanup that removes resources a worker might still hold
+    (e.g. {!Shard.Spill} temp files) calls this first to pin the
+    ordering instead of relying on [at_exit]'s LIFO registration
+    order. *)
+val shutdown_pool : unit -> unit
+
 (** [chunk_count ?jobs ?threshold n] — how many chunks {!map_chunks}
     with the same arguments would use: [1] below the threshold,
     [max 1 (min (resolve jobs) n)] otherwise. Exposed for telemetry

@@ -55,7 +55,15 @@ module Spill = struct
     Mutex.unlock live_mutex;
     n
 
+  (* The ordering with [Parallel]'s pool shutdown is pinned, not left to
+     [at_exit]'s LIFO registration order: the sweep joins the pool's
+     worker domains first, so a worker still draining a spill file at
+     exit can never have it unlinked underneath it. (Registration order
+     happened to be safe — the pool registers its handler lazily, after
+     this module's initialiser, so it ran first — but nothing enforced
+     that; now the sweep itself does.) *)
   let sweep () =
+    Parallel.shutdown_pool ();
     Mutex.lock live_mutex;
     let paths = Hashtbl.fold (fun p () acc -> p :: acc) live [] in
     Hashtbl.reset live;

@@ -120,6 +120,13 @@ module Spill : sig
   (** Temp files currently registered for the [at_exit] sweep (i.e.
       open spill files process-wide). Diagnostic. *)
   val live_files : unit -> int
+
+  (** The exit sweep, runnable eagerly (it is also registered with
+      [at_exit]): shuts the {!Parallel} domain pool down {e first} —
+      pinning the ordering so no worker can still be draining a spill
+      file when it is unlinked — then removes every registered temp
+      file. Buffers whose files are swept must not be used after. *)
+  val sweep : unit -> unit
 end
 
 (** An ordered, budgeted, multi-part verdict sink: one {!Spill} per

@@ -37,6 +37,22 @@ type plan = {
 
 exception Cyclic
 
+exception
+  Fallback_desync of {
+    tuple : Relational.Tuple.t;
+    conflict : Apply.conflict;
+  }
+
+(* Fault-injection hook for the [Fallback_desync] arm below: the
+   per-class recursive fallback runs in First_rule mode, which by
+   construction never reports a conflict, so the arm is unreachable in
+   production. Tests inject a witness here to prove the arm raises the
+   typed exception (same pattern as [Decision.partition]'s [?decide]
+   hook) instead of an anonymous assertion failure. *)
+let inject_fallback_conflict : (Relational.Tuple.t -> Apply.conflict option) ref
+    =
+  ref (fun _ -> None)
+
 let make ~source ~target c =
   let cons = Apply.consequents c in
   (* Chase column ids, in first-mention order over the (deterministic)
@@ -322,8 +338,17 @@ let run plan r ~target ~jobs ~telemetry =
     if fallback.(cid) then begin
       incr fallback_count;
       let t = tuples.(rep_row.(cid)) in
-      match Apply.extend_tuple_compiled schema t ~target plan.compiled with
-      | Error _ -> assert false (* First_rule mode never conflicts *)
+      let extended =
+        match !inject_fallback_conflict t with
+        | Some conflict -> Error conflict
+        | None -> Apply.extend_tuple_compiled schema t ~target plan.compiled
+      in
+      match extended with
+      | Error conflict ->
+          (* First_rule mode never conflicts; a witness here means the
+             fallback evaluator and the plan disagree about the mode, so
+             surface the rule and tuple rather than dying anonymously. *)
+          raise (Fallback_desync { tuple = t; conflict })
       | Ok (ext, _) ->
           let delta = ref [] in
           Array.iteri

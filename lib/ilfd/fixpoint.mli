@@ -27,6 +27,27 @@
     recursive engine wholesale; classes whose base cells carry such
     numerics fall back individually. *)
 
+(** Raised if the per-class recursive fallback ever reports a derivation
+    conflict. The fallback runs in [First_rule] mode, where conflicts are
+    impossible by construction, so this exception marks an evaluator/plan
+    desync — it carries the offending tuple and the conflicting rule (the
+    same witness shape as {!Apply.Conflict_found}) rather than dying on
+    an anonymous assertion. Matches the [Conflict_found] /
+    [Blocking_desync] typed-witness pattern used across the engine. *)
+exception
+  Fallback_desync of {
+    tuple : Relational.Tuple.t;
+    conflict : Apply.conflict;
+  }
+
+(** Test-only fault injection: when the hook returns [Some conflict] for
+    a tuple taking the per-class fallback path, the evaluator behaves as
+    if the recursive engine had reported that conflict, so the
+    {!Fallback_desync} arm can be exercised. Production value: a
+    function returning [None] for every tuple. *)
+val inject_fallback_conflict :
+  (Relational.Tuple.t -> Apply.conflict option) ref
+
 (** [supported ~source ~target ilfds] — whether the family compiles to
     a fixpoint plan for this source/target pair ([false] means
     {!extend_relation} delegates to {!Apply.extend_relation}). *)

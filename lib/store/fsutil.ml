@@ -1,0 +1,123 @@
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let remove_if_exists path =
+  try Sys.remove path with Sys_error _ -> ()
+
+let with_atomic_out ?(fsync = true) path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  let result =
+    try
+      let r = f oc in
+      if fsync then fsync_out oc else flush oc;
+      close_out oc;
+      Ok r
+    with e ->
+      close_out_noerr oc;
+      Error e
+  in
+  match result with
+  | Ok r ->
+      Sys.rename tmp path;
+      if fsync then fsync_dir (Filename.dirname path);
+      r
+  | Error e ->
+      remove_if_exists tmp;
+      raise e
+
+let ensure_dir path =
+  let rec go path =
+    if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+    then begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let fresh_dir prefix =
+  let base = Filename.get_temp_dir_name () in
+  let rec attempt n =
+    if n > 100 then failwith "Fsutil.fresh_dir: cannot create scratch dir";
+    let path =
+      Filename.concat base
+        (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ())
+           (Random.State.int (Random.State.make_self_init ()) 0x3fffffff))
+    in
+    match Unix.mkdir path 0o700 with
+    | () -> path
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> attempt (n + 1)
+  in
+  attempt 0
+
+let rec remove_tree path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      (match Sys.readdir path with
+      | entries ->
+          Array.iter
+            (fun entry -> remove_tree (Filename.concat path entry))
+            entries
+      | exception Sys_error _ -> ());
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> remove_if_exists path
+  | exception Unix.Unix_error _ -> ()
+
+(* ---- lock file ---- *)
+
+let read_lock_pid path =
+  match open_in path with
+  | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      close_in_noerr ic;
+      int_of_string_opt (String.trim line)
+  | exception Sys_error _ -> None
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) ->
+      (* EPERM etc.: the process exists but is not ours. *)
+      true
+
+let rec acquire_lock ?(retried = false) path =
+  match
+    Unix.openfile path [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644
+  with
+  | fd ->
+      let line = string_of_int (Unix.getpid ()) ^ "\n" in
+      ignore (Unix.write_substring fd line 0 (String.length line));
+      Unix.close fd;
+      Ok ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> (
+      match read_lock_pid path with
+      | Some pid when pid_alive pid ->
+          Error
+            (Printf.sprintf "store is locked by live process %d (%s)" pid
+               path)
+      | _ when retried ->
+          Error (Printf.sprintf "cannot break stale lock %s" path)
+      | _ ->
+          (* Stale: the holder died (e.g. kill -9) without cleaning up.
+             Break it and try once more. *)
+          remove_if_exists path;
+          acquire_lock ~retried:true path)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot create lock %s: %s" path
+           (Unix.error_message e))
+
+let acquire_lock path = acquire_lock path
+let release_lock path = remove_if_exists path

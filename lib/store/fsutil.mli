@@ -1,0 +1,44 @@
+(** Filesystem plumbing shared by the durable store and the CLI's
+    crash-safe output paths: fsync, atomic replace-by-rename, and a
+    PID-stamped lock file with stale-lock recovery. *)
+
+(** [fsync_out oc] — flush the channel and fsync its descriptor, so the
+    bytes are durable before the caller acknowledges anything. *)
+val fsync_out : out_channel -> unit
+
+(** [fsync_dir dir] — fsync the directory itself (making a completed
+    rename durable). Best-effort: silently a no-op where directories
+    cannot be opened for reading. *)
+val fsync_dir : string -> unit
+
+(** [with_atomic_out ?fsync path f] — run [f] on a channel writing
+    [path ^ ".tmp"], then flush (and fsync when [fsync], default true),
+    close and atomically rename over [path]. If [f] or any write step
+    fails, the temp file is removed, [path] is untouched, and the error
+    propagates — a crash or failure can never leave a truncated [path]
+    that parses as complete. *)
+val with_atomic_out : ?fsync:bool -> string -> (out_channel -> 'a) -> 'a
+
+(** [remove_if_exists path] — unlink, ignoring a missing file. *)
+val remove_if_exists : string -> unit
+
+(** [ensure_dir path] — create the directory (and missing parents) if
+    absent. *)
+val ensure_dir : string -> unit
+
+(** [fresh_dir prefix] — create a uniquely named scratch directory under
+    [TMPDIR] and return its path. *)
+val fresh_dir : string -> string
+
+(** [remove_tree path] — recursively delete a file or directory tree.
+    Scratch-space cleanup; ignores races with concurrent removal. *)
+val remove_tree : string -> unit
+
+(** [acquire_lock path] — take the PID-stamped lock file, failing with a
+    diagnostic when a {e live} process holds it. A lock left behind by a
+    dead process (the kill -9 case) is detected via [kill 0] and broken
+    automatically. *)
+val acquire_lock : string -> (unit, string) result
+
+(** [release_lock path] — remove the lock file. *)
+val release_lock : string -> unit

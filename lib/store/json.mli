@@ -1,0 +1,35 @@
+(** A minimal JSON value type, parser and printer.
+
+    The serve protocol is line-delimited JSON and the container carries
+    no JSON package, so the store keeps its own ~150-line
+    implementation: full RFC 8259 value syntax (nested arrays/objects,
+    string escapes incl. [\uXXXX] encoded to UTF-8), integers kept
+    distinct from floats so attribute values round-trip exactly.
+    Object member order is preserved; duplicate members keep the last
+    occurrence on lookup, as most parsers do. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [parse s] — the single JSON value in [s] (surrounding whitespace
+    allowed; trailing garbage is an error). *)
+val parse : string -> (t, string) result
+
+(** Compact single-line rendering. Non-finite floats have no JSON
+    literal and are rendered as quoted strings, keeping output always
+    parseable. *)
+val to_string : t -> string
+
+(** [member name j] — field [name] of an object ([None] when absent or
+    [j] is not an object; last occurrence wins). *)
+val member : string -> t -> t option
+
+(** [string_member name j] — convenience: [member] that must be a
+    string. *)
+val string_member : string -> t -> string option

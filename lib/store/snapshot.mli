@@ -1,0 +1,34 @@
+(** Periodic full-state snapshots.
+
+    Format: the magic ["EIDSNAP1"], a 4-byte big-endian payload length,
+    a 4-byte big-endian CRC-32 of the payload, then the payload — a
+    [Marshal]-encoded {!payload} recording the rules hash of the
+    configuration the state was built under and the WAL offset the
+    snapshot covers. Written atomically (temp file + fsync + rename), so
+    a crash mid-snapshot leaves the previous snapshot intact.
+
+    Recovery refuses a snapshot whose [rules_hash] differs from the
+    current configuration ({!Stale_rules}) — the derived state baked
+    into it was computed under other rules — and falls back to a full
+    WAL replay. The WAL is never compacted, so the fallback is always
+    complete. *)
+
+type 'a payload = {
+  rules_hash : string;  (** hash of the configuration, see {!Store} *)
+  wal_offset : int;  (** the snapshot covers WAL records before this *)
+  state : 'a;  (** pure-data state ({!Store}'s persisted state record) *)
+}
+
+(** [write path p] — atomically replace the snapshot at [path]. *)
+val write : string -> 'a payload -> unit
+
+type error =
+  | Missing
+  | Corrupt of string  (** bad magic, short file, or checksum mismatch *)
+  | Stale_rules of string  (** the hash found in the snapshot *)
+
+(** [read ~rules_hash path] — load and validate against the current
+    configuration's hash. As with any [Marshal] read, the caller must
+    ask for the ['a] the snapshot was written with; the store guards
+    this with the magic + rules-hash pair. *)
+val read : rules_hash:string -> string -> ('a payload, error) result

@@ -1,0 +1,120 @@
+(* ---- CRC-32 (IEEE), table-driven ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 1 to 8 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff land 0xffffffff
+
+(* ---- framing ---- *)
+
+let header_len = 8
+
+let put_u32 bytes pos v =
+  Bytes.set bytes pos (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set bytes (pos + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set bytes (pos + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set bytes (pos + 3) (Char.chr (v land 0xff))
+
+let get_u32 bytes pos =
+  (Char.code (Bytes.get bytes pos) lsl 24)
+  lor (Char.code (Bytes.get bytes (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.get bytes (pos + 2)) lsl 8)
+  lor Char.code (Bytes.get bytes (pos + 3))
+
+let frame payload =
+  let n = String.length payload in
+  let record = Bytes.create (header_len + n) in
+  put_u32 record 0 n;
+  put_u32 record 4 (crc32 payload);
+  Bytes.blit_string payload 0 record header_len n;
+  Bytes.unsafe_to_string record
+
+(* ---- writing ---- *)
+
+type writer = {
+  oc : out_channel;
+  telemetry : Telemetry.t;
+  mutable woffset : int;
+}
+
+let open_append ?(telemetry = Telemetry.off) path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  let off = out_channel_length oc in
+  ({ oc; telemetry; woffset = off }, off)
+
+let append w payload =
+  let record = frame payload in
+  output_string w.oc record;
+  w.woffset <- w.woffset + String.length record;
+  Telemetry.incr w.telemetry "store.wal.records";
+  Telemetry.add w.telemetry "store.wal.bytes" (String.length record);
+  w.woffset
+
+let sync w =
+  flush w.oc;
+  Unix.fsync (Unix.descr_of_out_channel w.oc);
+  Telemetry.incr w.telemetry "store.wal.fsyncs"
+
+let flush w = flush w.oc
+let close w = close_out w.oc
+let offset w = w.woffset
+
+(* ---- reading ---- *)
+
+type replay = { payloads : string list; valid_offset : int; torn : bool }
+
+let read ?(from = 0) path =
+  match open_in_bin path with
+  | exception Sys_error _ -> { payloads = []; valid_offset = from; torn = false }
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let total = in_channel_length ic in
+          seek_in ic (min from total);
+          let header = Bytes.create header_len in
+          let rec go acc pos =
+            let remaining = total - pos in
+            if remaining = 0 then
+              { payloads = List.rev acc; valid_offset = pos; torn = false }
+            else if remaining < header_len then
+              { payloads = List.rev acc; valid_offset = pos; torn = true }
+            else begin
+              really_input ic header 0 header_len;
+              let len = get_u32 header 0 and crc = get_u32 header 4 in
+              if len > remaining - header_len then
+                (* Length runs past end of file: incomplete final
+                   record, or garbage header. Either way the prefix
+                   before it is the durable log. *)
+                { payloads = List.rev acc; valid_offset = pos; torn = true }
+              else
+                let payload = really_input_string ic len in
+                if crc32 payload <> crc then
+                  { payloads = List.rev acc; valid_offset = pos; torn = true }
+                else go (payload :: acc) (pos + header_len + len)
+            end
+          in
+          go [] (min from total))
+
+let truncate path offset =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd offset;
+      Unix.fsync fd)

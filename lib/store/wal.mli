@@ -1,0 +1,59 @@
+(** Append-only write-ahead log of store operations.
+
+    Framing: each record is a 4-byte big-endian payload length, a 4-byte
+    big-endian CRC-32 of the payload, then the payload itself (a
+    [Marshal]-encoded value). The CRC makes a torn or bit-rotted tail
+    detectable; the length prefix makes an incomplete final record
+    detectable. Replay stops at the first record that is incomplete or
+    fails its checksum — everything before that point is the durable
+    prefix, everything after is discarded by {!truncate}.
+
+    Telemetry (when a sink is attached to the writer):
+    [store.wal.records], [store.wal.bytes], [store.wal.fsyncs]. *)
+
+(** CRC-32 (IEEE 802.3, polynomial 0xedb88320) over a string — exposed
+    for the snapshot layer and for tests that corrupt records
+    deliberately. *)
+val crc32 : string -> int
+
+(** {2 Writing} *)
+
+type writer
+
+(** [open_append ?telemetry path] — open (creating if missing) for
+    appending. Returns the writer and the current end-of-log offset. *)
+val open_append : ?telemetry:Telemetry.t -> string -> writer * int
+
+(** [append w payload] — frame and buffer one record; returns the log
+    offset {e after} the record. Not yet durable until {!sync}. *)
+val append : writer -> string -> int
+
+(** [sync w] — flush and fsync: every appended record becomes durable.
+    The commit point for a batch of operations. *)
+val sync : writer -> unit
+
+(** [flush w] — flush to the OS without fsync (used by [--no-sync]
+    stores such as the checker oracle, where torn tails are simulated by
+    truncation rather than real crashes). *)
+val flush : writer -> unit
+
+val close : writer -> unit
+
+(** Current end-of-log offset (after buffered appends). *)
+val offset : writer -> int
+
+(** {2 Reading} *)
+
+type replay = {
+  payloads : string list;  (** valid records, in append order *)
+  valid_offset : int;  (** offset just past the last valid record *)
+  torn : bool;  (** true when trailing bytes past [valid_offset] exist *)
+}
+
+(** [read ?from path] — replay from offset [from] (default 0) to the
+    first invalid record. Missing file = empty replay. *)
+val read : ?from:int -> string -> replay
+
+(** [truncate path offset] — drop everything past [offset] (the torn
+    tail found by {!read}). *)
+val truncate : string -> int -> unit

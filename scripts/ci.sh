@@ -40,6 +40,66 @@ if dune exec bin/entity_ident.exe -- check --seed 1 --scenarios 10 \
   exit 1
 fi
 
+# 4. Durable-store crash recovery: drive a request stream through the
+#    serve protocol, tear the WAL at three deterministic byte offsets
+#    (full-3: torn final record; half: mid-log cut; 0: empty log),
+#    recover each crash copy, and hold its identify response
+#    byte-for-byte against a fresh store re-ingested from the surviving
+#    store-dump request stream. Any divergence, leftover .tmp file, or
+#    stuck lock fails the gate.
+eid=_build/default/bin/entity_ident.exe
+store_scratch=$(mktemp -d)
+serve_args="--no-sync --r-schema name,cuisine,street \
+  --s-schema name,speciality,county --r-key name,cuisine \
+  --s-key name,speciality --key name,cuisine,speciality \
+  --rules data/restaurants.ilfd"
+cat > "$store_scratch/requests.ndjson" <<'EOF'
+{"op":"insert","side":"r","row":{"name":"TwinCities","cuisine":"Chinese","street":"Co.B2"}}
+{"op":"insert","side":"s","row":{"name":"TwinCities","speciality":"Hunan","county":"Dakota"}}
+{"op":"insert","side":"r","row":{"name":"Anjuman","cuisine":"Indian","street":"LeSalleAve."}}
+{"op":"insert","side":"s","row":{"name":"Anjuman","speciality":"Mughalai","county":"Hennepin"}}
+{"op":"insert","side":"r","row":{"name":"It'sGreek","cuisine":"Greek","street":"FrontAve."}}
+{"op":"insert","side":"s","row":{"name":"It'sGreek","speciality":"Gyros","county":"Ramsey"}}
+{"op":"insert","side":"r","row":{"name":"Lone","cuisine":"Thai","street":"Elm"}}
+{"op":"insert","side":"s","row":{"name":"Solo","speciality":"Sushi","county":"Kent"}}
+{"op":"merge","r_key":{"name":"Lone","cuisine":"Thai"},"s_key":{"name":"Solo","speciality":"Sushi"}}
+{"op":"split","r_key":{"name":"TwinCities","cuisine":"Chinese"},"s_key":{"name":"TwinCities","speciality":"Hunan"}}
+EOF
+# shellcheck disable=SC2086
+"$eid" serve --store "$store_scratch/base" $serve_args \
+  < "$store_scratch/requests.ndjson" > /dev/null
+wal_size=$(wc -c < "$store_scratch/base/wal.log")
+for off in $((wal_size - 3)) $((wal_size / 2)) 0; do
+  crash="$store_scratch/crash$off"
+  fresh="$store_scratch/fresh$off"
+  cp -r "$store_scratch/base" "$crash"
+  truncate -s "$off" "$crash/wal.log"
+  "$eid" store-dump --store "$crash" > "$store_scratch/dump$off.ndjson"
+  echo '{"op":"identify"}' | "$eid" serve --store "$crash" --no-sync \
+    > "$store_scratch/got$off.json"
+  # shellcheck disable=SC2086
+  "$eid" serve --store "$fresh" $serve_args \
+    < "$store_scratch/dump$off.ndjson" > /dev/null
+  echo '{"op":"identify"}' | "$eid" serve --store "$fresh" --no-sync \
+    > "$store_scratch/want$off.json"
+  if ! cmp "$store_scratch/got$off.json" "$store_scratch/want$off.json"; then
+    echo "CI: recovered store at WAL offset $off diverges from the" \
+         "re-ingested dump" >&2
+    exit 1
+  fi
+  if find "$crash" "$fresh" -name '*.tmp' -o -name lock | grep -q .; then
+    echo "CI: leftover temp/lock files after recovery at offset $off" >&2
+    exit 1
+  fi
+done
+# The untorn store must still hold the three derivable pairs minus the
+# split one plus the manual merge (sanity that the gate tested real data).
+if ! grep -q Anjuman "$store_scratch/got$((wal_size - 3)).json"; then
+  echo "CI: crash-recovery gate saw no matched entities" >&2
+  exit 1
+fi
+rm -rf "$store_scratch"
+
 dune build bench/main.exe
 bench_dir=$(mktemp -d)
 (

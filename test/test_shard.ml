@@ -289,6 +289,74 @@ let pool_tests =
         | exception Failure s -> Alcotest.(check string) "chunk 0" "0" s);
   ]
 
+(* ---- exit ordering: pool shutdown before spill removal ---- *)
+
+let engage_pool () =
+  ignore
+    (Parallel.map_chunks ~jobs:2 ~threshold:1 64 (fun ~start ~stop ->
+         stop - start))
+
+let exit_tests =
+  [
+    case "sweep drains the pool before removing spill files" (fun () ->
+        (* The exit sweep must shut worker domains down first: a live
+           worker could still be flushing a sink part into the very
+           file the sweep is about to unlink. Pin the ordering by
+           observing both effects of one sweep call. *)
+        let t = E.Shard.Spill.create ~budget:16 () in
+        for i = 0 to 9 do
+          E.Shard.Spill.add t ~bytes:8 i
+        done;
+        let path = Option.get (E.Shard.Spill.file_path t) in
+        engage_pool ();
+        Alcotest.(check bool) "pool live before sweep" true
+          (Parallel.pool_size () > 0);
+        E.Shard.Spill.sweep ();
+        Alcotest.(check int) "pool drained" 0 (Parallel.pool_size ());
+        Alcotest.(check bool) "file removed" true
+          (not (Sys.file_exists path));
+        Alcotest.(check int) "registry empty" 0 (E.Shard.Spill.live_files ());
+        (* A sweep is not a poison pill: the pool regrows on demand. *)
+        engage_pool ();
+        Alcotest.(check bool) "pool regrows" true (Parallel.pool_size () > 0);
+        E.Shard.Spill.close t);
+    case "process exit sweeps spills with a live pool (subprocess)" (fun () ->
+        (* Re-invoke this test binary in child mode: it leaves a
+           spilled buffer open and the pool running, then exits
+           normally. A clean status and an empty scratch directory
+           prove the at_exit hook ran to completion — no deadlock
+           against worker domains, no leaked temp file. *)
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "shard_atexit_%d" (Unix.getpid ()))
+        in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+        let cmd =
+          Printf.sprintf "TEST_SHARD_ATEXIT_CHILD=%s %s >/dev/null 2>&1"
+            (Filename.quote dir)
+            (Filename.quote Sys.executable_name)
+        in
+        let status = Sys.command cmd in
+        let leftovers = Array.to_list (Sys.readdir dir) in
+        List.iter (fun f -> Sys.remove (Filename.concat dir f)) leftovers;
+        Sys.rmdir dir;
+        Alcotest.(check int) "clean exit" 0 status;
+        Alcotest.(check (list string)) "no leftover spill files" [] leftovers);
+  ]
+
+(* Child mode for the subprocess test above: spill into the given
+   scratch directory, engage the pool, and exit without closing
+   anything — cleanup is entirely the at_exit sweep's job. *)
+let atexit_child dir =
+  Unix.putenv "TMPDIR" dir;
+  let t = E.Shard.Spill.create ~budget:16 () in
+  for i = 0 to 9 do
+    E.Shard.Spill.add t ~bytes:8 i
+  done;
+  assert (E.Shard.Spill.file_path t <> None);
+  engage_pool ();
+  exit 0
+
 (* ---- shard invariance of the pipeline ---- *)
 
 let instance () =
@@ -453,12 +521,16 @@ let stream_tests =
   ]
 
 let () =
-  Alcotest.run "shard"
-    [
-      ("router", router_tests);
-      ("spill", spill_tests);
-      ("sink", sink_tests);
-      ("pool", pool_tests);
-      ("invariance", invariance_tests);
-      ("stream", stream_tests);
-    ]
+  match Sys.getenv_opt "TEST_SHARD_ATEXIT_CHILD" with
+  | Some dir -> atexit_child dir
+  | None ->
+      Alcotest.run "shard"
+        [
+          ("router", router_tests);
+          ("spill", spill_tests);
+          ("sink", sink_tests);
+          ("pool", pool_tests);
+          ("invariance", invariance_tests);
+          ("stream", stream_tests);
+          ("exit", exit_tests);
+        ]
