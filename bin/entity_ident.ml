@@ -552,6 +552,30 @@ let seed_arg =
          ~doc:"First scenario seed; scenario $(i,i) uses seed N+i, so a \
                failing seed replays alone with --seed SEED --scenarios 1.")
 
+let family_conv =
+  let parse s =
+    match Checker.Scenario.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scenario family %S (one of: %s)" s
+                (String.concat ", "
+                   (List.map Checker.Scenario.kind_to_string
+                      Checker.Scenario.all_kinds))))
+  in
+  Arg.conv
+    (parse, fun ppf k -> Format.pp_print_string ppf
+                           (Checker.Scenario.kind_to_string k))
+
+let family_arg =
+  Arg.(value & opt (some family_conv) None
+       & info [ "family" ] ~docv:"FAMILY"
+           ~doc:"Scenario family to generate: restaurant (default), kdb \
+                 (k-database integration), md (matching-dependency \
+                 fixpoints), merge-policy (global vs local merge). Also \
+                 filters --corpus replay to that family.")
+
 let fault_conv =
   let parse s =
     match Checker.Oracle.fault_of_string s with
@@ -573,7 +597,8 @@ let fault_arg =
        & info [ "fault" ] ~docv:"FAULT"
            ~doc:"Inject a seeded engine fault (mutation sanity check): the \
                  harness must catch it. One of none, broken-blocking-key, \
-                 drop-last-pair, lost-insert.")
+                 drop-last-pair, lost-insert, kdb-lost-edge, \
+                 md-phantom-match, merge-rogue-pair.")
 
 let shrink_arg =
   Arg.(value & opt ~vopt:true bool true & info [ "shrink" ] ~docv:"BOOL"
@@ -582,28 +607,38 @@ let shrink_arg =
 
 let corpus_arg =
   Arg.(value & opt (some file) None & info [ "corpus" ] ~docv:"FILE"
-         ~doc:"Also replay every seed listed in $(docv) (one integer per \
-               line, # comments) before the --seed/--scenarios range.")
+         ~doc:"Also replay every seed listed in $(docv) (one \"SEED\" or \
+               \"SEED FAMILY\" entry per line, # comments) before the \
+               --seed/--scenarios range.")
 
 let max_failures_arg =
   Arg.(value & opt int 1 & info [ "max-failures" ] ~docv:"M"
          ~doc:"Stop after $(docv) counterexamples (default 1; 0 = collect \
                them all).")
 
-let run_checker ~progress seed scenarios fault shrink corpus max_failures
-    stats =
+let run_checker ~progress family seed scenarios fault shrink corpus
+    max_failures stats =
   let corpus_seeds =
     match corpus with
     | None -> []
     | Some path -> (
         match Checker.Harness.load_corpus path with
-        | Ok seeds -> seeds
+        | Ok seeds -> (
+            (* --family narrows corpus replay to that family's entries;
+               without it, the whole mixed corpus replays. *)
+            match family with
+            | None -> seeds
+            | Some k -> List.filter (fun (k', _) -> k' = k) seeds)
         | Error msg ->
             Format.eprintf "entity_ident: %s@." msg;
             exit 2)
   in
+  let range_family =
+    Option.value family ~default:Checker.Scenario.Restaurant
+  in
   let seeds =
-    corpus_seeds @ Checker.Harness.seed_range ~seed ~scenarios
+    corpus_seeds
+    @ Checker.Harness.seed_range ~family:range_family ~seed ~scenarios ()
   in
   let telemetry = telemetry_of stats in
   let max_failures = if max_failures = 0 then None else Some max_failures in
@@ -631,8 +666,8 @@ let check_cmd =
     Arg.(value & opt int 100 & info [ "scenarios" ] ~docv:"K"
            ~doc:"Number of generated scenarios (default 100).")
   in
-  let run seed scenarios fault shrink corpus max_failures stats =
-    run_checker ~progress:false seed scenarios fault shrink corpus
+  let run family seed scenarios fault shrink corpus max_failures stats =
+    run_checker ~progress:false family seed scenarios fault shrink corpus
       max_failures stats
   in
   Cmd.v
@@ -643,16 +678,16 @@ let check_cmd =
              and metamorphic laws must hold, and any counterexample is \
              shrunk to a minimal replayable scenario. Exits 1 on a \
              counterexample.")
-    Term.(const run $ seed_arg $ scenarios_arg $ fault_arg $ shrink_arg
-          $ corpus_arg $ max_failures_arg $ stats_arg)
+    Term.(const run $ family_arg $ seed_arg $ scenarios_arg $ fault_arg
+          $ shrink_arg $ corpus_arg $ max_failures_arg $ stats_arg)
 
 let soak_cmd =
   let scenarios_arg =
     Arg.(value & opt int 1000 & info [ "scenarios" ] ~docv:"K"
            ~doc:"Number of generated scenarios (default 1000).")
   in
-  let run seed scenarios fault shrink corpus max_failures stats =
-    run_checker ~progress:true seed scenarios fault shrink corpus
+  let run family seed scenarios fault shrink corpus max_failures stats =
+    run_checker ~progress:true family seed scenarios fault shrink corpus
       max_failures stats
   in
   Cmd.v
@@ -660,8 +695,8 @@ let soak_cmd =
        ~doc:"Long-running check: same harness, more scenarios, with \
              progress counters on stderr (add --stats for the telemetry \
              report).")
-    Term.(const run $ seed_arg $ scenarios_arg $ fault_arg $ shrink_arg
-          $ corpus_arg $ max_failures_arg $ stats_arg)
+    Term.(const run $ family_arg $ seed_arg $ scenarios_arg $ fault_arg
+          $ shrink_arg $ corpus_arg $ max_failures_arg $ stats_arg)
 
 (* ---- serve / store-dump ---- *)
 

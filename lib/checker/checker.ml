@@ -1,9 +1,11 @@
 (* Facade: the correctness harness — deterministic scenario generation
-   ({!Scenario}), the differential/metamorphic oracle ({!Oracle}),
+   ({!Scenario}), the workload families and their reference oracles
+   ({!Families}), the differential/metamorphic oracle ({!Oracle}),
    greedy counterexample minimisation ({!Shrink}) and the check/soak
    driver ({!Harness}). *)
 
 module Scenario = Scenario
+module Families = Families
 module Oracle = Oracle
 module Shrink = Shrink
 module Harness = Harness

@@ -1,0 +1,713 @@
+module R = Relational
+module V = R.Value
+module MT = Entity_id.Matching_table
+module EK = Entity_id.Extended_key
+module Identify = Entity_id.Identify
+module Cluster = Entity_id.Cluster
+module Rng = Workload.Rng
+module Restaurant = Workload.Restaurant
+
+type fault = No_fault | Lost_edge | Phantom_match | Rogue_pair
+
+let fail check fmt = Format.kasprintf (fun detail -> Error (check, detail)) fmt
+let ( let* ) = Result.bind
+
+let quiet_corruption =
+  {
+    Scenario.weak_key = false;
+    conflict_rules = 0;
+    duplicates = 0;
+    swap_rate = 0.0;
+    check_conflicts = false;
+  }
+
+(* ---- generators ----
+
+   All three families start from the restaurant world (its hidden
+   speciality→cuisine / (name,street)→speciality structure is what the
+   ILFDs derive over); the family payload and corruption model are what
+   differ. Seeds are decorrelated from the restaurant generator's by a
+   per-family xor so [--family kdb --seed 1] is not the restaurant
+   scenario 1 in a trench coat. *)
+
+(* A database shape: projected attributes, its candidate key, and the
+   attribute the corruption model may NULL out (never a key part). *)
+type shape = { attrs : string list; db_key : string list; nullable : string }
+
+let shape_r = { attrs = [ "name"; "cuisine"; "street" ];
+                db_key = [ "name"; "cuisine" ]; nullable = "street" }
+
+(* A schema the restaurant databases never use — keyed on street alone —
+   so the store-recovery oracle exercises durability beyond the
+   restaurant shape, and extension needs the 2-step derivation
+   (name,street)→speciality→cuisine. *)
+let shape_mgr = { attrs = [ "name"; "street"; "manager" ];
+                  db_key = [ "street" ]; nullable = "manager" }
+
+let shape_s = { attrs = [ "name"; "speciality"; "county" ];
+                db_key = [ "name"; "speciality" ]; nullable = "county" }
+
+let project_world rng world shape ~coverage ~null_rate =
+  let wschema = R.Relation.schema world in
+  let plan = R.Tuple.plan wschema shape.attrs in
+  let null_i =
+    let rec idx i = function
+      | [] -> invalid_arg "project_world: nullable attr not in shape"
+      | a :: rest -> if String.equal a shape.nullable then i else idx (i + 1) rest
+    in
+    idx 0 shape.attrs
+  in
+  let schema = R.Schema.of_names shape.attrs in
+  let rows =
+    List.filter_map
+      (fun t ->
+        if not (Rng.bool rng coverage) then None
+        else
+          let a =
+            Array.init (List.length shape.attrs) (R.Tuple.nth_with plan t)
+          in
+          if Rng.bool rng null_rate then a.(null_i) <- V.null;
+          Some (R.Tuple.of_array schema a))
+      (R.Relation.tuples world)
+  in
+  R.Relation.of_tuples schema ~keys:[ shape.db_key ] rows
+
+let generate_kdb ~seed =
+  let rng = Rng.create (seed lxor 0x6b6462) in
+  let config =
+    {
+      Restaurant.n_entities = 4 + Rng.below rng 8;
+      (* coverage is re-drawn per database below; the instance's own
+         projections are unused *)
+      r_coverage = 1.0;
+      s_coverage = 1.0;
+      homonym_rate = 0.25 *. Rng.float rng;
+      spec_ilfd_coverage = 0.6 +. (0.4 *. Rng.float rng);
+      entity_ilfd_coverage = 0.6 +. (0.4 *. Rng.float rng);
+      street_ilfd_coverage = 0.6 +. (0.4 *. Rng.float rng);
+      null_street_rate = 0.0;
+      typo_rate = 0.0;
+      seed = Rng.next rng;
+    }
+  in
+  let inst = Restaurant.generate config in
+  let db shape =
+    project_world rng inst.world shape
+      ~coverage:(0.5 +. (0.5 *. Rng.float rng))
+      ~null_rate:(0.3 *. Rng.float rng)
+  in
+  let r = db shape_r in
+  let s = db shape_mgr in
+  let n_others = 1 + (if Rng.bool rng 0.4 then 1 else 0) in
+  let others =
+    List.init n_others (fun i ->
+        (Printf.sprintf "t%d" (i + 2), db (if i = 0 then shape_s else shape_r)))
+  in
+  {
+    Scenario.seed;
+    config;
+    corruption = quiet_corruption;
+    r;
+    s;
+    key = inst.key;
+    ilfds = inst.ilfds;
+    truth = [];
+    strict = false;
+    family = F_kdb { others };
+  }
+
+let md_dep_pool =
+  [|
+    { Scenario.lhs = [ "name" ]; rhs = [ "speciality" ] };
+    { Scenario.lhs = [ "name" ]; rhs = [ "cuisine"; "speciality" ] };
+    { Scenario.lhs = [ "name"; "cuisine" ]; rhs = [ "speciality" ] };
+    { Scenario.lhs = [ "name"; "speciality" ]; rhs = [ "cuisine" ] };
+  |]
+
+let generate_md ~seed =
+  let rng = Rng.create (seed lxor 0x6d6421) in
+  let config =
+    {
+      Restaurant.n_entities = 4 + Rng.below rng 10;
+      r_coverage = 0.7 +. (0.3 *. Rng.float rng);
+      s_coverage = 0.7 +. (0.3 *. Rng.float rng);
+      homonym_rate = 0.2 *. Rng.float rng;
+      (* partial rule coverage plus NULLed streets leave extended keys
+         incomplete — the raw material matching dependencies repair *)
+      spec_ilfd_coverage = 0.4 +. (0.6 *. Rng.float rng);
+      entity_ilfd_coverage = 0.4 +. (0.6 *. Rng.float rng);
+      street_ilfd_coverage = 0.4 +. (0.6 *. Rng.float rng);
+      null_street_rate = 0.5 *. Rng.float rng;
+      typo_rate = 0.15 *. Rng.float rng;
+      seed = Rng.next rng;
+    }
+  in
+  let inst = Restaurant.generate config in
+  let deps = Rng.sample rng md_dep_pool (1 + Rng.below rng 2) in
+  {
+    Scenario.seed;
+    config;
+    corruption = quiet_corruption;
+    r = inst.r;
+    s = inst.s;
+    key = inst.key;
+    ilfds = inst.ilfds;
+    truth = inst.truth;
+    strict = false;
+    family = F_md { deps };
+  }
+
+let generate_merge ~seed =
+  let rng = Rng.create (seed lxor 0x6d6765) in
+  (* Two regimes: a clean one (complete rules, no NULLs — global and
+     local policies must coincide exactly) and a noisy one (partial
+     coverage and NULLs — merge-then-rematch may only add matches). *)
+  let clean = Rng.bool rng 0.35 in
+  let cov () = if clean then 1.0 else 0.4 +. (0.6 *. Rng.float rng) in
+  let config =
+    {
+      Restaurant.n_entities = 4 + Rng.below rng 10;
+      r_coverage = 0.7 +. (0.3 *. Rng.float rng);
+      s_coverage = 0.7 +. (0.3 *. Rng.float rng);
+      homonym_rate = 0.25 *. Rng.float rng;
+      spec_ilfd_coverage = cov ();
+      entity_ilfd_coverage = cov ();
+      street_ilfd_coverage = cov ();
+      null_street_rate = (if clean then 0.0 else 0.5 *. Rng.float rng);
+      typo_rate = (if clean then 0.0 else 0.2 *. Rng.float rng);
+      seed = Rng.next rng;
+    }
+  in
+  let inst = Restaurant.generate config in
+  {
+    Scenario.seed;
+    config;
+    corruption = quiet_corruption;
+    r = inst.r;
+    s = inst.s;
+    key = inst.key;
+    ilfds = inst.ilfds;
+    truth = inst.truth;
+    strict = false;
+    family = F_merge { anchor = "name" };
+  }
+
+let generate kind ~seed =
+  match (kind : Scenario.kind) with
+  | Restaurant -> Scenario.generate ~seed
+  | Kdb -> generate_kdb ~seed
+  | Md -> generate_md ~seed
+  | Merge_policy -> generate_merge ~seed
+
+(* ---- shared oracle plumbing ---- *)
+
+(* Per-tuple recursive extension — the same from-first-principles
+   reference the main oracle uses, rebuilt here so the family oracles
+   stay independent of the engine's fixpoint path. *)
+let manual_extension (sc : Scenario.t) rel =
+  let schema = R.Relation.schema rel in
+  let target = Identify.extension_schema rel sc.key in
+  ( target,
+    List.map
+      (fun t ->
+        match Ilfd.Apply.extend_tuple schema t ~target sc.ilfds with
+        | Ok (t', _) -> t'
+        | Error c -> raise (Ilfd.Apply.Conflict_found c))
+      (R.Relation.tuples rel) )
+
+(* Extended-key vectors as mutable arrays: the MD and merge evaluators
+   work by filling NULL cells in place. *)
+let key_vectors schema tuples attrs =
+  let plan = R.Tuple.plan schema attrs in
+  let arity = List.length attrs in
+  Array.of_list
+    (List.map (fun t -> Array.init arity (R.Tuple.nth_with plan t)) tuples)
+
+let index_in tuples t =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if R.Tuple.equal x t then Some i else go (i + 1) rest
+  in
+  go 0 tuples
+
+let vec_to_string v =
+  "("
+  ^ String.concat "," (Array.to_list (Array.map V.to_string v))
+  ^ ")"
+
+(* ---- family (a): k-database integration ---- *)
+
+let node_compare (da, ta) (db, tb) =
+  match String.compare da db with 0 -> R.Tuple.compare ta tb | c -> c
+
+let node_to_string (d, t) = d ^ ":" ^ R.Tuple.to_string t
+
+let norm_pair (a, b) = if node_compare a b <= 0 then (a, b) else (b, a)
+
+let pair_compare (a1, a2) (b1, b2) =
+  match node_compare a1 b1 with 0 -> node_compare a2 b2 | c -> c
+
+let rec unordered_pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> norm_pair (x, y)) rest @ unordered_pairs rest
+
+let pair_set pairs = List.sort_uniq pair_compare pairs
+
+(* Pairwise verdict tables composed into a global clustering must agree
+   with the k-ary clustering: transitive closure of the pairwise edges
+   yields exactly the cluster co-memberships ([kdb-closure]), and the
+   closure implies no cross-database pair the pairwise tables lack
+   ([kdb-contradiction] — a matched-via-transitivity pair one pairwise
+   run contradicts by omission). *)
+let check_kdb ~fault ~telemetry (sc : Scenario.t) others =
+  Telemetry.incr telemetry "checker.family.kdb.scenarios";
+  let dbs = ("r", sc.r) :: ("s", sc.s) :: others in
+  let cr = Cluster.integrate ~key:sc.key sc.ilfds dbs in
+  let nodes =
+    Array.of_list
+      (List.concat_map
+         (fun (name, rel) ->
+           let schema = R.Relation.schema rel
+           and pk = R.Relation.primary_key rel in
+           List.map
+             (fun t -> (name, R.Tuple.project schema t pk))
+             (R.Relation.tuples rel))
+         dbs)
+  in
+  let n = Array.length nodes in
+  let index_of node =
+    let rec go i =
+      if i >= n then None
+      else if node_compare nodes.(i) node = 0 then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec db_pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ db_pairs rest
+  in
+  let edges =
+    List.concat_map
+      (fun ((na, ra), (nb, rb)) ->
+        let o : Identify.outcome =
+          Identify.run ~r:ra ~s:rb ~key:sc.key sc.ilfds
+        in
+        List.map
+          (fun (e : MT.entry) -> ((na, e.r_key), (nb, e.s_key)))
+          (MT.entries o.matching_table))
+      (db_pairs dbs)
+  in
+  let edges =
+    match fault with
+    | Lost_edge -> (
+        match List.rev edges with [] -> [] | _ :: t -> List.rev t)
+    | No_fault | Phantom_match | Rogue_pair -> edges
+  in
+  Telemetry.add telemetry "checker.family.kdb.edges" (List.length edges);
+  Telemetry.add telemetry "checker.family.kdb.clusters"
+    (List.length cr.clusters);
+  let* edge_idx =
+    List.fold_left
+      (fun acc (a, b) ->
+        let* acc = acc in
+        match (index_of a, index_of b) with
+        | Some i, Some j -> Ok ((i, j) :: acc)
+        | None, _ ->
+            fail "kdb-closure"
+              "pairwise verdict names a key no database holds: %s"
+              (node_to_string a)
+        | _, None ->
+            fail "kdb-closure"
+              "pairwise verdict names a key no database holds: %s"
+              (node_to_string b))
+      (Ok []) edges
+  in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  List.iter
+    (fun (i, j) ->
+      let ri = find i and rj = find j in
+      if ri <> rj then parent.(max ri rj) <- min ri rj)
+    edge_idx;
+  let groups = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    Hashtbl.replace groups r
+      (nodes.(i) :: (try Hashtbl.find groups r with Not_found -> []))
+  done;
+  let closure =
+    pair_set
+      (Hashtbl.fold
+         (fun _ members acc -> unordered_pairs members @ acc)
+         groups [])
+  in
+  let cluster_pairs =
+    pair_set
+      (List.concat_map
+         (fun (c : Cluster.cluster) ->
+           unordered_pairs
+             (List.map
+                (fun (m : Cluster.member) ->
+                  let ext = List.assoc m.db cr.extended in
+                  let orig = List.assoc m.db dbs in
+                  ( m.db,
+                    R.Tuple.project (R.Relation.schema ext) m.tuple
+                      (R.Relation.primary_key orig) ))
+                c.members))
+         cr.clusters)
+  in
+  Telemetry.add telemetry "checker.family.kdb.closure_pairs"
+    (List.length closure);
+  (* Agreement, minding what each formalism can express: every closure
+     co-membership (cross- or same-database — two R tuples both matched
+     to one S tuple share its key vector) must be a cluster
+     co-membership, and every {e cross-database} cluster co-membership
+     must be in the closure. A same-database duplicate pair with no
+     partner elsewhere is clusterable but unsayable in pairwise verdict
+     tables, so that direction is exempt. *)
+  let mem p set = List.exists (fun q -> pair_compare p q = 0) set in
+  let is_cross ((da, _), (db, _)) = not (String.equal da db) in
+  let* () =
+    let escaped = List.filter (fun p -> not (mem p cluster_pairs)) closure in
+    let missing =
+      List.filter
+        (fun p -> is_cross p && not (mem p closure))
+        cluster_pairs
+    in
+    match escaped @ missing with
+    | [] -> Ok ()
+    | (a, b) :: _ as diff ->
+        fail "kdb-closure"
+          "pairwise verdicts close over %d co-memberships, the k-ary \
+           clustering holds %d; %d difference(s), e.g. %s ~ %s"
+          (List.length closure)
+          (List.length cluster_pairs)
+          (List.length diff) (node_to_string a) (node_to_string b)
+  in
+  let edge_set = pair_set (List.map norm_pair edges) in
+  let implied =
+    List.filter (fun p -> is_cross p && not (mem p edge_set)) closure
+  in
+  match implied with
+  | [] -> Ok ()
+  | (a, b) :: _ ->
+      fail "kdb-contradiction"
+        "%d pair(s) implied by transitivity but absent from the pairwise \
+         verdict tables, e.g. %s ~ %s"
+        (List.length implied) (node_to_string a) (node_to_string b)
+
+(* ---- family (b): matching-dependency dynamics ---- *)
+
+(* The clean-instance evaluator: starting from the recursively extended
+   tuples, whenever two tuples agree non-NULL on a dependency's lhs,
+   their rhs values are identified — a NULL on one side fills from the
+   other. Values are never overwritten (NULL-filling only), so the
+   process is monotone and terminates once no NULL cell changes. *)
+let md_fixpoint deps ~rv ~sv ~attr_index =
+  let rounds = ref 0 and changed = ref true in
+  while !changed do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (dep : Scenario.md_dep) ->
+        let lhs = List.map attr_index dep.lhs
+        and rhs = List.map attr_index dep.rhs in
+        Array.iter
+          (fun ri ->
+            Array.iter
+              (fun sj ->
+                if List.for_all (fun k -> V.non_null_eq ri.(k) sj.(k)) lhs
+                then
+                  List.iter
+                    (fun k ->
+                      match (V.is_null ri.(k), V.is_null sj.(k)) with
+                      | true, false ->
+                          ri.(k) <- sj.(k);
+                          changed := true
+                      | false, true ->
+                          sj.(k) <- ri.(k);
+                          changed := true
+                      | _ -> ())
+                    rhs)
+              sv)
+          rv)
+      deps
+  done;
+  !rounds - 1
+
+let matches_of ~rv ~sv =
+  let arity = if Array.length rv > 0 then Array.length rv.(0) else 0 in
+  let agree i j =
+    let rec go k =
+      k >= arity || (V.non_null_eq rv.(i).(k) sv.(j).(k) && go (k + 1))
+    in
+    go 0
+  in
+  let acc = ref [] in
+  for i = Array.length rv - 1 downto 0 do
+    for j = Array.length sv - 1 downto 0 do
+      if agree i j then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let check_md ~fault ~telemetry (sc : Scenario.t) (base : Identify.outcome)
+    deps =
+  Telemetry.incr telemetry "checker.family.md.scenarios";
+  let kext = EK.attributes sc.key in
+  let* attr_index =
+    let indexed a =
+      let rec go i = function
+        | [] -> None
+        | x :: rest -> if String.equal x a then Some i else go (i + 1) rest
+      in
+      go 0 kext
+    in
+    let missing =
+      List.concat_map
+        (fun (d : Scenario.md_dep) ->
+          List.filter (fun a -> indexed a = None) (d.lhs @ d.rhs))
+        deps
+    in
+    match missing with
+    | [] -> Ok (fun a -> Option.get (indexed a))
+    | a :: _ ->
+        fail "md-fixpoint"
+          "matching dependency mentions %S outside the extended key" a
+  in
+  let rt, rx = manual_extension sc sc.r in
+  let st, sx = manual_extension sc sc.s in
+  let rv = key_vectors rt rx kext and sv = key_vectors st sx kext in
+  let rv0 = Array.map Array.copy rv and sv0 = Array.map Array.copy sv in
+  let rounds = md_fixpoint deps ~rv ~sv ~attr_index in
+  Telemetry.add telemetry "checker.family.md.rounds" rounds;
+  let fixpoint = matches_of ~rv ~sv in
+  (* The engine's one-shot matches, as index pairs into the same rows.
+     base's extension and the recursive one agree (the main oracle's
+     fixpoint-agreement check holds them identical), so a failed lookup
+     is itself a discrepancy. *)
+  let* engine =
+    List.fold_left
+      (fun acc (tr, ts) ->
+        let* acc = acc in
+        match (index_in rx tr, index_in sx ts) with
+        | Some i, Some j -> Ok ((i, j) :: acc)
+        | _ ->
+            fail "md-fixpoint"
+              "engine matched a tuple pair the recursive extension does not \
+               contain: %s ~ %s"
+              (R.Tuple.to_string tr) (R.Tuple.to_string ts))
+      (Ok []) base.pairs
+  in
+  let engine =
+    match fault with
+    | Phantom_match -> (
+        let phantom =
+          let rec scan i j =
+            if i >= Array.length rv then None
+            else if j >= Array.length sv then scan (i + 1) 0
+            else if List.mem (i, j) fixpoint then scan i (j + 1)
+            else Some (i, j)
+          in
+          scan 0 0
+        in
+        match phantom with Some p -> p :: engine | None -> engine)
+    | No_fault | Lost_edge | Rogue_pair -> engine
+  in
+  Telemetry.add telemetry "checker.family.md.one_shot" (List.length engine);
+  (* Containment: matching dependencies only ever fill NULLs, so every
+     one-shot match survives to the fixpoint. *)
+  let* () =
+    match List.filter (fun p -> not (List.mem p fixpoint)) engine with
+    | [] -> Ok ()
+    | (i, j) :: _ as lost ->
+        fail "md-fixpoint"
+          "%d one-shot match(es) are not matches of the MD fixpoint \
+           (NULL-filling can only enable matches), e.g. %s ~ %s"
+          (List.length lost)
+          (vec_to_string rv0.(i))
+          (vec_to_string sv0.(j))
+  in
+  (* Divergence report: fixpoint matches beyond the one-shot set are
+     expected exactly when a NULL cell was repaired on either side —
+     those are classified (counted), not failed. A divergent pair whose
+     original vectors were already NULL-free means the one-shot engine
+     missed a static match. *)
+  let induced = List.filter (fun p -> not (List.mem p engine)) fixpoint in
+  let repaired (i, j) =
+    Array.exists V.is_null rv0.(i) || Array.exists V.is_null sv0.(j)
+  in
+  Telemetry.add telemetry "checker.family.md.induced"
+    (List.length (List.filter repaired induced));
+  match List.filter (fun p -> not (repaired p)) induced with
+  | [] -> Ok ()
+  | (i, j) :: _ as unexplained ->
+      fail "md-divergence"
+        "%d MD-fixpoint match(es) involve no repaired NULL yet the \
+         one-shot engine missed them, e.g. %s ~ %s"
+        (List.length unexplained)
+        (vec_to_string rv0.(i))
+        (vec_to_string sv0.(j))
+
+(* ---- family (c): global vs local merge policies ---- *)
+
+(* Merge-then-rematch (the "global" policy): maintain one fused
+   extended-key vector per entity group; greedily merge any two groups
+   that agree non-NULL on the anchor attribute and conflict nowhere on
+   the extended key, fusing by taking the non-NULL value — fusion can
+   complete a vector and enable further merges, so iterate to fixpoint.
+   Deterministic: groups are scanned in index order and the first
+   mergeable pair restarts the scan. *)
+let merge_groups ~anchor_i vec =
+  let n = Array.length vec in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let compatible a b =
+    V.non_null_eq a.(anchor_i) b.(anchor_i)
+    && Array.for_all2
+         (fun x y -> V.is_null x || V.is_null y || V.equal x y)
+         a b
+  in
+  let fuse a b =
+    Array.mapi (fun k x -> if V.is_null x then b.(k) else x) a
+  in
+  let merged = ref true and merges = ref 0 in
+  while !merged do
+    merged := false;
+    let roots =
+      List.filter (fun i -> find i = i) (List.init n (fun i -> i))
+    in
+    let rec scan = function
+      | [] -> ()
+      | a :: rest -> (
+          match
+            List.find_opt (fun b -> compatible vec.(a) vec.(b)) rest
+          with
+          | Some b ->
+              let fused = fuse vec.(a) vec.(b) in
+              parent.(max a b) <- min a b;
+              vec.(min a b) <- fused;
+              incr merges;
+              merged := true
+          | None -> scan rest)
+    in
+    scan roots
+  done;
+  (find, !merges)
+
+let check_merge ~fault ~telemetry (sc : Scenario.t)
+    (base : Identify.outcome) anchor =
+  Telemetry.incr telemetry "checker.family.merge_policy.scenarios";
+  let kext = EK.attributes sc.key in
+  let* anchor_i =
+    let rec go i = function
+      | [] ->
+          fail "merge-containment"
+            "anchor %S is not an extended-key attribute" anchor
+      | a :: rest -> if String.equal a anchor then Ok i else go (i + 1) rest
+    in
+    go 0 kext
+  in
+  let rx = R.Relation.tuples base.r_extended
+  and sx = R.Relation.tuples base.s_extended in
+  let rv = key_vectors (R.Relation.schema base.r_extended) rx kext
+  and sv = key_vectors (R.Relation.schema base.s_extended) sx kext in
+  let n_r = Array.length rv in
+  let vec0 = Array.append rv sv in
+  let had_null = Array.exists (Array.exists V.is_null) vec0 in
+  let vec = Array.map Array.copy vec0 in
+  let find, merges = merge_groups ~anchor_i vec in
+  Telemetry.add telemetry "checker.family.merge_policy.merges" merges;
+  let* engine =
+    List.fold_left
+      (fun acc (tr, ts) ->
+        let* acc = acc in
+        match (index_in rx tr, index_in sx ts) with
+        | Some i, Some j -> Ok ((i, j) :: acc)
+        | _ ->
+            fail "merge-containment"
+              "engine matched a tuple pair outside its own extended \
+               relations: %s ~ %s"
+              (R.Tuple.to_string tr) (R.Tuple.to_string ts))
+      (Ok []) base.pairs
+  in
+  let co_grouped (i, j) = find i = find (n_r + j) in
+  let engine =
+    match fault with
+    | Rogue_pair -> (
+        let rogue =
+          let rec scan i j =
+            if i >= n_r then None
+            else if j >= Array.length sv then scan (i + 1) 0
+            else if co_grouped (i, j) then scan i (j + 1)
+            else Some (i, j)
+          in
+          scan 0 0
+        in
+        match rogue with Some p -> p :: engine | None -> engine)
+    | No_fault | Lost_edge | Phantom_match -> engine
+  in
+  (* Containment (the documented relationship): the one-shot MT matches
+     only complete, equal vectors; fusion never overwrites a non-NULL
+     value, so both sides of such a pair keep their exact vector and the
+     global policy must co-group them. MT ⊆ merge-then-rematch, always. *)
+  let* () =
+    match List.filter (fun p -> not (co_grouped p)) engine with
+    | [] -> Ok ()
+    | (i, j) :: _ as lost ->
+        fail "merge-containment"
+          "%d MT pair(s) end up in different merge-then-rematch groups, \
+           e.g. %s ~ %s"
+          (List.length lost)
+          (vec_to_string vec0.(i))
+          (vec_to_string vec0.(n_r + j))
+  in
+  let cross =
+    let acc = ref [] in
+    for i = n_r - 1 downto 0 do
+      for j = Array.length sv - 1 downto 0 do
+        if co_grouped (i, j) then acc := (i, j) :: !acc
+      done
+    done;
+    !acc
+  in
+  Telemetry.add telemetry "checker.family.merge_policy.induced"
+    (List.length (List.filter (fun p -> not (List.mem p engine)) cross));
+  (* On a NULL-free instance compatibility degenerates to equality, so
+     the two policies must coincide exactly. *)
+  if not had_null then
+    match List.filter (fun p -> not (List.mem p engine)) cross with
+    | [] -> Ok ()
+    | (i, j) :: _ as extra ->
+        fail "merge-agreement"
+          "NULL-free instance, yet merge-then-rematch co-groups %d pair(s) \
+           the MT lacks, e.g. %s ~ %s"
+          (List.length extra)
+          (vec_to_string vec0.(i))
+          (vec_to_string vec0.(n_r + j))
+  else Ok ()
+
+(* ---- dispatch ---- *)
+
+let check ?(fault = No_fault) ?(telemetry = Telemetry.off) (sc : Scenario.t)
+    (base : Identify.outcome) =
+  match sc.family with
+  | F_restaurant -> Ok ()
+  | F_kdb { others } -> check_kdb ~fault ~telemetry sc others
+  | F_md { deps } -> check_md ~fault ~telemetry sc base deps
+  | F_merge { anchor } -> check_merge ~fault ~telemetry sc base anchor

@@ -1,0 +1,56 @@
+(** The scenario families beyond the restaurant workload, each a seeded
+    generator plus a family-specific reference oracle.
+
+    - {b kdb} (family a): k>2 autonomous databases projected from one
+      restaurant world under independent coverage and NULL rates — [r],
+      [s] and the payload's extra databases. The oracle integrates all k
+      pairwise ({!Entity_id.Identify.run} per database pair), closes the
+      verdict edges transitively, and holds the result against the k-ary
+      {!Entity_id.Cluster.integrate}: co-membership sets must agree
+      ([kdb-closure]) and the closure may imply no cross-database pair
+      the pairwise tables lack ([kdb-contradiction]).
+    - {b md} (family b): matching-dependency dynamics in the
+      clean-instance style — a dependency's matched lhs identifies its
+      rhs values, NULLs filling from the partner until a fixpoint. The
+      independent evaluator is NULL-filling only (never overwrites), so
+      one-shot matches must survive to the fixpoint ([md-fixpoint]);
+      fixpoint-only matches are {e classified}: expected when a NULL was
+      repaired (counted as [checker.family.md.induced]), a failure when
+      the vectors were already NULL-free ([md-divergence]).
+    - {b merge-policy} (family c): global merge-then-rematch (union any
+      two entity groups agreeing non-NULL on the anchor and conflicting
+      nowhere on the extended key, fusing NULLs, to fixpoint) versus the
+      one-shot MT. The documented containment MT ⊆ global must hold
+      always ([merge-containment]); on NULL-free instances the two must
+      coincide exactly ([merge-agreement]).
+
+    Every family also runs the whole generic differential matrix
+    ({!Oracle.run} wires {!check} in after the cluster check), including
+    the store-recovery oracle — the kdb family's manager-shaped [s]
+    relation is what extends durability coverage beyond the restaurant
+    schema. *)
+
+(** Seeded family-oracle mutations ({!Oracle.fault} maps onto these):
+    [Lost_edge] drops the last pairwise verdict edge before the closure
+    (kdb); [Phantom_match] injects a non-fixpoint pair into the engine's
+    one-shot matches (md); [Rogue_pair] injects a pair from two distinct
+    merge groups (merge-policy). *)
+type fault = No_fault | Lost_edge | Phantom_match | Rogue_pair
+
+(** [generate kind ~seed] — the family's scenario for this seed.
+    Deterministic; [Restaurant] delegates to {!Scenario.generate}
+    unchanged, so existing corpus seeds keep their meaning. *)
+val generate : Scenario.kind -> seed:int -> Scenario.t
+
+(** [check ?fault ?telemetry sc base] — run [sc]'s family oracle against
+    the engine outcome [base] (from {!Entity_id.Identify.run} on
+    [sc.r]/[sc.s]). [Ok ()] for restaurant scenarios. Errors carry the
+    stable check name and the human-readable evidence; {!Oracle.run}
+    wraps them into a {!Oracle.discrepancy}. Charges the
+    [checker.family.*] counters. *)
+val check :
+  ?fault:fault ->
+  ?telemetry:Telemetry.t ->
+  Scenario.t ->
+  Entity_id.Identify.outcome ->
+  (unit, string * string) result

@@ -9,7 +9,11 @@ type outcome = { scenarios_run : int; failures : failure list }
 
 let ok o = o.failures = []
 
-let seed_range ~seed ~scenarios = List.init scenarios (fun i -> seed + i)
+let seed_range ?(family = Scenario.Restaurant) ~seed ~scenarios () =
+  List.init scenarios (fun i -> (family, seed + i))
+
+let valid_families () =
+  String.concat ", " (List.map Scenario.kind_to_string Scenario.all_kinds)
 
 let load_corpus path =
   match open_in path with
@@ -30,9 +34,39 @@ let load_corpus path =
                 match String.trim line with
                 | "" -> loop acc (lineno + 1)
                 | body -> (
-                    match int_of_string_opt body with
-                    | Some seed -> loop (seed :: acc) (lineno + 1)
-                    | None ->
+                    (* "SEED" (legacy, restaurant) or "SEED FAMILY". *)
+                    let tokens =
+                      String.split_on_char ' ' body
+                      |> List.concat_map (String.split_on_char '\t')
+                      |> List.filter (fun t -> t <> "")
+                    in
+                    match tokens with
+                    | [ tok ] -> (
+                        match int_of_string_opt tok with
+                        | Some seed ->
+                            loop ((Scenario.Restaurant, seed) :: acc)
+                              (lineno + 1)
+                        | None ->
+                            Error
+                              (Printf.sprintf "%s:%d: not a seed: %S" path
+                                 lineno body))
+                    | [ tok; fam ] -> (
+                        match
+                          (int_of_string_opt tok, Scenario.kind_of_string fam)
+                        with
+                        | Some seed, Some kind ->
+                            loop ((kind, seed) :: acc) (lineno + 1)
+                        | None, _ ->
+                            Error
+                              (Printf.sprintf "%s:%d: not a seed: %S" path
+                                 lineno tok)
+                        | _, None ->
+                            Error
+                              (Printf.sprintf
+                                 "%s:%d: unknown scenario family %S (one of: \
+                                  %s)"
+                                 path lineno fam (valid_families ())))
+                    | _ ->
                         Error
                           (Printf.sprintf "%s:%d: not a seed: %S" path lineno
                              body)))
@@ -45,13 +79,13 @@ let run ?(fault = Oracle.No_fault) ?(shrink = true)
   let failures = ref [] and ran = ref 0 in
   (try
      List.iteri
-       (fun i seed ->
+       (fun i (kind, seed) ->
          (match max_failures with
          | Some m when List.length !failures >= m -> raise Exit
          | _ -> ());
          incr ran;
          Telemetry.incr telemetry "checker.scenarios";
-         let scenario = Scenario.generate ~seed in
+         let scenario = Families.generate kind ~seed in
          (match Oracle.run ~fault ~telemetry scenario with
          | Ok () -> ()
          | Error discrepancy ->

@@ -17,14 +17,24 @@ type outcome = { scenarios_run : int; failures : failure list }
 
 val ok : outcome -> bool
 
-(** [seed_range ~seed ~scenarios] — [seed, seed+1, …] ([scenarios] of
-    them): the seed list [check --seed N --scenarios K] walks, so any
-    single failing scenario replays from its own printed seed. *)
-val seed_range : seed:int -> scenarios:int -> int list
+(** [seed_range ?family ~seed ~scenarios] — [(family, seed),
+    (family, seed+1), …] ([scenarios] of them, [family] defaulting to
+    {!Scenario.Restaurant}): the seed list
+    [check --family F --seed N --scenarios K] walks, so any single
+    failing scenario replays from its own printed seed. *)
+val seed_range :
+  ?family:Scenario.kind ->
+  seed:int ->
+  scenarios:int ->
+  unit ->
+  (Scenario.kind * int) list
 
-(** [load_corpus path] — regression seeds from a text file: one integer
-    per line; blank lines and [#] comments ignored. *)
-val load_corpus : string -> (int list, string) result
+(** [load_corpus path] — regression seeds from a text file: one entry
+    per line, either a bare integer seed (a restaurant scenario) or
+    [SEED FAMILY] where [FAMILY] is a {!Scenario.kind_to_string} name;
+    blank lines and [#] comments ignored. Unknown family names are a
+    parse error naming the valid families. *)
+val load_corpus : string -> ((Scenario.kind * int) list, string) result
 
 (** [run ?fault ?shrink ?telemetry ?progress ?max_failures ~seeds ()].
     [shrink] defaults to [true]. [max_failures] (default unlimited)
@@ -39,7 +49,7 @@ val run :
   ?telemetry:Telemetry.t ->
   ?progress:(scenario:int -> total:int -> failures:int -> unit) ->
   ?max_failures:int ->
-  seeds:int list ->
+  seeds:(Scenario.kind * int) list ->
   unit ->
   outcome
 

@@ -9,24 +9,48 @@ module Verify = Entity_id.Verify
 module Negative = Entity_id.Negative
 module Rng = Workload.Rng
 
-type fault = No_fault | Broken_blocking_key | Drop_last_pair | Lost_insert
+type fault =
+  | No_fault
+  | Broken_blocking_key
+  | Drop_last_pair
+  | Lost_insert
+  | Kdb_lost_edge
+  | Md_phantom_match
+  | Merge_rogue_pair
 
-let all_faults = [ No_fault; Broken_blocking_key; Drop_last_pair; Lost_insert ]
+let all_faults =
+  [
+    No_fault;
+    Broken_blocking_key;
+    Drop_last_pair;
+    Lost_insert;
+    Kdb_lost_edge;
+    Md_phantom_match;
+    Merge_rogue_pair;
+  ]
 
 let fault_to_string = function
   | No_fault -> "none"
   | Broken_blocking_key -> "broken-blocking-key"
   | Drop_last_pair -> "drop-last-pair"
   | Lost_insert -> "lost-insert"
+  | Kdb_lost_edge -> "kdb-lost-edge"
+  | Md_phantom_match -> "md-phantom-match"
+  | Merge_rogue_pair -> "merge-rogue-pair"
 
 let fault_of_string s =
   List.find_opt (fun f -> String.equal (fault_to_string f) s) all_faults
 
-type discrepancy = { check : string; detail : string }
+type discrepancy = { check : string; family : string; detail : string }
 
-let pp_discrepancy ppf d = Format.fprintf ppf "[%s] %s" d.check d.detail
+let pp_discrepancy ppf d =
+  if d.family = "" || d.family = "restaurant" then
+    Format.fprintf ppf "[%s] %s" d.check d.detail
+  else Format.fprintf ppf "[%s/%s] %s" d.family d.check d.detail
 
-let fail check fmt = Format.kasprintf (fun detail -> Error { check; detail }) fmt
+let fail check fmt =
+  Format.kasprintf (fun detail -> Error { check; family = ""; detail }) fmt
+
 let ( let* ) = Result.bind
 
 (* Entry-set plumbing. Matching-table entries are compared as sorted
@@ -354,7 +378,7 @@ let check_incremental ~fault (sc : Scenario.t) ~engine_entries =
   let skip =
     match fault with
     | Lost_insert -> fun i -> i mod 7 = 6
-    | No_fault | Broken_blocking_key | Drop_last_pair -> fun _ -> false
+    | _ -> fun _ -> false
   in
   let inc = replay ~skip sc in
   entry_sets_equal "incremental-replay" ~left:"incremental" ~right:"batch"
@@ -363,8 +387,26 @@ let check_incremental ~fault (sc : Scenario.t) ~engine_entries =
 
 let check_store (sc : Scenario.t) ~base_entries =
   Result.map_error
-    (fun detail -> { check = "store-recovery"; detail })
+    (fun detail -> { check = "store-recovery"; family = ""; detail })
     (Store_oracle.check sc ~base_entries)
+
+(* The family-specific reference oracle (k-database closure, MD
+   fixpoint, merge policies). Family faults perturb inputs {e inside}
+   the family check, so the caught check carries the family's name and
+   the shrinker preserves the family along with it. *)
+let check_family ~fault ~telemetry (sc : Scenario.t) (base : Identify.outcome)
+    =
+  let family_fault =
+    match fault with
+    | Kdb_lost_edge -> Families.Lost_edge
+    | Md_phantom_match -> Families.Phantom_match
+    | Merge_rogue_pair -> Families.Rogue_pair
+    | No_fault | Broken_blocking_key | Drop_last_pair | Lost_insert ->
+        Families.No_fault
+  in
+  Result.map_error
+    (fun (check, detail) -> { check; family = ""; detail })
+    (Families.check ~fault:family_fault ~telemetry sc base)
 
 let check_cluster (sc : Scenario.t) (base : Identify.outcome) =
   let cr = Cluster.integrate ~key:sc.key sc.ilfds [ ("r", sc.r); ("s", sc.s) ] in
@@ -518,49 +560,61 @@ let check_relabel (sc : Scenario.t) ~base_entries =
     base_entries
 
 let run ?(fault = No_fault) ?(telemetry = Telemetry.off) (sc : Scenario.t) =
-  try
-    Telemetry.span telemetry "checker.oracle" @@ fun () ->
-    let base : Identify.outcome =
-      Identify.run ~r:sc.r ~s:sc.s ~key:sc.key sc.ilfds
-    in
-    let base_entries = MT.entries base.matching_table in
-    (* The fault perturbs "the engine's answer"; the checks then hold it
-       against the untouched reference paths. *)
-    let engine_entries =
-      match fault with
-      | Broken_blocking_key -> weak_join sc base
-      | Drop_last_pair -> (
-          match List.rev base_entries with
-          | [] -> []
-          | _ :: t -> List.rev t)
-      | No_fault | Lost_insert -> base_entries
-    in
-    let mt =
-      MT.make
-        ~r_key_attrs:(R.Relation.primary_key sc.r)
-        ~s_key_attrs:(R.Relation.primary_key sc.s)
-        engine_entries
-    in
-    let* () = check_fixpoint sc base in
-    let* () =
-      entry_sets_equal "verdict-tables" ~left:"engine" ~right:"reference"
-        engine_entries (reference_entries sc)
-    in
-    let* () = check_partition sc base in
-    let* () = check_jobs sc base in
-    let* () = check_shards sc base in
-    let* () = check_stream sc base in
-    let* () = check_partition_stream sc base in
-    let* () = check_rules sc ~engine_entries in
-    let* () = check_incremental ~fault sc ~engine_entries in
-    let* () = check_store sc ~base_entries in
-    let* () = check_cluster sc base in
-    let* () = if sc.corruption.check_conflicts then check_conflicts sc else Ok () in
-    let* () = if sc.strict then check_uniqueness base mt else Ok () in
-    let* () = if sc.strict then check_consistency sc base mt else Ok () in
-    let* () = if sc.strict then check_soundness sc mt else Ok () in
-    let* () = check_mono_ilfds sc ~base_entries in
-    let* () = check_mono_tuples sc ~base_entries in
-    let* () = check_permutation sc ~base_entries in
-    check_relabel sc ~base_entries
-  with e -> Error { check = "exception"; detail = Printexc.to_string e }
+  let result =
+    try
+      Telemetry.span telemetry "checker.oracle" @@ fun () ->
+      let base : Identify.outcome =
+        Identify.run ~r:sc.r ~s:sc.s ~key:sc.key sc.ilfds
+      in
+      let base_entries = MT.entries base.matching_table in
+      (* The fault perturbs "the engine's answer"; the checks then hold it
+         against the untouched reference paths. *)
+      let engine_entries =
+        match fault with
+        | Broken_blocking_key -> weak_join sc base
+        | Drop_last_pair -> (
+            match List.rev base_entries with
+            | [] -> []
+            | _ :: t -> List.rev t)
+        | No_fault | Lost_insert | Kdb_lost_edge | Md_phantom_match
+        | Merge_rogue_pair ->
+            base_entries
+      in
+      let mt =
+        MT.make
+          ~r_key_attrs:(R.Relation.primary_key sc.r)
+          ~s_key_attrs:(R.Relation.primary_key sc.s)
+          engine_entries
+      in
+      let* () = check_fixpoint sc base in
+      let* () =
+        entry_sets_equal "verdict-tables" ~left:"engine" ~right:"reference"
+          engine_entries (reference_entries sc)
+      in
+      let* () = check_partition sc base in
+      let* () = check_jobs sc base in
+      let* () = check_shards sc base in
+      let* () = check_stream sc base in
+      let* () = check_partition_stream sc base in
+      let* () = check_rules sc ~engine_entries in
+      let* () = check_incremental ~fault sc ~engine_entries in
+      let* () = check_store sc ~base_entries in
+      let* () = check_cluster sc base in
+      let* () = check_family ~fault ~telemetry sc base in
+      let* () = if sc.corruption.check_conflicts then check_conflicts sc else Ok () in
+      let* () = if sc.strict then check_uniqueness base mt else Ok () in
+      let* () = if sc.strict then check_consistency sc base mt else Ok () in
+      let* () = if sc.strict then check_soundness sc mt else Ok () in
+      let* () = check_mono_ilfds sc ~base_entries in
+      let* () = check_mono_tuples sc ~base_entries in
+      let* () = check_permutation sc ~base_entries in
+      check_relabel sc ~base_entries
+    with e ->
+      Error { check = "exception"; family = ""; detail = Printexc.to_string e }
+  in
+  (* Stamp every discrepancy with the scenario's family: the shrinker
+     preserves (family, check), so a kdb counterexample cannot shrink
+     into a degenerate instance failing some other family's way. *)
+  Result.map_error
+    (fun d -> { d with family = Scenario.kind_to_string (Scenario.kind_of sc) })
+    result

@@ -30,6 +30,15 @@ type fault =
       (** the engine's matching table silently loses its last entry *)
   | Lost_insert
       (** the incremental replay drops every 7th insertion *)
+  | Kdb_lost_edge
+      (** a kdb scenario's last pairwise verdict edge is dropped before
+          the transitive closure ({!Families.fault}[.Lost_edge]) *)
+  | Md_phantom_match
+      (** an md scenario's one-shot match set gains a pair outside the
+          MD fixpoint ({!Families.fault}[.Phantom_match]) *)
+  | Merge_rogue_pair
+      (** a merge-policy scenario's MT gains a pair from two distinct
+          merge-then-rematch groups ({!Families.fault}[.Rogue_pair]) *)
 
 val all_faults : fault list
 val fault_to_string : fault -> string
@@ -37,6 +46,9 @@ val fault_of_string : string -> fault option
 
 type discrepancy = {
   check : string;  (** stable check name, e.g. ["verdict-tables"] *)
+  family : string;
+      (** the failing scenario's {!Scenario.kind_to_string} name; the
+          shrinker preserves the (family, check) pair *)
   detail : string;  (** human-readable evidence *)
 }
 

@@ -12,6 +12,35 @@ type corruption = {
   check_conflicts : bool;
 }
 
+type kind = Restaurant | Kdb | Md | Merge_policy
+
+let all_kinds = [ Restaurant; Kdb; Md; Merge_policy ]
+
+let kind_to_string = function
+  | Restaurant -> "restaurant"
+  | Kdb -> "kdb"
+  | Md -> "md"
+  | Merge_policy -> "merge-policy"
+
+(* Telemetry counter segment: dots and dashes would split or jar against
+   the existing dotted counter names. *)
+let kind_slug = function
+  | Restaurant -> "restaurant"
+  | Kdb -> "kdb"
+  | Md -> "md"
+  | Merge_policy -> "merge_policy"
+
+let kind_of_string s =
+  List.find_opt (fun k -> String.equal (kind_to_string k) s) all_kinds
+
+type md_dep = { lhs : string list; rhs : string list }
+
+type family =
+  | F_restaurant
+  | F_kdb of { others : (string * R.Relation.t) list }
+  | F_md of { deps : md_dep list }
+  | F_merge of { anchor : string }
+
 type t = {
   seed : int;
   config : Restaurant.config;
@@ -22,7 +51,22 @@ type t = {
   ilfds : Ilfd.t list;
   truth : Entity_id.Matching_table.entry list;
   strict : bool;
+  family : family;
 }
+
+let kind_of t =
+  match t.family with
+  | F_restaurant -> Restaurant
+  | F_kdb _ -> Kdb
+  | F_md _ -> Md
+  | F_merge _ -> Merge_policy
+
+let kdb_others t = match t.family with F_kdb { others } -> others | _ -> []
+
+let with_kdb_others t others =
+  match t.family with
+  | F_kdb _ -> { t with family = F_kdb { others } }
+  | _ -> invalid_arg "Scenario.with_kdb_others: not a kdb scenario"
 
 (* Swap speciality and county inside selected S tuples. The two value
    pools are disjoint, so a swapped key (name, county-value) cannot
@@ -171,15 +215,52 @@ let generate ~seed =
     ilfds;
     truth = inst.truth;
     strict = (not corruption.weak_key) && corruption.conflict_rules = 0;
+    family = F_restaurant;
   }
 
 let with_instance t ~r ~s ~ilfds = { t with r; s; ilfds }
 
-let size t = R.Relation.cardinality t.r + R.Relation.cardinality t.s
+let size t =
+  R.Relation.cardinality t.r + R.Relation.cardinality t.s
+  + List.fold_left
+      (fun n (_, rel) -> n + R.Relation.cardinality rel)
+      0 (kdb_others t)
+
+let pp_family ppf t =
+  match t.family with
+  | F_restaurant -> ()
+  | F_kdb { others } ->
+      Format.fprintf ppf "  family: kdb (%d databases)@,"
+        (2 + List.length others);
+      List.iter
+        (fun (name, rel) ->
+          Format.fprintf ppf "%s@,"
+            (R.Pretty.render
+               ~title:(Printf.sprintf "%s (%d tuples)" name
+                         (R.Relation.cardinality rel))
+               rel))
+        others
+  | F_md { deps } ->
+      Format.fprintf ppf "  family: md; matching dependencies (%d):@,"
+        (List.length deps);
+      List.iter
+        (fun d ->
+          Format.fprintf ppf "    %s ~> %s@,"
+            (String.concat "," d.lhs)
+            (String.concat "," d.rhs))
+        deps
+  | F_merge { anchor } ->
+      Format.fprintf ppf "  family: merge-policy (anchor %s)@," anchor
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>scenario seed=%d (replay: check --seed %d --scenarios 1)@," t.seed
-    t.seed;
+  let family_flag =
+    match kind_of t with
+    | Restaurant -> ""
+    | k -> Printf.sprintf " --family %s" (kind_to_string k)
+  in
+  Format.fprintf ppf
+    "@[<v>scenario seed=%d (replay: check%s --seed %d --scenarios 1)@," t.seed
+    family_flag t.seed;
   Format.fprintf ppf
     "  base: entities=%d r_cov=%.2f s_cov=%.2f homonym=%.2f null_street=%.2f \
      typo=%.2f ilfd_cov=(%.2f,%.2f,%.2f)@,"
@@ -192,6 +273,7 @@ let pp ppf t =
      swap_rate=%.2f check_conflicts=%b strict=%b@,"
     t.corruption.weak_key t.corruption.conflict_rules t.corruption.duplicates
     t.corruption.swap_rate t.corruption.check_conflicts t.strict;
+  pp_family ppf t;
   Format.fprintf ppf "  extended key: %a@," Entity_id.Extended_key.pp t.key;
   Format.fprintf ppf "%s@,"
     (R.Pretty.render ~title:(Printf.sprintf "R (%d tuples)"

@@ -32,6 +32,42 @@ type corruption = {
           scenario *)
 }
 
+(** The scenario family — which workload generated the instance and which
+    family-specific oracle applies to it. Every family also goes through
+    the full differential check matrix; the payload carries only what the
+    family's own oracle needs beyond the common [r]/[s]/[ilfds] fields. *)
+
+(** CLI-facing family names ([--family NAME], corpus family column). *)
+type kind = Restaurant | Kdb | Md | Merge_policy
+
+val all_kinds : kind list
+
+(** ["restaurant"], ["kdb"], ["md"], ["merge-policy"]. *)
+val kind_to_string : kind -> string
+
+(** Like {!kind_to_string} but safe inside dotted telemetry counter
+    names: ["merge_policy"] instead of ["merge-policy"]. *)
+val kind_slug : kind -> string
+
+val kind_of_string : string -> kind option
+
+(** A matching dependency: when two tuples agree (non-NULL) on every
+    [lhs] attribute, their [rhs] attribute values are identified — NULLs
+    fill from the partner until a fixpoint. All attributes must belong to
+    the scenario's extended key. *)
+type md_dep = { lhs : string list; rhs : string list }
+
+type family =
+  | F_restaurant
+  | F_kdb of { others : (string * Relational.Relation.t) list }
+      (** databases beyond [r] and [s]; the full k-database instance is
+          [("r", r) :: ("s", s) :: others] *)
+  | F_md of { deps : md_dep list }
+  | F_merge of { anchor : string }
+      (** merge-then-rematch may union two partial entities whenever
+          they agree non-NULL on [anchor] and conflict nowhere on the
+          extended key *)
+
 type t = {
   seed : int;
   config : Workload.Restaurant.config;  (** base-instance parameters *)
@@ -46,10 +82,22 @@ type t = {
   strict : bool;
       (** uniqueness, MT/NMT consistency and soundness-vs-truth are
           expected to hold (no weak key, no conflict rules) *)
+  family : family;
 }
 
-(** [generate ~seed] — the scenario for this seed. Deterministic: equal
-    seeds yield structurally equal scenarios. *)
+val kind_of : t -> kind
+
+(** The extra databases of a kdb scenario ([[]] for other families). *)
+val kdb_others : t -> (string * Relational.Relation.t) list
+
+(** [with_kdb_others t others] — [t] with the extra databases replaced
+    (the shrinker's rebuild step for family (a)).
+    @raise Invalid_argument when [t] is not a kdb scenario. *)
+val with_kdb_others : t -> (string * Relational.Relation.t) list -> t
+
+(** [generate ~seed] — the restaurant-family scenario for this seed.
+    Deterministic: equal seeds yield structurally equal scenarios. Other
+    families generate through {!Families.generate}. *)
 val generate : seed:int -> t
 
 (** [with_instance t ~r ~s ~ilfds] — [t] with a reduced instance
@@ -62,7 +110,8 @@ val with_instance :
   ilfds:Ilfd.t list ->
   t
 
-(** [size t] — [|R| + |S|], the tuple count minimisation is measured on. *)
+(** [size t] — [|R| + |S|] plus every kdb extra database's cardinality:
+    the tuple count minimisation is measured on. *)
 val size : t -> int
 
 (** [pp] — a replayable dump: the seed, the drawn configuration, both

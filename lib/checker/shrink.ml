@@ -12,11 +12,17 @@ let rebuild rel rows =
 let minimise ?(fault = Oracle.No_fault) ?(telemetry = Telemetry.off) sc0
     (d0 : Oracle.discrepancy) =
   let attempts = ref 0 and kept = ref 0 in
+  (* A removal is kept only when the oracle still fails the same check
+     in the same family — without the family guard, a kdb witness could
+     degrade into a scenario failing a generic check for an unrelated
+     reason and pass for the wrong one. *)
   let still_fails (sc : Scenario.t) =
     incr attempts;
     Telemetry.incr telemetry "checker.shrink.attempts";
     match Oracle.run ~fault sc with
-    | Error d when String.equal d.Oracle.check d0.check ->
+    | Error d
+      when String.equal d.Oracle.check d0.check
+           && String.equal d.Oracle.family d0.family ->
         incr kept;
         Telemetry.incr telemetry "checker.shrink.kept";
         Some d
@@ -54,12 +60,46 @@ let minimise ?(fault = Oracle.No_fault) ?(telemetry = Telemetry.off) sc0
       (fun (sc : Scenario.t) ilfds ->
         Scenario.with_instance sc ~r:sc.r ~s:sc.s ~ilfds)
   in
+  (* kdb extra databases: scan each database's tuples, then try dropping
+     whole databases — but never below one extra (k stays > 2), so the
+     minimal witness remains a k-database instance. *)
+  let shrink_other_tuples idx =
+    scan
+      (fun sc -> R.Relation.tuples (snd (List.nth (Scenario.kdb_others sc) idx)))
+      (fun sc rows ->
+        Scenario.with_kdb_others sc
+          (List.mapi
+             (fun i (name, rel) ->
+               if i = idx then (name, rebuild rel rows) else (name, rel))
+             (Scenario.kdb_others sc)))
+  in
+  let shrink_others (sc, d) =
+    match (sc : Scenario.t).family with
+    | F_restaurant | F_md _ | F_merge _ -> (sc, d)
+    | F_kdb _ ->
+        let rec tuple_pass (sc, d) idx =
+          if idx >= List.length (Scenario.kdb_others sc) then (sc, d)
+          else tuple_pass (shrink_other_tuples idx (sc, d)) (idx + 1)
+        in
+        let rec drop_pass (sc, d) idx =
+          let others = Scenario.kdb_others sc in
+          if idx >= List.length others || List.length others <= 1 then (sc, d)
+          else
+            let candidate =
+              Scenario.with_kdb_others sc (remove_nth idx others)
+            in
+            match still_fails candidate with
+            | Some d' -> drop_pass (candidate, d') idx
+            | None -> drop_pass (sc, d) (idx + 1)
+        in
+        drop_pass (tuple_pass (sc, d) 0) 0
+  in
   let measure (sc : Scenario.t) = Scenario.size sc + List.length sc.ilfds in
   (* Sweep to a fixpoint: removing an ILFD can unlock tuple removals and
      vice versa. *)
   let rec fix (sc, d) =
     let before = measure sc in
-    let sc, d = shrink_ilfds (shrink_s (shrink_r (sc, d))) in
+    let sc, d = shrink_others (shrink_ilfds (shrink_s (shrink_r (sc, d)))) in
     if measure sc < before then fix (sc, d) else (sc, d)
   in
   let sc, d = fix (sc0, d0) in

@@ -1,12 +1,15 @@
 (** Greedy minimal-counterexample shrinking.
 
     Given a scenario the oracle rejects, repeatedly drop single R
-    tuples, S tuples and ILFDs — keeping a removal whenever the oracle
-    {e still} fails with the same check name — until a full sweep
+    tuples, S tuples, ILFDs, and — on kdb scenarios — extra-database
+    tuples and whole extra databases (never below one, so the witness
+    stays k>2) — keeping a removal whenever the oracle {e still} fails
+    with the same check name {e in the same family} — until a full sweep
     removes nothing. The result is 1-minimal: removing any one remaining
     component makes the discrepancy disappear (or mutate into a
-    different check, which counts as disappearing — the shrinker
-    preserves the failure's identity, not just failure itself). *)
+    different check or family, which counts as disappearing — the
+    shrinker preserves the failure's identity, not just failure
+    itself). *)
 
 type stats = {
   attempts : int;  (** oracle runs spent probing removals *)

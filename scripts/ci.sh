@@ -25,18 +25,55 @@ dune exec test/test_telemetry.exe
 #    (and prints a shrunk, replayable scenario dump).
 dune exec bin/entity_ident.exe -- check --seed 1 --scenarios 200
 
-# 2. Corpus replay: seeds that once exposed a bug stay green forever.
-#    To add one, copy the seed from a counterexample's replay line into
-#    test/corpus/regression-seeds.txt (see the comment header there).
+# 2. Workload-family soaks: 50 fixed-seed scenarios per family through
+#    each family's reference oracle (k-database closure agreement,
+#    matching-dependency fixpoint containment, merge-policy
+#    containment) on top of the full differential matrix.
+for fam in kdb md merge-policy; do
+  dune exec bin/entity_ident.exe -- soak --family "$fam" \
+    --seed 1 --scenarios 50
+done
+
+# 3. Corpus replay: seeds that once exposed a bug stay green forever.
+#    To add one, copy the seed (and family) from a counterexample's
+#    replay line into test/corpus/regression-seeds.txt (see the comment
+#    header there).
 dune exec bin/entity_ident.exe -- check --scenarios 0 \
   --corpus test/corpus/regression-seeds.txt
 
-# 3. Mutation sanity: a deliberately broken engine variant MUST be
-#    caught — if the harness waves the broken blocking key through, the
-#    harness itself has rotted, so invert the exit code.
-if dune exec bin/entity_ident.exe -- check --seed 1 --scenarios 10 \
-    --fault broken-blocking-key > /dev/null 2>&1; then
-  echo "CI: checker failed to catch the seeded blocking-key fault" >&2
+# 4. Mutation sanity: a deliberately broken engine variant MUST be
+#    caught — if the harness waves a seeded fault through, the harness
+#    itself has rotted, so invert the exit code. One fault per oracle:
+#    the generic engine matrix plus each family's own.
+for mutation in "broken-blocking-key " "kdb-lost-edge --family kdb" \
+    "md-phantom-match --family md" \
+    "merge-rogue-pair --family merge-policy"; do
+  fault=${mutation%% *}
+  family_flag=${mutation#* }
+  # shellcheck disable=SC2086
+  if dune exec bin/entity_ident.exe -- check --seed 1 --scenarios 10 \
+      --fault "$fault" $family_flag > /dev/null 2>&1; then
+    echo "CI: checker failed to catch the seeded $fault fault" >&2
+    exit 1
+  fi
+done
+
+# 5. CLI flag hygiene: an unknown family (or any unknown flag) must be
+#    a typed usage error, never a silent fall-through to the default
+#    workload.
+if dune exec bin/entity_ident.exe -- check --family no-such-family \
+    > /dev/null 2>&1; then
+  echo "CI: --family accepted an unknown family name" >&2
+  exit 1
+fi
+dune exec bin/entity_ident.exe -- check --family no-such-family 2>&1 \
+  | grep -q "unknown scenario family" || {
+  echo "CI: unknown --family error does not name the problem" >&2
+  exit 1
+}
+if dune exec bin/entity_ident.exe -- soak --no-such-flag \
+    > /dev/null 2>&1; then
+  echo "CI: soak accepted an unknown flag" >&2
   exit 1
 fi
 

@@ -66,7 +66,7 @@ let fault_tests =
           (C.Oracle.fault_of_string "no-such-fault" = None));
   ]
 
-let seeds ~from n = C.Harness.seed_range ~seed:from ~scenarios:n
+let seeds ~from n = C.Harness.seed_range ~seed:from ~scenarios:n ()
 
 let oracle_tests =
   [
@@ -131,6 +131,9 @@ let oracle_tests =
         Alcotest.(check int) "5 callbacks" 5 !calls);
   ]
 
+(* Render (family, seed) entries for list-equality checks. *)
+let entry (k, s) = Printf.sprintf "%s:%d" (C.Scenario.kind_to_string k) s
+
 let corpus_tests =
   [
     case "corpus loads ints, comments, blanks" (fun () ->
@@ -139,8 +142,49 @@ let corpus_tests =
         output_string oc "# regression seeds\n1\n\n42   \n# trailing\n7\n";
         close_out oc;
         (match C.Harness.load_corpus path with
-        | Ok seeds -> Alcotest.(check (list int)) "" [ 1; 42; 7 ] seeds
+        | Ok seeds ->
+            Alcotest.(check (list string))
+              ""
+              [ "restaurant:1"; "restaurant:42"; "restaurant:7" ]
+              (List.map entry seeds)
         | Error e -> Alcotest.fail e);
+        Sys.remove path);
+    case "corpus loads mixed-family lines, old lines keep parsing" (fun () ->
+        let path = Filename.concat (Sys.getcwd ()) "corpus_mixed.txt" in
+        let oc = open_out path in
+        output_string oc
+          "# mixed families\n1\n5 kdb\n9 md\n2 merge-policy\n3 restaurant\n";
+        close_out oc;
+        (match C.Harness.load_corpus path with
+        | Ok seeds ->
+            Alcotest.(check (list string))
+              ""
+              [ "restaurant:1"; "kdb:5"; "md:9"; "merge-policy:2";
+                "restaurant:3" ]
+              (List.map entry seeds)
+        | Error e -> Alcotest.fail e);
+        Sys.remove path);
+    case "corpus rejects unknown family names" (fun () ->
+        let path = Filename.concat (Sys.getcwd ()) "corpus_badfam.txt" in
+        let oc = open_out path in
+        output_string oc "1\n2 no-such-family\n";
+        close_out oc;
+        (match C.Harness.load_corpus path with
+        | Ok _ -> Alcotest.fail "must reject"
+        | Error e ->
+            let contains needle hay =
+              let nl = String.length needle and hl = String.length hay in
+              let rec scan i =
+                i + nl <= hl
+                && (String.sub hay i nl = needle || scan (i + 1))
+              in
+              scan 0
+            in
+            Alcotest.(check bool) "names line 2" true (contains ":2:" e);
+            Alcotest.(check bool) "names the family" true
+              (contains "no-such-family" e);
+            Alcotest.(check bool) "lists valid names" true
+              (contains "merge-policy" e));
         Sys.remove path);
     case "malformed corpus reports the line" (fun () ->
         let path = Filename.concat (Sys.getcwd ()) "corpus_bad.txt" in
@@ -167,7 +211,7 @@ let corpus_tests =
     case "corpus seeds replay clean on unmodified engines" (fun () ->
         let path = Filename.concat (Sys.getcwd ()) "corpus_replay.txt" in
         let oc = open_out path in
-        output_string oc "1\n3\n";
+        output_string oc "1\n3\n1 kdb\n1 md\n1 merge-policy\n";
         close_out oc;
         (match C.Harness.load_corpus path with
         | Ok seeds ->

@@ -76,6 +76,32 @@ let verify_tests =
         in
         Alcotest.(check bool) "report says unsound" true
           (contains "unsound" rendered));
+    case "a matched-pair chain witnesses both uniqueness classes" (fun () ->
+        (* a~1, b~1, b~2 — transitivity would force a~2, which the table
+           omits; the analyser must surface the chain as one violation on
+           each side rather than silently accepting a non-transitive
+           verdict table. *)
+        let table = mt [ entry "a" "1"; entry "b" "1"; entry "b" "2" ] in
+        let report = E.Verify.check table in
+        Alcotest.(check bool) "unsound" false
+          (E.Verify.is_sound_wrt_constraints report);
+        let has_r =
+          List.exists
+            (function
+              | E.Matching_table.R_tuple_matched_twice { r_key; _ } ->
+                  key_value r_key = "b"
+              | _ -> false)
+            report.uniqueness
+        and has_s =
+          List.exists
+            (function
+              | E.Matching_table.S_tuple_matched_twice { s_key; _ } ->
+                  key_value s_key = "1"
+              | _ -> false)
+            report.uniqueness
+        in
+        Alcotest.(check bool) "R-side witness on b" true has_r;
+        Alcotest.(check bool) "S-side witness on 1" true has_s);
     case "against_truth counts every quadrant" (fun () ->
         let table = mt [ entry "a" "1"; entry "b" "2" ] in
         let negative = mt [ entry "d" "4"; entry "c" "3" ] in
@@ -208,6 +234,48 @@ let cluster_tests =
               (V.is_null
                  (R.Tuple.get (R.Relation.schema a) m.tuple "k"))
         | _ -> Alcotest.fail "one undetermined member expected"));
+    case "three databases close a 3-cycle into one cluster" (fun () ->
+        (* One entity present in k=3 databases: pairwise matching yields
+           the 3-cycle a~b, b~c, a~c, and the k-ary clustering must
+           report exactly one 3-member cluster — every unordered pair
+           co-clustered, no member dropped from the cycle. *)
+        let mk name k = (name, relation [ "k" ] [] [ [ k ] ]) in
+        let key = E.Extended_key.make [ "k" ] in
+        let result =
+          E.Cluster.integrate ~key []
+            [ mk "a" "e1"; mk "b" "e1"; mk "c" "e1" ]
+        in
+        (match result.clusters with
+        | [ c ] ->
+            Alcotest.(check (list string))
+              "all three databases in the cycle" [ "a"; "b"; "c" ]
+              (List.sort compare
+                 (List.map (fun (m : E.Cluster.member) -> m.db) c.members))
+        | _ -> Alcotest.fail "one cluster expected");
+        Alcotest.(check int) "no violations" 0
+          (List.length result.violations));
+    case "NULL key in only one of k databases stays local" (fun () ->
+        (* The NULL-keyed tuple lives in db c alone; a and b still agree
+           pairwise and must cluster, while c's tuple is undetermined —
+           NULL never joins a cluster through the other databases. *)
+        let schema = R.Schema.of_names [ "k" ] in
+        let a = R.Relation.create schema [ [ v "e1" ] ] in
+        let b = R.Relation.create schema [ [ v "e1" ] ] in
+        let c = R.Relation.create schema [ [ V.Null ] ] in
+        let key = E.Extended_key.make [ "k" ] in
+        let result =
+          E.Cluster.integrate ~key [] [ ("a", a); ("b", b); ("c", c) ]
+        in
+        (match result.clusters with
+        | [ cl ] ->
+            Alcotest.(check (list string))
+              "a and b cluster without c" [ "a"; "b" ]
+              (List.sort compare
+                 (List.map (fun (m : E.Cluster.member) -> m.db) cl.members))
+        | _ -> Alcotest.fail "one cluster expected");
+        match result.undetermined with
+        | [ m ] -> Alcotest.(check string) "c's tuple undetermined" "c" m.db
+        | _ -> Alcotest.fail "one undetermined member expected");
     case "duplicate database names raise Invalid_argument" (fun () ->
         let a = relation [ "k" ] [] [ [ "e1" ] ] in
         let key = E.Extended_key.make [ "k" ] in

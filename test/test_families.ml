@@ -1,0 +1,376 @@
+(* The workload families and their reference oracles: seeded generation
+   determinism, clean sweeps per family, handcrafted fixtures exercising
+   each family oracle's contract directly, and the per-family mutation
+   sanity bar (every injected fault caught and shrunk small, with the
+   family preserved through shrinking). *)
+
+module C = Checker
+module R = Relational
+module V = R.Value
+module E = Entity_id
+
+let case name f = Alcotest.test_case name `Quick f
+
+let dump sc = Format.asprintf "%a" C.Scenario.pp sc
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i =
+    i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let new_kinds = [ C.Scenario.Kdb; C.Scenario.Md; C.Scenario.Merge_policy ]
+
+let seeds ?family ~from n =
+  C.Harness.seed_range ?family ~seed:from ~scenarios:n ()
+
+let kind_tests =
+  [
+    case "kind names round-trip" (fun () ->
+        List.iter
+          (fun k ->
+            let name = C.Scenario.kind_to_string k in
+            Alcotest.(check bool) name true
+              (C.Scenario.kind_of_string name = Some k))
+          C.Scenario.all_kinds;
+        Alcotest.(check bool) "unknown rejected" true
+          (C.Scenario.kind_of_string "no-such-family" = None));
+    case "telemetry slugs avoid dashes" (fun () ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool)
+              (C.Scenario.kind_slug k)
+              false
+              (String.contains (C.Scenario.kind_slug k) '-'))
+          C.Scenario.all_kinds);
+    case "restaurant generation is unchanged by the dispatch" (fun () ->
+        Alcotest.(check string)
+          "same scenario"
+          (dump (C.Scenario.generate ~seed:9))
+          (dump (C.Families.generate C.Scenario.Restaurant ~seed:9)));
+    case "equal seeds replay within every family" (fun () ->
+        List.iter
+          (fun kind ->
+            let a = C.Families.generate kind ~seed:11
+            and b = C.Families.generate kind ~seed:11 in
+            Alcotest.(check string)
+              (C.Scenario.kind_to_string kind)
+              (dump a) (dump b))
+          new_kinds);
+    case "generated scenarios carry their kind" (fun () ->
+        List.iter
+          (fun kind ->
+            let sc = C.Families.generate kind ~seed:3 in
+            Alcotest.(check string)
+              "kind_of"
+              (C.Scenario.kind_to_string kind)
+              (C.Scenario.kind_to_string (C.Scenario.kind_of sc)))
+          C.Scenario.all_kinds);
+    case "kdb scenarios hold more than two databases" (fun () ->
+        List.iter
+          (fun seed ->
+            let sc = C.Families.generate C.Scenario.Kdb ~seed in
+            Alcotest.(check bool) "k > 2" true
+              (List.length (C.Scenario.kdb_others sc) >= 1))
+          [ 1; 2; 3; 4; 5 ]);
+    case "dump embeds the family replay flag" (fun () ->
+        let sc = C.Families.generate C.Scenario.Kdb ~seed:17 in
+        Alcotest.(check bool) "kdb flag" true
+          (contains "check --family kdb --seed 17 --scenarios 1" (dump sc));
+        let sc = C.Families.generate C.Scenario.Merge_policy ~seed:4 in
+        Alcotest.(check bool) "merge-policy flag" true
+          (contains "--family merge-policy" (dump sc)));
+  ]
+
+let sweep_tests =
+  List.map
+    (fun kind ->
+      let name = C.Scenario.kind_to_string kind in
+      case
+        (Printf.sprintf "%s family passes a fixed-seed sweep" name)
+        (fun () ->
+          let telemetry = Telemetry.create () in
+          let outcome =
+            C.Harness.run ~telemetry ~seeds:(seeds ~family:kind ~from:1 8) ()
+          in
+          Alcotest.(check bool) "no counterexamples" true
+            (C.Harness.ok outcome);
+          Alcotest.(check int)
+            "family scenario counter charged"
+            8
+            (Telemetry.counter telemetry
+               (Printf.sprintf "checker.family.%s.scenarios"
+                  (C.Scenario.kind_slug kind)))))
+    new_kinds
+
+(* ---- handcrafted fixtures against the family oracles directly ---- *)
+
+let rel names keys rows =
+  R.Relation.create (R.Schema.of_names names) ~keys rows
+
+let kattrs = [ "name"; "cuisine"; "speciality" ]
+
+let v = V.string
+
+(* A scenario shell around handcrafted relations: the generated seed-1
+   scenario donates its config record, everything observable is
+   replaced. *)
+let shell kind ~r ~s ~ilfds ~family =
+  let sc = C.Families.generate kind ~seed:1 in
+  {
+    sc with
+    C.Scenario.r;
+    s;
+    key = E.Extended_key.make kattrs;
+    ilfds;
+    truth = [];
+    strict = false;
+    family;
+  }
+
+let outcome (sc : C.Scenario.t) =
+  E.Identify.run ~r:sc.C.Scenario.r ~s:sc.C.Scenario.s ~key:sc.C.Scenario.key
+    sc.C.Scenario.ilfds
+
+let md_fixture () =
+  (* R holds (A, Chinese, NULL) underivable; S holds (A, NULL, Hunan),
+     whose cuisine the ILFD derives. One-shot matching finds nothing
+     (speciality disagrees through NULL); the dependency name ~>
+     speciality fills R's NULL from S and enables the match. *)
+  let r =
+    rel kattrs [ [ "name" ] ] [ [ v "A"; v "Chinese"; V.null ] ]
+  and s =
+    rel kattrs [ [ "name" ] ]
+      [ [ v "A"; V.null; v "Hunan" ]; [ v "B"; v "Greek"; v "Gyros" ] ]
+  and ilfds = [ Ilfd.parse "speciality = Hunan -> cuisine = Chinese" ] in
+  let family =
+    C.Scenario.F_md
+      { deps = [ { C.Scenario.lhs = [ "name" ]; rhs = [ "speciality" ] } ] }
+  in
+  shell C.Scenario.Md ~r ~s ~ilfds ~family
+
+let md_tests =
+  [
+    case "NULL repair induces a classified fixpoint match" (fun () ->
+        let sc = md_fixture () in
+        let telemetry = Telemetry.create () in
+        (match C.Families.check ~telemetry sc (outcome sc) with
+        | Ok () -> ()
+        | Error (check, detail) ->
+            Alcotest.fail (Printf.sprintf "%s: %s" check detail));
+        Alcotest.(check int) "no one-shot match" 0
+          (Telemetry.counter telemetry "checker.family.md.one_shot");
+        Alcotest.(check int) "one induced match, classified" 1
+          (Telemetry.counter telemetry "checker.family.md.induced"));
+    case "phantom one-shot match fails the containment" (fun () ->
+        let sc = md_fixture () in
+        match
+          C.Families.check ~fault:C.Families.Phantom_match sc (outcome sc)
+        with
+        | Error ("md-fixpoint", _) -> ()
+        | Error (check, _) ->
+            Alcotest.fail (Printf.sprintf "wrong check %s" check)
+        | Ok () -> Alcotest.fail "phantom must be caught");
+    case "dependencies outside the extended key are rejected" (fun () ->
+        let sc = md_fixture () in
+        let sc =
+          {
+            sc with
+            C.Scenario.family =
+              C.Scenario.F_md
+                { deps = [ { C.Scenario.lhs = [ "manager" ]; rhs = [] } ] };
+          }
+        in
+        match C.Families.check sc (outcome sc) with
+        | Error ("md-fixpoint", detail) ->
+            Alcotest.(check bool) "names the attribute" true
+              (contains "manager" detail)
+        | Error (check, _) ->
+            Alcotest.fail (Printf.sprintf "wrong check %s" check)
+        | Ok () -> Alcotest.fail "must reject");
+  ]
+
+let merge_fixture ~null_free =
+  let r_rows, s_rows =
+    if null_free then
+      ( [ [ v "A"; v "Chinese"; v "Hunan" ] ],
+        [ [ v "A"; v "Chinese"; v "Hunan" ];
+          [ v "B"; v "Szechuan"; v "Dumplings" ] ] )
+    else
+      ( [ [ v "A"; v "Chinese"; V.null ] ],
+        [ [ v "A"; V.null; v "Hunan" ] ] )
+  in
+  let r = rel kattrs [ [ "name" ] ] r_rows
+  and s = rel kattrs [ [ "name" ] ] s_rows in
+  shell C.Scenario.Merge_policy ~r ~s ~ilfds:[]
+    ~family:(C.Scenario.F_merge { anchor = "name" })
+
+let merge_tests =
+  [
+    case "anchored NULL-compatible vectors merge beyond the MT" (fun () ->
+        (* (A, Chinese, NULL) and (A, NULL, Hunan): no one-shot match,
+           but the global policy fuses them — containment holds and the
+           merge is counted. *)
+        let sc = merge_fixture ~null_free:false in
+        let telemetry = Telemetry.create () in
+        (match C.Families.check ~telemetry sc (outcome sc) with
+        | Ok () -> ()
+        | Error (check, detail) ->
+            Alcotest.fail (Printf.sprintf "%s: %s" check detail));
+        Alcotest.(check int) "one merge" 1
+          (Telemetry.counter telemetry "checker.family.merge_policy.merges");
+        Alcotest.(check int) "one induced co-grouping" 1
+          (Telemetry.counter telemetry
+             "checker.family.merge_policy.induced"));
+    case "NULL-free instances coincide exactly" (fun () ->
+        let sc = merge_fixture ~null_free:true in
+        let telemetry = Telemetry.create () in
+        (match C.Families.check ~telemetry sc (outcome sc) with
+        | Ok () -> ()
+        | Error (check, detail) ->
+            Alcotest.fail (Printf.sprintf "%s: %s" check detail));
+        Alcotest.(check int) "no policy-only co-grouping" 0
+          (Telemetry.counter telemetry
+             "checker.family.merge_policy.induced"));
+    case "rogue MT pair fails the containment" (fun () ->
+        let sc = merge_fixture ~null_free:true in
+        match
+          C.Families.check ~fault:C.Families.Rogue_pair sc (outcome sc)
+        with
+        | Error ("merge-containment", _) -> ()
+        | Error (check, _) ->
+            Alcotest.fail (Printf.sprintf "wrong check %s" check)
+        | Ok () -> Alcotest.fail "rogue pair must be caught");
+    case "a non-key anchor is rejected" (fun () ->
+        let sc = merge_fixture ~null_free:true in
+        let sc =
+          {
+            sc with
+            C.Scenario.family = C.Scenario.F_merge { anchor = "manager" };
+          }
+        in
+        match C.Families.check sc (outcome sc) with
+        | Error ("merge-containment", detail) ->
+            Alcotest.(check bool) "names the anchor" true
+              (contains "manager" detail)
+        | Error (check, _) ->
+            Alcotest.fail (Printf.sprintf "wrong check %s" check)
+        | Ok () -> Alcotest.fail "must reject");
+  ]
+
+let kdb_fixture extra_rows =
+  (* One entity present in all three databases: the pairwise verdicts
+     form the 3-cycle r~s, r~t2, s~t2 whose closure the clustering must
+     reproduce. *)
+  let one = [ [ v "A"; v "Chinese"; v "Hunan" ] ] in
+  let r = rel kattrs [ [ "name" ] ] one
+  and s = rel kattrs [ [ "name" ] ] one
+  and t2 = rel kattrs [ [ "name" ] ] (one @ extra_rows) in
+  shell C.Scenario.Kdb ~r ~s ~ilfds:[]
+    ~family:(C.Scenario.F_kdb { others = [ ("t2", t2) ] })
+
+let kdb_tests =
+  [
+    case "a 3-cycle of matched pairs closes cleanly" (fun () ->
+        let sc = kdb_fixture [] in
+        let telemetry = Telemetry.create () in
+        (match C.Families.check ~telemetry sc (outcome sc) with
+        | Ok () -> ()
+        | Error (check, detail) ->
+            Alcotest.fail (Printf.sprintf "%s: %s" check detail));
+        Alcotest.(check int) "three pairwise edges" 3
+          (Telemetry.counter telemetry "checker.family.kdb.edges");
+        Alcotest.(check int) "three co-memberships" 3
+          (Telemetry.counter telemetry "checker.family.kdb.closure_pairs"));
+    case "a dropped 3-cycle edge is a contradiction, not a miss" (fun () ->
+        (* The lost s~t2 verdict is still implied by r~s and r~t2: the
+           closure agrees with the clustering, so the failure must be
+           the sharper kdb-contradiction. *)
+        let sc = kdb_fixture [] in
+        match C.Families.check ~fault:C.Families.Lost_edge sc (outcome sc)
+        with
+        | Error ("kdb-contradiction", _) -> ()
+        | Error (check, _) ->
+            Alcotest.fail (Printf.sprintf "wrong check %s" check)
+        | Ok () -> Alcotest.fail "lost edge must be caught");
+    case "NULL-keyed tuple in one database stays out of the closure"
+      (fun () ->
+        (* (B, NULL, Tofu) lives only in t2; its extended key never
+           completes, so it must neither match pairwise nor be clustered
+           — and the oracle must not read it as a contradiction. *)
+        let sc = kdb_fixture [ [ v "B"; V.null; v "Tofu" ] ] in
+        let telemetry = Telemetry.create () in
+        (match C.Families.check ~telemetry sc (outcome sc) with
+        | Ok () -> ()
+        | Error (check, detail) ->
+            Alcotest.fail (Printf.sprintf "%s: %s" check detail));
+        Alcotest.(check int) "still three pairwise edges" 3
+          (Telemetry.counter telemetry "checker.family.kdb.edges"));
+  ]
+
+(* ---- mutation sanity: the acceptance bar per family ---- *)
+
+let mutation_tests =
+  let bar kind fault expect_family =
+    case
+      (Printf.sprintf "%s fault is caught and shrunk small"
+         (C.Oracle.fault_to_string fault))
+      (fun () ->
+        let outcome =
+          C.Harness.run ~fault ~max_failures:1
+            ~seeds:(seeds ~family:kind ~from:1 10)
+            ()
+        in
+        match outcome.failures with
+        | [ f ] -> (
+            Alcotest.(check string) "family stamped" expect_family
+              f.discrepancy.family;
+            match f.shrunk with
+            | Some (small, d, _) ->
+                Alcotest.(check bool) "shrunk to <= 6 tuples" true
+                  (C.Scenario.size small <= 6);
+                Alcotest.(check string) "same failing check"
+                  f.discrepancy.check d.check;
+                Alcotest.(check string) "family preserved" expect_family
+                  d.family;
+                if kind = C.Scenario.Kdb then
+                  Alcotest.(check bool) "witness stays k > 2" true
+                    (C.Scenario.kdb_others small <> [])
+            | None -> Alcotest.fail "shrinking was on")
+        | _ -> Alcotest.fail "the fault must be detected")
+  in
+  [
+    bar C.Scenario.Kdb C.Oracle.Kdb_lost_edge "kdb";
+    bar C.Scenario.Md C.Oracle.Md_phantom_match "md";
+    bar C.Scenario.Merge_policy C.Oracle.Merge_rogue_pair "merge-policy";
+    case "family faults are inert outside their family" (fun () ->
+        (* A kdb fault on restaurant scenarios must perturb nothing: the
+           dispatch keys on the scenario's family, not the flag. *)
+        let outcome =
+          C.Harness.run ~fault:C.Oracle.Kdb_lost_edge ~shrink:false
+            ~seeds:(seeds ~from:1 5) ()
+        in
+        Alcotest.(check bool) "clean" true (C.Harness.ok outcome));
+    case "restaurant discrepancies carry the restaurant family" (fun () ->
+        let outcome =
+          C.Harness.run ~fault:C.Oracle.Broken_blocking_key ~shrink:false
+            ~max_failures:1 ~seeds:(seeds ~from:1 10) ()
+        in
+        match outcome.failures with
+        | f :: _ ->
+            Alcotest.(check string) "family" "restaurant"
+              f.discrepancy.family
+        | [] -> Alcotest.fail "the fault must be detected");
+  ]
+
+let () =
+  Alcotest.run "families"
+    [
+      ("kind", kind_tests);
+      ("sweep", sweep_tests);
+      ("md", md_tests);
+      ("merge", merge_tests);
+      ("kdb", kdb_tests);
+      ("mutation", mutation_tests);
+    ]
